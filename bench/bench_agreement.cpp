@@ -1,0 +1,97 @@
+// L12 — Lemma 12's algorithm B as an experiment:
+//   * consensus over the strongly-linearizable CAS queue (cost per decision,
+//     always 1 decided value);
+//   * k-set agreement over the k-out-of-order SL queue (<= k values);
+//   * the Herlihy-Wing violation rate: fraction of random schedules on which
+//     the merely-linearizable queue makes algorithm B disagree — the
+//     measurable footprint of Theorem 17.
+#include <benchmark/benchmark.h>
+
+#include "agreement/lemma12.h"
+#include "agreement/ordering.h"
+#include "baselines/cas_structures.h"
+#include "baselines/herlihy_wing_queue.h"
+#include "sim/strategy.h"
+
+namespace {
+
+using namespace c2sl;
+
+std::vector<int64_t> inputs_for(int n) {
+  std::vector<int64_t> in(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) in[static_cast<size_t>(i)] = 100 + i;
+  return in;
+}
+
+void L12_Consensus_over_SL_CasQueue(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto ordering = agreement::queue_ordering(n);
+  auto make = [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+    return std::make_unique<baselines::CasQueue>(w, "A");
+  };
+  uint64_t seed = 1;
+  uint64_t agreed = 0;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    sim::RandomStrategy strategy(seed++);
+    auto res = agreement::run_lemma12(n, ordering, inputs_for(n), make, strategy,
+                                      400000);
+    ++total;
+    if (res.check.ok()) ++agreed;
+  }
+  state.counters["agreement_rate"] = benchmark::Counter(
+      static_cast<double>(agreed) / static_cast<double>(std::max<uint64_t>(total, 1)));
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(L12_Consensus_over_SL_CasQueue)->Arg(3)->Arg(4)->Arg(6);
+
+void L12_KSet_over_KOutOfOrderQueue(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  auto ordering = agreement::k_out_of_order_queue_ordering(n, k);
+  auto make = [k](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+    return std::make_unique<baselines::KOutOfOrderCasQueue>(w, "A", k);
+  };
+  uint64_t seed = 1;
+  uint64_t within_k = 0;
+  uint64_t total = 0;
+  uint64_t distinct_sum = 0;
+  for (auto _ : state) {
+    sim::RandomStrategy strategy(seed++);
+    auto res = agreement::run_lemma12(n, ordering, inputs_for(n), make, strategy,
+                                      400000);
+    ++total;
+    if (res.check.k_agreement) ++within_k;
+    distinct_sum += static_cast<uint64_t>(res.check.distinct);
+  }
+  state.counters["within_k_rate"] = benchmark::Counter(
+      static_cast<double>(within_k) / static_cast<double>(std::max<uint64_t>(total, 1)));
+  state.counters["avg_distinct"] = benchmark::Counter(
+      static_cast<double>(distinct_sum) / static_cast<double>(std::max<uint64_t>(total, 1)));
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(L12_KSet_over_KOutOfOrderQueue)->Args({4, 2})->Args({6, 3});
+
+void L12_ViolationRate_over_HerlihyWing(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto ordering = agreement::queue_ordering(n);
+  auto make = [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+    return std::make_unique<baselines::HerlihyWingQueue>(w, "A");
+  };
+  uint64_t seed = 1;
+  uint64_t violations = 0;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    sim::RandomStrategy strategy(seed++);
+    auto res = agreement::run_lemma12(n, ordering, inputs_for(n), make, strategy,
+                                      400000);
+    ++total;
+    if (res.completed && !res.check.k_agreement) ++violations;
+  }
+  state.counters["violation_rate"] = benchmark::Counter(
+      static_cast<double>(violations) / static_cast<double>(std::max<uint64_t>(total, 1)));
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(L12_ViolationRate_over_HerlihyWing)->Arg(3)->Arg(4)->Arg(6);
+
+}  // namespace

@@ -1,0 +1,224 @@
+// FIG1 — one row per arrow of the paper's Figure 1 (the construction map).
+//
+// For every construction the bench drives a mixed workload under a random
+// schedule in the simulator and reports operations/second plus base-object
+// steps per operation (the model-level cost the paper reasons about). Shapes
+// to expect: the §3 FAA constructions cost exactly 1 step/op; Theorem 5 costs
+// <= 2; Theorem 6 stacks the max-register cost on top; Theorem 9/10 costs grow
+// with contention (lock-free, not wait-free).
+#include <benchmark/benchmark.h>
+
+#include "core/fetch_increment.h"
+#include "core/max_register_faa.h"
+#include "core/max_register_variants.h"
+#include "core/multishot_tas.h"
+#include "core/readable_tas.h"
+#include "core/simple_type.h"
+#include "core/sl_set.h"
+#include "core/snapshot_faa.h"
+#include "sim/sim_run.h"
+#include "sim/strategy.h"
+#include "util/rng.h"
+#include "verify/specs.h"
+
+namespace {
+
+using namespace c2sl;
+
+struct WorkloadStats {
+  uint64_t ops = 0;
+  uint64_t steps = 0;
+};
+
+/// Runs `ops_per_proc` invocations per process under a random schedule.
+WorkloadStats drive(core::ConcurrentObject& obj, sim::SimRun& run, int ops_per_proc,
+                    const std::function<verify::Invocation(int, int, Rng&)>& gen,
+                    uint64_t seed) {
+  WorkloadStats stats;
+  int n = run.n();
+  for (int p = 0; p < n; ++p) {
+    run.sched.spawn(p, [&obj, &gen, &stats, p, ops_per_proc, seed](sim::Ctx& ctx) {
+      Rng rng(seed * 131 + static_cast<uint64_t>(p));
+      for (int j = 0; j < ops_per_proc; ++j) {
+        verify::Invocation inv = gen(p, j, rng);
+        inv.proc = p;
+        obj.apply(ctx, inv);
+        ++stats.ops;
+      }
+    });
+  }
+  sim::RandomStrategy strategy(seed);
+  auto rr = run.sched.run(strategy, 100000000ULL);
+  stats.steps = rr.steps;
+  return stats;
+}
+
+verify::Invocation maxreg_gen(int, int, Rng& rng) {
+  return rng.next_bool(0.5)
+             ? verify::Invocation{"WriteMax", num(rng.next_in(0, 30)), -1}
+             : verify::Invocation{"ReadMax", unit(), -1};
+}
+
+verify::Invocation snapshot_gen(int, int, Rng& rng) {
+  return rng.next_bool(0.5) ? verify::Invocation{"Update", num(rng.next_in(0, 30)), -1}
+                            : verify::Invocation{"Scan", unit(), -1};
+}
+
+void report(benchmark::State& state, const WorkloadStats& total) {
+  state.counters["steps_per_op"] =
+      benchmark::Counter(static_cast<double>(total.steps) /
+                         static_cast<double>(std::max<uint64_t>(total.ops, 1)));
+  state.SetItemsProcessed(static_cast<int64_t>(total.ops));
+}
+
+// ---- §3.1 / Thm 1: max register <- fetch&add -------------------------------
+void Fig1_MaxRegister_from_FAA(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  WorkloadStats total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    core::MaxRegisterFAA obj(run.world, "m", n);
+    WorkloadStats s = drive(obj, run, 20, maxreg_gen, seed++);
+    total.ops += s.ops;
+    total.steps += s.steps;
+  }
+  report(state, total);
+}
+BENCHMARK(Fig1_MaxRegister_from_FAA)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- §3.2 / Thm 2: snapshot <- fetch&add -----------------------------------
+void Fig1_Snapshot_from_FAA(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  WorkloadStats total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    core::SnapshotFAA obj(run.world, "s", n);
+    WorkloadStats s = drive(obj, run, 20, snapshot_gen, seed++);
+    total.ops += s.ops;
+    total.steps += s.steps;
+  }
+  report(state, total);
+}
+BENCHMARK(Fig1_Snapshot_from_FAA)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- §3.3 / Thms 3-4: simple types <- snapshot <- fetch&add ----------------
+void Fig1_Counter_from_Snapshot(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  static verify::CounterSpec spec;
+  WorkloadStats total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    auto obj = core::make_counter(run.world, "c", n, spec);
+    WorkloadStats s = drive(*obj, run, 10,
+                            [](int, int, Rng& rng) {
+                              return rng.next_bool(0.7)
+                                         ? verify::Invocation{"Inc", unit(), -1}
+                                         : verify::Invocation{"Read", unit(), -1};
+                            },
+                            seed++);
+    total.ops += s.ops;
+    total.steps += s.steps;
+  }
+  report(state, total);
+}
+BENCHMARK(Fig1_Counter_from_Snapshot)->Arg(2)->Arg(4);
+
+// ---- §4.1 / Thm 5: readable test&set <- test&set ---------------------------
+void Fig1_ReadableTAS_from_TAS(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  WorkloadStats total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    core::ReadableTAS obj(run.world, "t");
+    WorkloadStats s = drive(obj, run, 20,
+                            [](int, int, Rng& rng) {
+                              return rng.next_bool(0.3)
+                                         ? verify::Invocation{"TAS", unit(), -1}
+                                         : verify::Invocation{"Read", unit(), -1};
+                            },
+                            seed++);
+    total.ops += s.ops;
+    total.steps += s.steps;
+  }
+  report(state, total);
+}
+BENCHMARK(Fig1_ReadableTAS_from_TAS)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- §4.1 / Thm 6 + Cor 7: multishot TAS <- readable TAS + max register ----
+void Fig1_MultishotTAS_Cor7(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  WorkloadStats total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    core::MaxRegisterFAA curr(run.world, "curr", n);
+    core::ReadableTasArray ts(run.world, "TS");
+    core::MultishotTAS obj("mt", curr, ts);
+    WorkloadStats s = drive(obj, run, 15,
+                            [](int, int, Rng& rng) {
+                              uint64_t r = rng.next_below(10);
+                              if (r < 4) return verify::Invocation{"TAS", unit(), -1};
+                              if (r < 7) return verify::Invocation{"Read", unit(), -1};
+                              return verify::Invocation{"Reset", unit(), -1};
+                            },
+                            seed++);
+    total.ops += s.ops;
+    total.steps += s.steps;
+  }
+  report(state, total);
+}
+BENCHMARK(Fig1_MultishotTAS_Cor7)->Arg(2)->Arg(4);
+
+// ---- §4.2 / Thm 9: fetch&increment <- readable test&set --------------------
+void Fig1_FetchIncrement_from_TAS(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  WorkloadStats total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    core::ReadableTasArray ts(run.world, "M");
+    core::FetchIncrement obj("f", ts);
+    WorkloadStats s = drive(obj, run, 10,
+                            [](int, int, Rng& rng) {
+                              return rng.next_bool(0.7)
+                                         ? verify::Invocation{"FAI", unit(), -1}
+                                         : verify::Invocation{"Read", unit(), -1};
+                            },
+                            seed++);
+    total.ops += s.ops;
+    total.steps += s.steps;
+  }
+  report(state, total);
+}
+BENCHMARK(Fig1_FetchIncrement_from_TAS)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- §4.3 / Thm 10: set <- test&set + fetch&increment ----------------------
+void Fig1_Set_from_TAS(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  WorkloadStats total;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    core::ReadableTasArray fai_ts(run.world, "MaxM");
+    core::FetchIncrement fai("Max", fai_ts);
+    core::SLSet obj(run.world, "set", fai);
+    WorkloadStats s = drive(obj, run, 8,
+                            [](int p, int j, Rng& rng) {
+                              if (rng.next_bool(0.6)) {
+                                return verify::Invocation{"Put", num(p * 100 + j), -1};
+                              }
+                              return verify::Invocation{"Take", unit(), -1};
+                            },
+                            seed++);
+    total.ops += s.ops;
+    total.steps += s.steps;
+  }
+  report(state, total);
+}
+BENCHMARK(Fig1_Set_from_TAS)->Arg(2)->Arg(4);
+
+}  // namespace

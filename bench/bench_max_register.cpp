@@ -1,0 +1,110 @@
+// T1 — max register variants (paper §3.1 vs alternatives): FAA-packed (Thm 1),
+// atomic reference, plain AAC tree (registers, bounded), per-process collect
+// (registers, unbounded). Sweeps process count and value range; reports steps
+// per operation. Expected shape: FAA == 1 step/op always; tree == O(log B);
+// collect: 2-step writes, n-step reads.
+#include <benchmark/benchmark.h>
+
+#include "core/max_register_faa.h"
+#include "core/max_register_variants.h"
+#include "sim/sim_run.h"
+#include "sim/strategy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace c2sl;
+
+enum class Variant { kFAA, kAtomic, kTree, kCollect };
+
+void run_variant(benchmark::State& state, Variant variant) {
+  int n = static_cast<int>(state.range(0));
+  int64_t range = state.range(1);
+  uint64_t ops = 0;
+  uint64_t steps = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    std::unique_ptr<core::MaxRegisterIface> obj;
+    core::ConcurrentObject* as_obj = nullptr;
+    switch (variant) {
+      case Variant::kFAA: {
+        auto p = std::make_unique<core::MaxRegisterFAA>(run.world, "m", n);
+        as_obj = p.get();
+        obj = std::move(p);
+        break;
+      }
+      case Variant::kAtomic: {
+        auto p = std::make_unique<core::AtomicMaxRegister>(run.world, "m");
+        as_obj = p.get();
+        obj = std::move(p);
+        break;
+      }
+      case Variant::kTree: {
+        int64_t capacity = 2;
+        while (capacity <= range) capacity *= 2;
+        auto p = std::make_unique<core::BoundedRWMaxRegister>(run.world, "m", capacity);
+        as_obj = p.get();
+        obj = std::move(p);
+        break;
+      }
+      case Variant::kCollect: {
+        auto p = std::make_unique<core::CollectMaxRegister>(run.world, "m", n);
+        as_obj = p.get();
+        obj = std::move(p);
+        break;
+      }
+    }
+    for (int p = 0; p < n; ++p) {
+      run.sched.spawn(p, [as_obj, p, range, seed, &ops](sim::Ctx& ctx) {
+        Rng rng(seed * 997 + static_cast<uint64_t>(p));
+        for (int j = 0; j < 20; ++j) {
+          verify::Invocation inv =
+              rng.next_bool(0.5)
+                  ? verify::Invocation{"WriteMax", num(rng.next_in(0, range)), p}
+                  : verify::Invocation{"ReadMax", unit(), p};
+          as_obj->apply(ctx, inv);
+          ++ops;
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed++);
+    steps += run.sched.run(strategy, 100000000ULL).steps;
+  }
+  state.counters["steps_per_op"] = benchmark::Counter(
+      static_cast<double>(steps) / static_cast<double>(std::max<uint64_t>(ops, 1)));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+
+void T1_MaxRegister_FAA(benchmark::State& s) { run_variant(s, Variant::kFAA); }
+void T1_MaxRegister_Atomic(benchmark::State& s) { run_variant(s, Variant::kAtomic); }
+void T1_MaxRegister_AacTree(benchmark::State& s) { run_variant(s, Variant::kTree); }
+void T1_MaxRegister_Collect(benchmark::State& s) { run_variant(s, Variant::kCollect); }
+
+BENCHMARK(T1_MaxRegister_FAA)->Args({2, 15})->Args({4, 15})->Args({4, 255})->Args({8, 63});
+BENCHMARK(T1_MaxRegister_Atomic)->Args({2, 15})->Args({4, 15})->Args({4, 255})->Args({8, 63});
+BENCHMARK(T1_MaxRegister_AacTree)->Args({2, 15})->Args({4, 15})->Args({4, 255})->Args({8, 63});
+BENCHMARK(T1_MaxRegister_Collect)->Args({2, 15})->Args({4, 15})->Args({4, 255})->Args({8, 63});
+
+// §6 width observation: register bit growth of the unary FAA encoding as a
+// function of the largest written value.
+void T1_RegisterWidthGrowth(benchmark::State& state) {
+  int n = 4;
+  int64_t max_value = state.range(0);
+  uint64_t bits = 0;
+  for (auto _ : state) {
+    sim::World world;
+    core::MaxRegisterFAA m(world, "m", n);
+    sim::Ctx solo;
+    solo.world = &world;
+    for (int p = 0; p < n; ++p) {
+      solo.self = p;
+      m.write_max(solo, max_value - p);
+    }
+    bits = m.register_bits(solo);
+  }
+  state.counters["register_bits"] = benchmark::Counter(static_cast<double>(bits));
+}
+BENCHMARK(T1_RegisterWidthGrowth)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace

@@ -1,0 +1,114 @@
+// NAT — native std::atomic constructions on real threads: throughput of the
+// bounded §3/§4 variants under genuine hardware contention. (On a single-core
+// host the thread counts time-slice; the numbers are functional throughput,
+// not a scaling study.)
+#include <benchmark/benchmark.h>
+
+#include "runtime/native_max_register.h"
+#include "runtime/native_snapshot.h"
+#include "runtime/native_tas_family.h"
+#include "runtime/stress.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace c2sl;
+
+void NAT_MaxRegister(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    rt::NativeMaxRegister64 reg(threads, 63 / threads);
+    rt::run_stress(threads, 200, [&](int t, int j) {
+      rt::TimedOp op;
+      if (j % 2 == 0) {
+        reg.write_max(t, j % (63 / threads));
+      } else {
+        benchmark::DoNotOptimize(reg.read_max());
+      }
+      return op;
+    });
+    ops += static_cast<uint64_t>(threads) * 200;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(NAT_MaxRegister)->Arg(1)->Arg(2)->Arg(4);
+
+void NAT_Snapshot(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    rt::NativeSnapshot64 snap(threads, 64 / threads > 8 ? 8 : 64 / threads);
+    rt::run_stress(threads, 200, [&](int t, int j) {
+      rt::TimedOp op;
+      if (j % 2 == 0) {
+        snap.update(t, j % 7);
+      } else {
+        benchmark::DoNotOptimize(snap.scan());
+      }
+      return op;
+    });
+    ops += static_cast<uint64_t>(threads) * 200;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(NAT_Snapshot)->Arg(1)->Arg(2)->Arg(4);
+
+void NAT_FetchIncrement(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  const int per_thread = 300;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    rt::NativeFetchIncrement fai(static_cast<size_t>(threads * per_thread) + 1);
+    rt::run_stress(threads, per_thread, [&](int, int) {
+      rt::TimedOp op;
+      benchmark::DoNotOptimize(fai.fetch_and_increment());
+      return op;
+    });
+    ops += static_cast<uint64_t>(threads * per_thread);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(NAT_FetchIncrement)->Arg(1)->Arg(2)->Arg(4);
+
+void NAT_Set(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  const int per_thread = 200;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    rt::NativeSet set(static_cast<size_t>(threads * per_thread) + 1);
+    rt::run_stress(threads, per_thread, [&](int t, int j) {
+      rt::TimedOp op;
+      if (j % 2 == 0) {
+        set.put(t * 100000 + j);
+      } else {
+        benchmark::DoNotOptimize(set.take());
+      }
+      return op;
+    });
+    ops += static_cast<uint64_t>(threads * per_thread);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(NAT_Set)->Arg(1)->Arg(2)->Arg(4);
+
+// The reference comparison the paper's motivation implies: the native
+// fetch&add-based readable F&I (1 instruction) vs the TAS-array construction.
+void NAT_FetchAdd_Reference(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  const int per_thread = 300;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    std::atomic<int64_t> ctr{0};
+    rt::run_stress(threads, per_thread, [&](int, int) {
+      rt::TimedOp op;
+      benchmark::DoNotOptimize(ctr.fetch_add(1, std::memory_order_seq_cst));
+      return op;
+    });
+    ops += static_cast<uint64_t>(threads * per_thread);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(NAT_FetchAdd_Reference)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,139 @@
+// T3/T4 — the Algorithm 1 simple-type construction: cost of the graph-based
+// execute as history grows, the snapshot-backend ablation (SL SnapshotFAA per
+// Theorem 4 vs a hypothetical atomic snapshot), and counter-vs-direct overhead.
+// Expected shape: per-op cost grows linearly with published operations (the
+// A-H construction keeps the whole operation graph); the snapshot backend
+// contributes a constant per operation.
+#include <benchmark/benchmark.h>
+
+#include "core/max_register_faa.h"
+#include "core/simple_type.h"
+#include "sim/sim_run.h"
+#include "sim/strategy.h"
+#include "util/rng.h"
+#include "verify/specs.h"
+
+namespace {
+
+using namespace c2sl;
+
+verify::CounterSpec g_counter_spec;
+verify::MaxRegisterSpec g_maxreg_spec;
+verify::UnionSetSpec g_union_spec;
+
+void T4_Counter_OpsScaling(benchmark::State& state) {
+  int n = 3;
+  int ops_per_proc = static_cast<int>(state.range(0));
+  uint64_t ops = 0;
+  uint64_t steps = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    auto obj = core::make_counter(run.world, "c", n, g_counter_spec);
+    for (int p = 0; p < n; ++p) {
+      run.sched.spawn(p, [&obj, ops_per_proc, &ops](sim::Ctx& ctx) {
+        for (int j = 0; j < ops_per_proc; ++j) {
+          obj->apply(ctx, {"Inc", unit(), ctx.self});
+          ++ops;
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed++);
+    steps += run.sched.run(strategy, 100000000ULL).steps;
+  }
+  state.counters["steps_per_op"] = benchmark::Counter(
+      static_cast<double>(steps) / static_cast<double>(std::max<uint64_t>(ops, 1)));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(T4_Counter_OpsScaling)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void T4_Instances(benchmark::State& state) {
+  int n = 3;
+  int which = static_cast<int>(state.range(0));
+  uint64_t ops = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    std::unique_ptr<core::SimpleTypeObject> obj;
+    std::function<verify::Invocation(Rng&)> gen;
+    switch (which) {
+      case 0:
+        obj = core::make_counter(run.world, "o", n, g_counter_spec);
+        gen = [](Rng& rng) {
+          return rng.next_bool(0.7) ? verify::Invocation{"Inc", unit(), -1}
+                                    : verify::Invocation{"Read", unit(), -1};
+        };
+        break;
+      case 1:
+        obj = core::make_max_register_st(run.world, "o", n, g_maxreg_spec);
+        gen = [](Rng& rng) {
+          return rng.next_bool(0.5)
+                     ? verify::Invocation{"WriteMax", num(rng.next_in(0, 50)), -1}
+                     : verify::Invocation{"ReadMax", unit(), -1};
+        };
+        break;
+      default:
+        obj = core::make_union_set(run.world, "o", n, g_union_spec);
+        gen = [](Rng& rng) {
+          int64_t x = rng.next_in(0, 8);
+          return rng.next_bool(0.5) ? verify::Invocation{"Insert", num(x), -1}
+                                    : verify::Invocation{"Has", num(x), -1};
+        };
+        break;
+    }
+    for (int p = 0; p < n; ++p) {
+      run.sched.spawn(p, [&obj, &gen, p, seed, &ops](sim::Ctx& ctx) {
+        Rng rng(seed * 13 + static_cast<uint64_t>(p));
+        for (int j = 0; j < 10; ++j) {
+          verify::Invocation inv = gen(rng);
+          inv.proc = p;
+          obj->apply(ctx, inv);
+          ++ops;
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed++);
+    run.sched.run(strategy, 100000000ULL);
+  }
+  state.SetLabel(which == 0 ? "counter" : which == 1 ? "max_register" : "union_set");
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(T4_Instances)->Arg(0)->Arg(1)->Arg(2);
+
+// Ablation: direct FAA max register vs the same object built through the
+// Algorithm 1 graph machinery — the cost of generality.
+void T4_MaxRegister_DirectVsSimpleType(benchmark::State& state) {
+  bool direct = state.range(0) == 0;
+  int n = 3;
+  uint64_t ops = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    std::unique_ptr<core::ConcurrentObject> obj;
+    if (direct) {
+      obj = std::make_unique<core::MaxRegisterFAA>(run.world, "m", n);
+    } else {
+      obj = core::make_max_register_st(run.world, "m", n, g_maxreg_spec);
+    }
+    for (int p = 0; p < n; ++p) {
+      run.sched.spawn(p, [&obj, p, seed, &ops](sim::Ctx& ctx) {
+        Rng rng(seed * 17 + static_cast<uint64_t>(p));
+        for (int j = 0; j < 10; ++j) {
+          verify::Invocation inv =
+              rng.next_bool(0.5)
+                  ? verify::Invocation{"WriteMax", num(rng.next_in(0, 30)), p}
+                  : verify::Invocation{"ReadMax", unit(), p};
+          obj->apply(ctx, inv);
+          ++ops;
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed++);
+    run.sched.run(strategy, 100000000ULL);
+  }
+  state.SetLabel(direct ? "direct_faa" : "via_algorithm1");
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(T4_MaxRegister_DirectVsSimpleType)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,90 @@
+// T2 — snapshots: the §3.2 fetch&add construction vs the register-based AADGMS
+// baseline. Expected shape: FAA scans are 1 step regardless of n; AADGMS scans
+// cost at least 2n reads and degrade under update contention (unclean double
+// collects); FAA updates pay BigInt arithmetic proportional to lane width.
+#include <benchmark/benchmark.h>
+
+#include "baselines/aadgms_snapshot.h"
+#include "core/snapshot_faa.h"
+#include "sim/sim_run.h"
+#include "sim/strategy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace c2sl;
+
+template <typename Snap>
+void run_snapshot(benchmark::State& state, double update_prob) {
+  int n = static_cast<int>(state.range(0));
+  int64_t range = state.range(1);
+  uint64_t ops = 0;
+  uint64_t steps = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    Snap obj(run.world, "s", n);
+    for (int p = 0; p < n; ++p) {
+      run.sched.spawn(p, [&obj, p, range, update_prob, seed, &ops](sim::Ctx& ctx) {
+        Rng rng(seed * 31 + static_cast<uint64_t>(p));
+        for (int j = 0; j < 15; ++j) {
+          if (rng.next_bool(update_prob)) {
+            obj.update(ctx, rng.next_in(0, range));
+          } else {
+            benchmark::DoNotOptimize(obj.scan(ctx));
+          }
+          ++ops;
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed++);
+    steps += run.sched.run(strategy, 100000000ULL).steps;
+  }
+  state.counters["steps_per_op"] = benchmark::Counter(
+      static_cast<double>(steps) / static_cast<double>(std::max<uint64_t>(ops, 1)));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+
+void T2_Snapshot_FAA(benchmark::State& s) { run_snapshot<core::SnapshotFAA>(s, 0.5); }
+void T2_Snapshot_AADGMS(benchmark::State& s) {
+  run_snapshot<baselines::AadgmsSnapshot>(s, 0.5);
+}
+void T2_Snapshot_FAA_UpdateHeavy(benchmark::State& s) {
+  run_snapshot<core::SnapshotFAA>(s, 0.9);
+}
+void T2_Snapshot_AADGMS_UpdateHeavy(benchmark::State& s) {
+  run_snapshot<baselines::AadgmsSnapshot>(s, 0.9);
+}
+
+BENCHMARK(T2_Snapshot_FAA)->Args({2, 100})->Args({4, 100})->Args({8, 100});
+BENCHMARK(T2_Snapshot_AADGMS)->Args({2, 100})->Args({4, 100})->Args({8, 100});
+BENCHMARK(T2_Snapshot_FAA_UpdateHeavy)->Args({4, 100})->Args({8, 100});
+BENCHMARK(T2_Snapshot_AADGMS_UpdateHeavy)->Args({4, 100})->Args({8, 100});
+
+// Value-width sweep for the FAA snapshot: BigInt cost grows with lane width,
+// the price of packing everything into one register (§6 discussion).
+void T2_Snapshot_FAA_ValueWidth(benchmark::State& state) {
+  int n = 4;
+  int64_t range = (int64_t{1} << state.range(0)) - 1;
+  uint64_t ops = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimRun run(n);
+    core::SnapshotFAA obj(run.world, "s", n);
+    for (int p = 0; p < n; ++p) {
+      run.sched.spawn(p, [&obj, p, range, seed, &ops](sim::Ctx& ctx) {
+        Rng rng(seed * 7 + static_cast<uint64_t>(p));
+        for (int j = 0; j < 15; ++j) {
+          obj.update(ctx, rng.next_in(0, range));
+          ++ops;
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed++);
+    run.sched.run(strategy, 100000000ULL);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(T2_Snapshot_FAA_ValueWidth)->Arg(4)->Arg(16)->Arg(32)->Arg(48);
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Lemma 12 live: turning strongly-linearizable ordering objects into agreement.
+//
+// Algorithm B (paper §5) is run over three substrates:
+//   1. the strongly-linearizable CAS queue  -> consensus, every schedule;
+//   2. the k-out-of-order SL queue (k = 2)  -> 2-set agreement;
+//   3. the Herlihy-Wing queue (fetch&add + swap, linearizable but NOT strongly
+//      linearizable) -> agreement violations appear, as Theorem 17 demands:
+//      if the reduction never failed, C2 primitives would solve consensus.
+//
+//   $ ./example_set_agreement_demo [num_schedules]
+#include <cstdio>
+#include <cstdlib>
+
+#include "agreement/lemma12.h"
+#include "agreement/ordering.h"
+#include "baselines/cas_structures.h"
+#include "baselines/herlihy_wing_queue.h"
+#include "sim/strategy.h"
+
+using namespace c2sl;
+
+namespace {
+
+struct Row {
+  const char* name;
+  int n;
+  int k;
+  std::function<std::unique_ptr<core::ConcurrentObject>(sim::World&)> make;
+  agreement::OrderingObject ordering;
+};
+
+void run_row(const Row& row, uint64_t schedules) {
+  std::vector<int64_t> inputs(static_cast<size_t>(row.n));
+  for (int i = 0; i < row.n; ++i) inputs[static_cast<size_t>(i)] = 100 + i;
+
+  uint64_t ok = 0;
+  uint64_t violations = 0;
+  int max_distinct = 0;
+  for (uint64_t seed = 0; seed < schedules; ++seed) {
+    sim::RandomStrategy strategy(seed);
+    auto res = agreement::run_lemma12(row.n, row.ordering, inputs, row.make, strategy,
+                                      400000);
+    if (!res.completed) continue;
+    max_distinct = std::max(max_distinct, res.check.distinct);
+    if (res.check.ok()) {
+      ++ok;
+    } else if (!res.check.k_agreement) {
+      ++violations;
+    }
+  }
+  std::printf("  %-38s n=%d k=%d  ok=%4llu/%llu  k-violations=%llu  max distinct=%d\n",
+              row.name, row.n, row.k, static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(schedules),
+              static_cast<unsigned long long>(violations), max_distinct);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t schedules = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
+  std::printf("algorithm B (Lemma 12), %llu random schedules per row\n\n",
+              static_cast<unsigned long long>(schedules));
+
+  std::vector<Row> rows;
+  rows.push_back({"CAS queue (strongly linearizable)", 3, 1,
+                  [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+                    return std::make_unique<baselines::CasQueue>(w, "A");
+                  },
+                  agreement::queue_ordering(3)});
+  rows.push_back({"CAS stack (strongly linearizable)", 3, 1,
+                  [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+                    return std::make_unique<baselines::CasStack>(w, "A");
+                  },
+                  agreement::stack_ordering(3)});
+  rows.push_back({"2-out-of-order CAS queue", 4, 2,
+                  [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+                    return std::make_unique<baselines::KOutOfOrderCasQueue>(w, "A", 2);
+                  },
+                  agreement::k_out_of_order_queue_ordering(4, 2)});
+  rows.push_back({"1-stuttering CAS queue", 3, 1,
+                  [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+                    return std::make_unique<baselines::StutteringCasQueue>(w, "A", 1);
+                  },
+                  agreement::stuttering_queue_ordering(3, 1)});
+  rows.push_back({"Herlihy-Wing queue (NOT strongly lin.)", 3, 1,
+                  [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+                    return std::make_unique<baselines::HerlihyWingQueue>(w, "A");
+                  },
+                  agreement::queue_ordering(3)});
+
+  for (const Row& row : rows) run_row(row, schedules);
+
+  std::printf(
+      "\nReading: the strongly-linearizable rows decide <= k values on every\n"
+      "schedule; the Herlihy-Wing row shows k-violations — no consensus from\n"
+      "test&set/fetch&add/swap for n >= 3 (Theorem 17), so algorithm B's\n"
+      "premises (strong linearizability) must fail, and measurably do.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "agreement/consensus.h"
+
+#include "util/assert.h"
+
+namespace c2sl::agreement {
+
+TasConsensus::TasConsensus(sim::World& world, const std::string& name) {
+  proposals_ = world.add<prim::RegArray>(name + ".proposals");
+  ts_ = world.add<prim::TestAndSet>(name + ".ts", /*readable=*/false,
+                                    /*max_participants=*/2);
+}
+
+int64_t TasConsensus::propose(sim::Ctx& ctx, int64_t v) {
+  C2SL_CHECK(ctx.self == 0 || ctx.self == 1,
+             "TasConsensus supports processes 0 and 1 only");
+  prim::RegArray& props = ctx.world->get(proposals_);
+  props.write(ctx, static_cast<size_t>(ctx.self), num(v));
+  if (ctx.world->get(ts_).test_and_set(ctx) == 0) {
+    return v;  // winner decides its own proposal
+  }
+  Val other = props.read(ctx, static_cast<size_t>(1 - ctx.self));
+  C2SL_ASSERT_MSG(!is_unit(other), "loser must observe the winner's proposal");
+  return as_num(other);
+}
+
+CasConsensus::CasConsensus(sim::World& world, const std::string& name) {
+  decision_ = world.add<prim::CasReg>(name + ".decision");
+}
+
+int64_t CasConsensus::propose(sim::Ctx& ctx, int64_t v) {
+  prim::CasReg& dec = ctx.world->get(decision_);
+  if (dec.compare_and_swap(ctx, Val{}, num(v))) return v;
+  return as_num(dec.read(ctx));
+}
+
+QueueConsensus::QueueConsensus(sim::World& world, const std::string& name,
+                               core::ConcurrentObject& queue)
+    : queue_(queue) {
+  proposals_ = world.add<prim::RegArray>(name + ".proposals");
+  // Seed the queue with a winner token followed by a loser token during
+  // initialisation (before the execution starts), using a free-running solo
+  // context. Two tokens ensure both dequeues return, even on a partial
+  // (blocking-on-empty) queue such as Herlihy-Wing.
+  sim::Ctx init;
+  init.world = &world;
+  init.self = 0;
+  queue_.apply(init, verify::Invocation{"Enq", num(1), 0});
+  queue_.apply(init, verify::Invocation{"Enq", num(0), 0});
+}
+
+int64_t QueueConsensus::propose(sim::Ctx& ctx, int64_t v) {
+  C2SL_CHECK(ctx.self == 0 || ctx.self == 1,
+             "QueueConsensus supports processes 0 and 1 only");
+  prim::RegArray& props = ctx.world->get(proposals_);
+  props.write(ctx, static_cast<size_t>(ctx.self), num(v));
+  Val token = queue_.apply(ctx, verify::Invocation{"Deq", unit(), ctx.self});
+  bool won = std::holds_alternative<int64_t>(token) && as_num(token) == 1;
+  if (won) return v;
+  Val other = props.read(ctx, static_cast<size_t>(1 - ctx.self));
+  C2SL_ASSERT_MSG(!is_unit(other), "loser must observe the winner's proposal");
+  return as_num(other);
+}
+
+}  // namespace c2sl::agreement

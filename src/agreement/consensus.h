@@ -1,0 +1,64 @@
+// Classic consensus protocols grounding the consensus hierarchy the paper
+// builds on (Herlihy 1991):
+//
+//   * TasConsensus   — wait-free 2-process consensus from one test&set and two
+//                      registers (consensus number of test&set is exactly 2).
+//   * CasConsensus   — wait-free n-process consensus from one compare&swap
+//                      (infinite consensus number).
+//   * QueueConsensus — wait-free 2-process consensus from a shared queue
+//                      pre-filled with a winner token plus two registers
+//                      (queues have consensus number 2 — the §5 objects really
+//                      are "level 2" objects).
+//
+// Used by tests to sanity-check the primitives' positions in the hierarchy and
+// by examples to contrast with the Lemma 12 reduction.
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/arrays.h"
+#include "primitives/swap_cas.h"
+#include "primitives/tas.h"
+
+namespace c2sl::agreement {
+
+class TasConsensus {
+ public:
+  /// `max_participants` guards the 2-process restriction.
+  TasConsensus(sim::World& world, const std::string& name);
+
+  /// Returns the agreed value. Callable once per process; at most 2 processes.
+  int64_t propose(sim::Ctx& ctx, int64_t v);
+
+ private:
+  sim::Handle<prim::RegArray> proposals_;
+  sim::Handle<prim::TestAndSet> ts_;
+};
+
+class CasConsensus {
+ public:
+  CasConsensus(sim::World& world, const std::string& name);
+
+  int64_t propose(sim::Ctx& ctx, int64_t v);
+
+ private:
+  sim::Handle<prim::CasReg> decision_;
+};
+
+class QueueConsensus {
+ public:
+  /// `queue` must be empty-initialised; the winner/loser tokens are enqueued
+  /// at construction time via a solo context (initialisation is not part of
+  /// the execution, matching Herlihy's protocol statement).
+  QueueConsensus(sim::World& world, const std::string& name,
+                 core::ConcurrentObject& queue);
+
+  int64_t propose(sim::Ctx& ctx, int64_t v);
+
+ private:
+  sim::Handle<prim::RegArray> proposals_;
+  core::ConcurrentObject& queue_;
+};
+
+}  // namespace c2sl::agreement

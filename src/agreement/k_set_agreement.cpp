@@ -1,0 +1,40 @@
+#include "agreement/k_set_agreement.h"
+
+#include <algorithm>
+
+namespace c2sl::agreement {
+
+AgreementCheck validate_agreement(const std::vector<int64_t>& inputs,
+                                  const std::vector<int64_t>& decisions, int k,
+                                  const std::vector<bool>& crashed) {
+  AgreementCheck out;
+  out.termination = true;
+  out.validity = true;
+  std::set<int64_t> values;
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    bool is_crashed = i < crashed.size() && crashed[i];
+    if (decisions[i] == kUndecided) {
+      if (!is_crashed) out.termination = false;
+      continue;
+    }
+    values.insert(decisions[i]);
+    if (std::find(inputs.begin(), inputs.end(), decisions[i]) == inputs.end()) {
+      out.validity = false;
+    }
+  }
+  out.distinct = static_cast<int>(values.size());
+  out.k_agreement = out.distinct <= k;
+  return out;
+}
+
+std::string AgreementCheck::to_string() const {
+  std::string s = "termination=";
+  s += termination ? "yes" : "NO";
+  s += " validity=";
+  s += validity ? "yes" : "NO";
+  s += " distinct=" + std::to_string(distinct);
+  s += k_agreement ? " (within k)" : " (EXCEEDS k)";
+  return s;
+}
+
+}  // namespace c2sl::agreement

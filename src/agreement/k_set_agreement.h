@@ -1,0 +1,35 @@
+// k-set agreement (paper §2): each process proposes a value and decides one,
+// such that Termination (every correct process decides), Validity (decisions
+// are proposals) and k-Agreement (at most k distinct decisions) hold.
+// Consensus is 1-set agreement.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c2sl::agreement {
+
+constexpr int64_t kUndecided = INT64_MIN;
+
+struct AgreementCheck {
+  bool termination = false;  ///< every correct (non-crashed) process decided
+  bool validity = false;     ///< every decision is some process's input
+  bool k_agreement = false;  ///< at most k distinct decisions
+  int distinct = 0;
+  bool ok(bool require_termination = true) const {
+    return (!require_termination || termination) && validity && k_agreement;
+  }
+  std::string to_string() const;
+};
+
+/// Validates one execution outcome. `decisions[i] == kUndecided` means process
+/// i did not decide; `crashed[i]` marks processes the adversary crashed (they
+/// are exempt from Termination). Pass an empty `crashed` when no crashes
+/// occurred.
+AgreementCheck validate_agreement(const std::vector<int64_t>& inputs,
+                                  const std::vector<int64_t>& decisions, int k,
+                                  const std::vector<bool>& crashed = {});
+
+}  // namespace c2sl::agreement

@@ -1,0 +1,114 @@
+#include "agreement/lemma12.h"
+
+#include "primitives/arrays.h"
+#include "util/assert.h"
+
+namespace c2sl::agreement {
+
+void spawn_lemma12(sim::SimRun& run, core::ConcurrentObject& impl,
+                   size_t object_range_end, const OrderingObject& ordering,
+                   const std::vector<int64_t>& inputs, Lemma12State& state,
+                   const Lemma12Options& opts) {
+  const int n = run.n();
+  C2SL_CHECK(static_cast<int>(inputs.size()) == n, "one input per process");
+  state.decisions.assign(static_cast<size_t>(n), kUndecided);
+  state.solo_steps.assign(static_cast<size_t>(n), 0);
+
+  // B's own shared state: the proposal array M and the step-counter array T.
+  auto m_arr = run.world.add<prim::RegArray>("lemma12.M");
+  auto t_arr = run.world.add<prim::RegArray>("lemma12.T");
+
+  for (int i = 0; i < n; ++i) {
+    int64_t input = inputs[static_cast<size_t>(i)];
+    // `ordering` and `opts` are captured BY VALUE: callers may pass
+    // temporaries, and the program lambdas outlive this function (they run
+    // when the scheduler drives the fibers).
+    run.sched.spawn(i, [&impl, ordering, &state, opts, m_arr, t_arr, i, n, input,
+                        object_range_end](sim::Ctx& ctx) {
+      // Step 1-2: announce the proposal.
+      int64_t t = 0;
+      ctx.world->get(m_arr).write(ctx, static_cast<size_t>(i), num(input));
+
+      // Step 3: run prop_i on A, bumping T[i] before each step of A.
+      ctx.pre_step_hook = [m_arr, t_arr, i, &t](sim::Ctx& c) {
+        ++t;
+        c.world->get(t_arr).write(c, static_cast<size_t>(i), num(t));
+      };
+      std::vector<Val> resps;
+      for (const verify::Invocation& inv : ordering.prop(i)) {
+        resps.push_back(impl.apply(ctx, inv));
+      }
+      ctx.pre_step_hook = nullptr;
+
+      // Steps 4-5: stabilised double collect of T around a collect of R.
+      auto collect_t = [&](std::vector<Val>& out) {
+        out.clear();
+        for (int j = 0; j < n; ++j) {
+          out.push_back(ctx.world->get(t_arr).read(ctx, static_cast<size_t>(j)));
+        }
+      };
+      std::vector<Val> t1;
+      std::vector<Val> t2;
+      std::vector<std::string> r(object_range_end);
+      for (;;) {
+        collect_t(t1);
+        for (size_t idx = 0; idx < object_range_end; ++idx) {
+          r[idx] = sim::read_object_state(ctx, idx);
+        }
+        collect_t(t2);
+        if (t1 == t2) break;
+      }
+
+      // Step 6: local (solo) simulation of dec_i from the collected states.
+      std::unique_ptr<sim::World> local = ctx.world->clone();
+      for (size_t idx = 0; idx < object_range_end; ++idx) {
+        local->at(idx).set_state_string(r[idx]);
+      }
+      sim::Ctx solo;
+      solo.world = local.get();
+      solo.sched = nullptr;
+      solo.hist = nullptr;
+      solo.self = i;
+      solo.solo_budget = opts.solo_step_budget;
+      bool simulated = true;
+      try {
+        for (const verify::Invocation& inv : ordering.dec(i)) {
+          resps.push_back(impl.apply(solo, inv));
+        }
+      } catch (const sim::SoloBudgetExceeded&) {
+        simulated = false;
+      }
+      state.solo_steps[static_cast<size_t>(i)] = solo.steps_taken;
+      if (!simulated) {
+        ++state.solo_budget_exhausted;
+        return;  // undecided: the local simulation did not terminate
+      }
+
+      // Step 7: decide the winner's announced proposal.
+      int winner = ordering.decide(i, resps);
+      if (winner < 0 || winner >= n) return;  // malformed responses: undecided
+      Val decision = ctx.world->get(m_arr).read(ctx, static_cast<size_t>(winner));
+      if (is_unit(decision)) return;  // winner never announced: undecided
+      state.decisions[static_cast<size_t>(i)] = as_num(decision);
+    });
+  }
+}
+
+Lemma12Result run_lemma12(int n, const OrderingObject& ordering,
+                          const std::vector<int64_t>& inputs,
+                          const std::function<std::unique_ptr<core::ConcurrentObject>(
+                              sim::World&)>& make_impl,
+                          sim::Strategy& strategy, uint64_t max_steps,
+                          const Lemma12Options& opts) {
+  Lemma12Result result;
+  sim::SimRun run(n);
+  std::unique_ptr<core::ConcurrentObject> impl = make_impl(run.world);
+  size_t object_range_end = run.world.size();
+  spawn_lemma12(run, *impl, object_range_end, ordering, inputs, result.state, opts);
+  auto run_result = run.sched.run(strategy, max_steps);
+  result.completed = run_result.all_done;
+  result.check = validate_agreement(inputs, result.state.decisions, ordering.k);
+  return result;
+}
+
+}  // namespace c2sl::agreement

@@ -1,0 +1,71 @@
+// Algorithm B of Lemma 12: k-set agreement from a lock-free strongly-
+// linearizable implementation A of a k-ordering object with readable base
+// objects.
+//
+// Process p_i with input x (paper, §5):
+//   1. t := 0
+//   2. M[i].write(x)
+//   3. execute prop_i on A, writing T[i] := ++t immediately before EVERY base-
+//      object step of A (realised with the simulator's pre-step hook)
+//   4. do { t1 := collect(T); r := collect(R); t2 := collect(T) }
+//   5. while t1 != t2
+//   6. starting from the base-object states in r, locally simulate dec_i to
+//      completion (realised by cloning the world and installing r)
+//   7. return M[d(i, responses of steps 3 and 6)].read()
+//
+// The stabilised double collect guarantees r is a consistent snapshot of A's
+// base objects in SOME extension of the execution (Claim 13); strong
+// linearizability then pins the winner set S_alpha across all processes'
+// simulated extensions, giving k-agreement. Run over a merely-linearizable A
+// (e.g. the Herlihy–Wing queue) the same algorithm exhibits agreement
+// violations — the experiment behind Theorem 17.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agreement/k_set_agreement.h"
+#include "agreement/ordering.h"
+#include "core/object_api.h"
+#include "sim/sim_run.h"
+
+namespace c2sl::agreement {
+
+struct Lemma12Options {
+  /// Step budget for the solo simulation of dec_i (step 6). Exhaustion marks
+  /// the process undecided — for a lock-free A this cannot happen (Claim 13);
+  /// for broken substrates it is reported instead of hanging.
+  uint64_t solo_step_budget = 200000;
+};
+
+struct Lemma12State {
+  std::vector<int64_t> decisions;     ///< per process; kUndecided if none
+  std::vector<uint64_t> solo_steps;   ///< steps used by each local simulation
+  int solo_budget_exhausted = 0;      ///< processes whose simulation ran dry
+};
+
+/// Spawns algorithm B's program on every process of `run`. `object_range_end`
+/// is the world size right after A (and everything below it) was created: the
+/// base-object set R is [0, object_range_end). `impl` must already live in
+/// run.world. Results land in `state` as the scheduler drives the run.
+void spawn_lemma12(sim::SimRun& run, core::ConcurrentObject& impl,
+                   size_t object_range_end, const OrderingObject& ordering,
+                   const std::vector<int64_t>& inputs, Lemma12State& state,
+                   const Lemma12Options& opts = {});
+
+/// Convenience: builds a SimRun, creates A via `make_impl`, runs algorithm B
+/// under the given strategy, and validates the outcome.
+struct Lemma12Result {
+  Lemma12State state;
+  AgreementCheck check;
+  bool completed = false;  ///< scheduler drained all programs within bounds
+};
+
+Lemma12Result run_lemma12(int n, const OrderingObject& ordering,
+                          const std::vector<int64_t>& inputs,
+                          const std::function<std::unique_ptr<core::ConcurrentObject>(
+                              sim::World&)>& make_impl,
+                          sim::Strategy& strategy, uint64_t max_steps,
+                          const Lemma12Options& opts = {});
+
+}  // namespace c2sl::agreement

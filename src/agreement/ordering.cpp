@@ -1,0 +1,122 @@
+#include "agreement/ordering.h"
+
+namespace c2sl::agreement {
+
+namespace {
+
+bool is_empty_marker(const Val& v) {
+  return std::holds_alternative<std::string>(v) && as_str(v) == "EMPTY";
+}
+
+/// d for queue-like objects: the sequence is OK^(prop_len) followed by one
+/// dequeue response; the winner is that response.
+int last_item_after_oks(const std::vector<Val>& resps, size_t prop_len) {
+  if (resps.size() != prop_len + 1) return -1;
+  const Val& item = resps.back();
+  if (!std::holds_alternative<int64_t>(item)) return -1;
+  return static_cast<int>(as_num(item));
+}
+
+/// d for stack-like objects: OK^(prop_len) then pops; winner is the last
+/// non-EMPTY pop response ("the non-eps element with largest subindex").
+int last_non_empty_pop(const std::vector<Val>& resps, size_t prop_len) {
+  int winner = -1;
+  for (size_t i = prop_len; i < resps.size(); ++i) {
+    if (std::holds_alternative<int64_t>(resps[i])) {
+      winner = static_cast<int>(as_num(resps[i]));
+    } else if (!is_empty_marker(resps[i])) {
+      return -1;
+    }
+  }
+  return winner;
+}
+
+}  // namespace
+
+OrderingObject queue_ordering(int n) {
+  OrderingObject o;
+  o.description = "queue (1-ordering)";
+  o.n = n;
+  o.k = 1;
+  o.prop = [](int i) { return std::vector<verify::Invocation>{{"Enq", num(i), i}}; };
+  o.dec = [](int i) { return std::vector<verify::Invocation>{{"Deq", unit(), i}}; };
+  o.decide = [](int, const std::vector<Val>& resps) {
+    return last_item_after_oks(resps, 1);
+  };
+  return o;
+}
+
+OrderingObject stack_ordering(int n) {
+  OrderingObject o;
+  o.description = "stack (1-ordering)";
+  o.n = n;
+  o.k = 1;
+  o.prop = [](int i) { return std::vector<verify::Invocation>{{"Push", num(i), i}}; };
+  o.dec = [n](int i) {
+    // n+1 pops: at most n pushes happened, so some pop returns EMPTY and the
+    // last non-EMPTY response is the FIRST push in the linearization.
+    std::vector<verify::Invocation> seq;
+    for (int j = 0; j < n + 1; ++j) seq.push_back({"Pop", unit(), i});
+    return seq;
+  };
+  o.decide = [](int, const std::vector<Val>& resps) {
+    return last_non_empty_pop(resps, 1);
+  };
+  return o;
+}
+
+OrderingObject multiplicity_queue_ordering(int n) {
+  OrderingObject o = queue_ordering(n);
+  o.description = "queue with multiplicity (1-ordering)";
+  return o;
+}
+
+OrderingObject stuttering_queue_ordering(int n, int m) {
+  OrderingObject o;
+  o.description = std::to_string(m) + "-stuttering queue (1-ordering)";
+  o.n = n;
+  o.k = 1;
+  o.prop = [m](int i) {
+    // m+1 enqueues: at least one is guaranteed to take effect.
+    std::vector<verify::Invocation> seq;
+    for (int j = 0; j < m + 1; ++j) seq.push_back({"Enq", num(i), i});
+    return seq;
+  };
+  o.dec = [](int i) { return std::vector<verify::Invocation>{{"Deq", unit(), i}}; };
+  o.decide = [m](int, const std::vector<Val>& resps) {
+    return last_item_after_oks(resps, static_cast<size_t>(m) + 1);
+  };
+  return o;
+}
+
+OrderingObject stuttering_stack_ordering(int n, int m) {
+  OrderingObject o;
+  o.description = std::to_string(m) + "-stuttering stack (1-ordering)";
+  o.n = n;
+  o.k = 1;
+  o.prop = [m](int i) {
+    std::vector<verify::Invocation> seq;
+    for (int j = 0; j < m + 1; ++j) seq.push_back({"Push", num(i), i});
+    return seq;
+  };
+  o.dec = [n, m](int i) {
+    // n(m+1)+1 pops: at most n(m+1) pushes took effect.
+    std::vector<verify::Invocation> seq;
+    for (int j = 0; j < n * (m + 1) + 1; ++j) seq.push_back({"Pop", unit(), i});
+    return seq;
+  };
+  o.decide = [m](int, const std::vector<Val>& resps) {
+    return last_non_empty_pop(resps, static_cast<size_t>(m) + 1);
+  };
+  return o;
+}
+
+OrderingObject k_out_of_order_queue_ordering(int n, int k) {
+  OrderingObject o = queue_ordering(n);
+  o.description = std::to_string(k) + "-out-of-order queue (" + std::to_string(k) +
+                  "-ordering)";
+  o.k = k;
+  return o;
+}
+
+}  // namespace c2sl::agreement

@@ -1,0 +1,44 @@
+// k-ordering objects (paper §5, Definition 11) as data: per-process proposal
+// and decision invocation sequences plus the decision function d. The paper's
+// examples are provided as factories:
+//
+//   queues                 1-ordering   prop=Enq(i), dec=Deq, d = the item
+//   stacks                 1-ordering   prop=Push(i), dec=Pop^(n+1),
+//                                       d = last non-EMPTY response
+//   queues w/ multiplicity 1-ordering   same sequences as queues
+//   m-stuttering queues    1-ordering   prop=Enq(i)^(m+1), dec=Deq
+//   m-stuttering stacks    1-ordering   prop=Push(i)^(m+1), dec=Pop^(n(m+1)+1)
+//   k-out-of-order queues  k-ordering   prop=Enq(i), dec=Deq
+//
+// Proposal items are process INDICES: algorithm B turns the index winner into a
+// proposal value via its M array.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/spec.h"
+
+namespace c2sl::agreement {
+
+struct OrderingObject {
+  std::string description;
+  int n = 0;  ///< number of processes
+  int k = 1;  ///< the object is k-ordering
+  /// Proposal / decision invocation sequences per process index.
+  std::function<std::vector<verify::Invocation>(int i)> prop;
+  std::function<std::vector<verify::Invocation>(int i)> dec;
+  /// d(i, responses of prop_i followed by responses of dec_i) -> winner index.
+  /// Returns -1 if the responses are malformed (treated as undecided).
+  std::function<int(int i, const std::vector<Val>& resps)> decide;
+};
+
+OrderingObject queue_ordering(int n);
+OrderingObject stack_ordering(int n);
+OrderingObject multiplicity_queue_ordering(int n);
+OrderingObject stuttering_queue_ordering(int n, int m);
+OrderingObject stuttering_stack_ordering(int n, int m);
+OrderingObject k_out_of_order_queue_ordering(int n, int k);
+
+}  // namespace c2sl::agreement

@@ -1,0 +1,89 @@
+#include "baselines/aadgms_snapshot.h"
+
+#include "util/assert.h"
+
+namespace c2sl::baselines {
+
+// Cell encoding inside one register Val: [value, seq, view_0 .. view_{n-1}].
+
+AadgmsSnapshot::AadgmsSnapshot(sim::World& world, const std::string& name, int n)
+    : name_(name), n_(n) {
+  C2SL_CHECK(n > 0, "snapshot needs at least one process");
+  regs_ = world.add<prim::RegArray>(name + ".R");
+}
+
+AadgmsSnapshot::Cell AadgmsSnapshot::read_cell(sim::Ctx& ctx, int i) {
+  Val raw = ctx.world->get(regs_).read(ctx, static_cast<size_t>(i));
+  Cell c;
+  c.view.assign(static_cast<size_t>(n_), 0);
+  if (is_unit(raw)) return c;  // initial: value 0, seq 0, zero view
+  const std::vector<int64_t>& enc = as_vec(raw);
+  C2SL_ASSERT(enc.size() == static_cast<size_t>(n_) + 2);
+  c.value = enc[0];
+  c.seq = enc[1];
+  c.view.assign(enc.begin() + 2, enc.end());
+  return c;
+}
+
+void AadgmsSnapshot::write_cell(sim::Ctx& ctx, int i, const Cell& c) {
+  std::vector<int64_t> enc;
+  enc.reserve(c.view.size() + 2);
+  enc.push_back(c.value);
+  enc.push_back(c.seq);
+  enc.insert(enc.end(), c.view.begin(), c.view.end());
+  ctx.world->get(regs_).write(ctx, static_cast<size_t>(i), vec(enc));
+}
+
+void AadgmsSnapshot::update(sim::Ctx& ctx, int64_t v) {
+  C2SL_CHECK(ctx.self >= 0 && ctx.self < n_, "process id out of range");
+  std::vector<int64_t> embedded = scan(ctx);
+  Cell old = read_cell(ctx, ctx.self);
+  Cell fresh;
+  fresh.value = v;
+  fresh.seq = old.seq + 1;
+  fresh.view = embedded;
+  write_cell(ctx, ctx.self, fresh);
+}
+
+std::vector<int64_t> AadgmsSnapshot::scan(sim::Ctx& ctx) {
+  std::vector<int> moved(static_cast<size_t>(n_), 0);
+  std::vector<Cell> first(static_cast<size_t>(n_));
+  for (;;) {
+    for (int i = 0; i < n_; ++i) first[static_cast<size_t>(i)] = read_cell(ctx, i);
+    std::vector<Cell> second(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i) second[static_cast<size_t>(i)] = read_cell(ctx, i);
+
+    bool clean = true;
+    for (int i = 0; i < n_; ++i) {
+      if (first[static_cast<size_t>(i)].seq != second[static_cast<size_t>(i)].seq) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      std::vector<int64_t> view(static_cast<size_t>(n_));
+      for (int i = 0; i < n_; ++i) view[static_cast<size_t>(i)] = second[static_cast<size_t>(i)].value;
+      return view;
+    }
+    for (int i = 0; i < n_; ++i) {
+      if (first[static_cast<size_t>(i)].seq != second[static_cast<size_t>(i)].seq) {
+        if (++moved[static_cast<size_t>(i)] >= 2) {
+          // i completed an entire update during this scan: borrow its view.
+          return second[static_cast<size_t>(i)].view;
+        }
+      }
+    }
+  }
+}
+
+Val AadgmsSnapshot::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Update") {
+    update(ctx, as_num(inv.args));
+    return unit();
+  }
+  if (inv.name == "Scan") return vec(scan(ctx));
+  C2SL_CHECK(false, "unknown snapshot operation: " + inv.name);
+  return unit();
+}
+
+}  // namespace c2sl::baselines

@@ -1,0 +1,55 @@
+// AADGMS single-writer atomic snapshot from single-writer registers
+// (Afek, Attiya, Dolev, Gafni, Merritt, Shavit — J.ACM 1993, the paper's [1]).
+//
+// This is the implementation Golab–Higham–Woelfel [16] originally used to show
+// that linearizability does not suffice for randomized programs: it is
+// wait-free and linearizable, but NOT strongly linearizable. It is included as
+// the second negative exhibit for the model checker, and as the read/write
+// comparison point for the §3.2 SnapshotFAA benchmarks.
+//
+// Algorithm: register R[i] holds (value, seq, embedded view) written only by
+// process i.
+//   update_i(v): view := scan(); R[i] := (v, seq+1, view)
+//   scan():      repeatedly double-collect; a clean double collect (no sequence
+//                number changed) returns the collected values; otherwise, a
+//                process observed to move TWICE has completed a full embedded
+//                update during this scan, and its embedded view is returned
+//                ("borrowed").
+// Wait-freedom: after n+1 unclean double collects some process moved twice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/object_api.h"
+#include "primitives/arrays.h"
+
+namespace c2sl::baselines {
+
+class AadgmsSnapshot : public core::ConcurrentObject, public core::SnapshotIface {
+ public:
+  AadgmsSnapshot(sim::World& world, const std::string& name, int n);
+
+  void update(sim::Ctx& ctx, int64_t v) override;
+  std::vector<int64_t> scan(sim::Ctx& ctx) override;
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+  int n() const { return n_; }
+
+ private:
+  struct Cell {
+    int64_t value = 0;
+    int64_t seq = 0;
+    std::vector<int64_t> view;
+  };
+  Cell read_cell(sim::Ctx& ctx, int i);
+  void write_cell(sim::Ctx& ctx, int i, const Cell& c);
+
+  std::string name_;
+  int n_;
+  sim::Handle<prim::RegArray> regs_;  // R[i]: single-writer (writer == i)
+};
+
+}  // namespace c2sl::baselines

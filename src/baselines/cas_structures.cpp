@@ -1,0 +1,199 @@
+#include "baselines/cas_structures.h"
+
+#include "util/assert.h"
+
+namespace c2sl::baselines {
+
+namespace {
+
+std::vector<int64_t> items_of(const Val& v) {
+  if (is_unit(v)) return {};
+  return as_vec(v);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- CasQueue
+
+CasQueue::CasQueue(sim::World& world, const std::string& name) : name_(name) {
+  state_ = world.add<prim::CasReg>(name + ".state", vec({}));
+}
+
+Val CasQueue::enq(sim::Ctx& ctx, int64_t x) {
+  prim::CasReg& st = ctx.world->get(state_);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> items = items_of(cur);
+    items.push_back(x);
+    if (st.compare_and_swap(ctx, cur, vec(items))) return str("OK");
+  }
+}
+
+Val CasQueue::deq(sim::Ctx& ctx) {
+  prim::CasReg& st = ctx.world->get(state_);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> items = items_of(cur);
+    if (items.empty()) return str("EMPTY");  // linearizes at the read above
+    int64_t front = items.front();
+    items.erase(items.begin());
+    if (st.compare_and_swap(ctx, cur, vec(items))) return num(front);
+  }
+}
+
+Val CasQueue::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Enq") return enq(ctx, as_num(inv.args));
+  if (inv.name == "Deq") return deq(ctx);
+  C2SL_CHECK(false, "unknown queue operation: " + inv.name);
+  return unit();
+}
+
+// -------------------------------------------------------------------- CasStack
+
+CasStack::CasStack(sim::World& world, const std::string& name) : name_(name) {
+  state_ = world.add<prim::CasReg>(name + ".state", vec({}));
+}
+
+Val CasStack::push(sim::Ctx& ctx, int64_t x) {
+  prim::CasReg& st = ctx.world->get(state_);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> items = items_of(cur);
+    items.push_back(x);  // back == top
+    if (st.compare_and_swap(ctx, cur, vec(items))) return str("OK");
+  }
+}
+
+Val CasStack::pop(sim::Ctx& ctx) {
+  prim::CasReg& st = ctx.world->get(state_);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> items = items_of(cur);
+    if (items.empty()) return str("EMPTY");
+    int64_t top = items.back();
+    items.pop_back();
+    if (st.compare_and_swap(ctx, cur, vec(items))) return num(top);
+  }
+}
+
+Val CasStack::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Push") return push(ctx, as_num(inv.args));
+  if (inv.name == "Pop") return pop(ctx);
+  C2SL_CHECK(false, "unknown stack operation: " + inv.name);
+  return unit();
+}
+
+// ----------------------------------------------------------- StutteringCasQueue
+
+StutteringCasQueue::StutteringCasQueue(sim::World& world, const std::string& name, int m)
+    : name_(name), m_(m) {
+  C2SL_CHECK(m >= 1, "m must be at least 1");
+  state_ = world.add<prim::CasReg>(name + ".state", vec({0, 0}));
+  op_counter_ = world.add<prim::LocalStore<int64_t>>(name + ".opctr",
+                                                     /*n=*/64, int64_t{0});
+}
+
+bool StutteringCasQueue::wants_stutter(sim::Ctx& ctx) {
+  int64_t& ctr = ctx.world->get(op_counter_).local(ctx);
+  uint64_t mix = static_cast<uint64_t>(ctx.self) * 0x9e3779b97f4a7c15ULL +
+                 static_cast<uint64_t>(ctr) * 0x94d049bb133111ebULL;
+  ++ctr;
+  return (mix >> 17) % 2 == 0;
+}
+
+Val StutteringCasQueue::enq(sim::Ctx& ctx, int64_t x) {
+  prim::CasReg& st = ctx.world->get(state_);
+  bool try_stutter = wants_stutter(ctx);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> enc = as_vec(cur);
+    int64_t ec = enc[0];
+    std::vector<int64_t> next = enc;
+    if (try_stutter && ec < m_) {
+      next[0] = ec + 1;  // no-op enqueue, budget consumed
+    } else {
+      next[0] = 0;
+      next.push_back(x);
+    }
+    if (st.compare_and_swap(ctx, cur, vec(next))) return str("OK");
+  }
+}
+
+Val StutteringCasQueue::deq(sim::Ctx& ctx) {
+  prim::CasReg& st = ctx.world->get(state_);
+  bool try_stutter = wants_stutter(ctx);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> enc = as_vec(cur);
+    int64_t dc = enc[1];
+    if (enc.size() == 2) return str("EMPTY");
+    int64_t front = enc[2];
+    std::vector<int64_t> next = enc;
+    if (try_stutter && dc < m_) {
+      next[1] = dc + 1;  // return the front but do not remove it
+    } else {
+      next[1] = 0;
+      next.erase(next.begin() + 2);
+    }
+    if (st.compare_and_swap(ctx, cur, vec(next))) return num(front);
+  }
+}
+
+Val StutteringCasQueue::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Enq") return enq(ctx, as_num(inv.args));
+  if (inv.name == "Deq") return deq(ctx);
+  C2SL_CHECK(false, "unknown queue operation: " + inv.name);
+  return unit();
+}
+
+// ---------------------------------------------------------- KOutOfOrderCasQueue
+
+KOutOfOrderCasQueue::KOutOfOrderCasQueue(sim::World& world, const std::string& name,
+                                         int k)
+    : name_(name), k_(k) {
+  C2SL_CHECK(k >= 1, "k must be at least 1");
+  state_ = world.add<prim::CasReg>(name + ".state", vec({}));
+  op_counter_ = world.add<prim::LocalStore<int64_t>>(name + ".opctr",
+                                                     /*n=*/64, int64_t{0});
+}
+
+Val KOutOfOrderCasQueue::enq(sim::Ctx& ctx, int64_t x) {
+  prim::CasReg& st = ctx.world->get(state_);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> items = items_of(cur);
+    items.push_back(x);
+    if (st.compare_and_swap(ctx, cur, vec(items))) return str("OK");
+  }
+}
+
+Val KOutOfOrderCasQueue::deq(sim::Ctx& ctx) {
+  prim::CasReg& st = ctx.world->get(state_);
+  int64_t& ctr = ctx.world->get(op_counter_).local(ctx);
+  for (;;) {
+    Val cur = st.read(ctx);
+    std::vector<int64_t> items = items_of(cur);
+    if (items.empty()) return str("EMPTY");
+    // Deterministic choice among the k oldest: mix process id and an
+    // operation counter so different deqs spread over the window.
+    size_t window = std::min<size_t>(items.size(), static_cast<size_t>(k_));
+    uint64_t mix = static_cast<uint64_t>(ctx.self) * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint64_t>(ctr) * 0xbf58476d1ce4e5b9ULL;
+    size_t pick = static_cast<size_t>(mix % window);
+    int64_t item = items[pick];
+    items.erase(items.begin() + static_cast<ptrdiff_t>(pick));
+    if (st.compare_and_swap(ctx, cur, vec(items))) {
+      ++ctr;
+      return num(item);
+    }
+  }
+}
+
+Val KOutOfOrderCasQueue::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Enq") return enq(ctx, as_num(inv.args));
+  if (inv.name == "Deq") return deq(ctx);
+  C2SL_CHECK(false, "unknown queue operation: " + inv.name);
+  return unit();
+}
+
+}  // namespace c2sl::baselines

@@ -1,0 +1,107 @@
+// Lock-free queue, stack and k-out-of-order queue from compare&swap — the
+// universal-primitive comparison points for §5.
+//
+// Each keeps its abstract state in one CAS register (Herlihy's universal
+// "small object" construction specialised): an operation reads the state,
+// computes the successor locally, and installs it with compare&swap, retrying
+// on interference. Every successful operation linearizes at its own successful
+// CAS; a Deq/Pop that observes the empty state linearizes at that read. All
+// linearization points are fixed steps of the operation itself, so the induced
+// linearization function is prefix-closed — these implementations are strongly
+// linearizable, which the bounded model checker confirms
+// (tests/strong_lin_positive_test.cpp).
+//
+// Their existence is NOT in tension with Theorem 17: compare&swap has infinite
+// consensus number. They are exactly what the paper contrasts against — and
+// they are the strongly-linearizable k-ordering objects that algorithm B
+// (Lemma 12) turns into consensus / k-set agreement.
+//
+// The k-out-of-order queue's Deq picks deterministically (a hash of process id
+// and a per-process counter) among the k oldest items, so executions remain a
+// deterministic function of the schedule while exercising the relaxed spec.
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/local.h"
+#include "primitives/swap_cas.h"
+
+namespace c2sl::baselines {
+
+class CasQueue : public core::ConcurrentObject {
+ public:
+  CasQueue(sim::World& world, const std::string& name);
+
+  Val enq(sim::Ctx& ctx, int64_t x);
+  Val deq(sim::Ctx& ctx);  ///< returns item or "EMPTY"
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  sim::Handle<prim::CasReg> state_;  // holds the item sequence as a vector Val
+};
+
+class CasStack : public core::ConcurrentObject {
+ public:
+  CasStack(sim::World& world, const std::string& name);
+
+  Val push(sim::Ctx& ctx, int64_t x);
+  Val pop(sim::Ctx& ctx);  ///< returns item or "EMPTY"
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  sim::Handle<prim::CasReg> state_;
+};
+
+/// m-stuttering queue (§5) from CAS: the whole state [enq_stutters,
+/// deq_stutters, items...] lives in one CAS register; an operation decides
+/// deterministically (hash of process id and per-process counter) whether to
+/// stutter, within the spec's budget of m consecutive stutters per type.
+/// Strongly linearizable for the same single-CAS reason as CasQueue.
+class StutteringCasQueue : public core::ConcurrentObject {
+ public:
+  StutteringCasQueue(sim::World& world, const std::string& name, int m);
+
+  Val enq(sim::Ctx& ctx, int64_t x);
+  Val deq(sim::Ctx& ctx);
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+  int m() const { return m_; }
+
+ private:
+  bool wants_stutter(sim::Ctx& ctx);
+
+  std::string name_;
+  int m_;
+  sim::Handle<prim::CasReg> state_;  // [ec, dc, items...]
+  sim::Handle<prim::LocalStore<int64_t>> op_counter_;
+};
+
+class KOutOfOrderCasQueue : public core::ConcurrentObject {
+ public:
+  KOutOfOrderCasQueue(sim::World& world, const std::string& name, int k);
+
+  Val enq(sim::Ctx& ctx, int64_t x);
+  Val deq(sim::Ctx& ctx);
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+  int k() const { return k_; }
+
+ private:
+  std::string name_;
+  int k_;
+  sim::Handle<prim::CasReg> state_;
+  sim::Handle<prim::LocalStore<int64_t>> op_counter_;
+};
+
+}  // namespace c2sl::baselines

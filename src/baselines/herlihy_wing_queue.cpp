@@ -1,0 +1,36 @@
+#include "baselines/herlihy_wing_queue.h"
+
+#include "util/assert.h"
+
+namespace c2sl::baselines {
+
+HerlihyWingQueue::HerlihyWingQueue(sim::World& world, const std::string& name)
+    : name_(name) {
+  tail_ = world.add<prim::FetchAddInt>(name + ".tail");
+  items_ = world.add<prim::SwapRegArray>(name + ".items");
+}
+
+Val HerlihyWingQueue::enq(sim::Ctx& ctx, int64_t x) {
+  int64_t i = ctx.world->get(tail_).fetch_add(ctx, 1);
+  ctx.world->get(items_).write(ctx, static_cast<size_t>(i), num(x));
+  return str("OK");
+}
+
+Val HerlihyWingQueue::deq(sim::Ctx& ctx) {
+  for (;;) {
+    int64_t n = ctx.world->get(tail_).read(ctx);
+    for (int64_t i = 0; i < n; ++i) {
+      Val x = ctx.world->get(items_).swap(ctx, static_cast<size_t>(i), Val{});
+      if (!is_unit(x)) return x;
+    }
+  }
+}
+
+Val HerlihyWingQueue::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Enq") return enq(ctx, as_num(inv.args));
+  if (inv.name == "Deq") return deq(ctx);
+  C2SL_CHECK(false, "unknown queue operation: " + inv.name);
+  return unit();
+}
+
+}  // namespace c2sl::baselines

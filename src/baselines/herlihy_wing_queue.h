@@ -1,0 +1,46 @@
+// Herlihy–Wing queue — the classic linearizable queue from fetch&add + swap
+// (Herlihy & Wing 1990, §4; also Li [25]'s starting point). Base objects have
+// consensus number 2, exactly the regime of the paper's §5.
+//
+//   Enq(x): i = tail.fetch&add(1); items[i].write(x)
+//   Deq():  loop { n = tail.read(); for i in 0..n-1 { x = items[i].swap(bottom);
+//           if x != bottom return x } }
+//
+// Enq is wait-free (2 steps), Deq is lock-free and blocks while the queue is
+// empty (the original has no EMPTY response).
+//
+// This queue is linearizable but NOT strongly linearizable: after two Enqs have
+// claimed slots but not yet written them, which of them dequeues first depends
+// on the future, so no prefix-closed linearization function exists. Theorem 17
+// says no lock-free strongly-linearizable queue from these primitives can exist
+// at all; this implementation is the exhibit the checker refutes
+// (tests/strong_lin_negative_test.cpp) and the vehicle for the Lemma 12
+// agreement-violation demonstration (agreement tests and bench_agreement).
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/arrays.h"
+#include "primitives/faa.h"
+
+namespace c2sl::baselines {
+
+class HerlihyWingQueue : public core::ConcurrentObject {
+ public:
+  HerlihyWingQueue(sim::World& world, const std::string& name);
+
+  Val enq(sim::Ctx& ctx, int64_t x);
+  /// Blocks (loops) while the queue is empty, per the original algorithm.
+  Val deq(sim::Ctx& ctx);
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  sim::Handle<prim::FetchAddInt> tail_;
+  sim::Handle<prim::SwapRegArray> items_;
+};
+
+}  // namespace c2sl::baselines

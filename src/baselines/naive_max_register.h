@@ -1,0 +1,59 @@
+// The NAIVE register-based max register — a deliberately broken exhibit.
+//
+//   WriteMax(v): loop { cur = R.read(); if cur >= v return; R.write(v) }
+//   ReadMax():   R.read()
+//
+// This "obvious" algorithm is NOT linearizable: a writer holding a stale small
+// value can overwrite a larger value whose WriteMax already completed, causing
+// a new-old inversion for subsequent reads. The linearizability checker finds
+// the violation automatically on random schedules
+// (tests/baselines_test.cpp: NaiveMaxRegister.CheckerFindsNonLinearizable),
+// demonstrating that the verification tooling catches real algorithmic bugs —
+// and motivating why §3.1 needs fetch&add (or the per-process-register collect
+// of core::CollectMaxRegister) instead.
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/register.h"
+
+namespace c2sl::baselines {
+
+class NaiveRWMaxRegister : public core::ConcurrentObject, public core::MaxRegisterIface {
+ public:
+  NaiveRWMaxRegister(sim::World& world, const std::string& name) : name_(name) {
+    reg_ = world.add<prim::RWRegister>(name + ".R", num(0));
+  }
+
+  void write_max(sim::Ctx& ctx, int64_t v) override {
+    prim::RWRegister& r = ctx.world->get(reg_);
+    for (;;) {
+      int64_t cur = as_num(r.read(ctx));
+      if (cur >= v) return;
+      r.write(ctx, num(v));  // BUG: may overwrite a larger concurrent value
+    }
+  }
+
+  int64_t read_max(sim::Ctx& ctx) override {
+    return as_num(ctx.world->get(reg_).read(ctx));
+  }
+
+  std::string object_name() const override { return name_; }
+
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override {
+    if (inv.name == "WriteMax") {
+      write_max(ctx, as_num(inv.args));
+      return unit();
+    }
+    if (inv.name == "ReadMax") return num(read_max(ctx));
+    C2SL_CHECK(false, "unknown max register operation: " + inv.name);
+    return unit();
+  }
+
+ private:
+  std::string name_;
+  sim::Handle<prim::RWRegister> reg_;
+};
+
+}  // namespace c2sl::baselines

@@ -1,0 +1,38 @@
+#include "core/fetch_increment.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace c2sl::core {
+
+FetchIncrement::FetchIncrement(std::string name, ReadableTasArrayIface& ts, bool one_shot)
+    : name_(std::move(name)), ts_(ts), one_shot_(one_shot) {}
+
+int64_t FetchIncrement::fetch_and_increment(sim::Ctx& ctx) {
+  if (one_shot_) {
+    C2SL_CHECK(std::find(fai_callers_.begin(), fai_callers_.end(), ctx.self) ==
+                   fai_callers_.end(),
+               "one-shot fetch&increment invoked twice by process " +
+                   std::to_string(ctx.self));
+    fai_callers_.push_back(ctx.self);
+  }
+  for (size_t i = 0;; ++i) {
+    if (ts_.test_and_set(ctx, i) == 0) return static_cast<int64_t>(i);
+  }
+}
+
+int64_t FetchIncrement::read(sim::Ctx& ctx) {
+  for (size_t i = 0;; ++i) {
+    if (ts_.read(ctx, i) == 0) return static_cast<int64_t>(i);
+  }
+}
+
+Val FetchIncrement::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "FAI") return num(fetch_and_increment(ctx));
+  if (inv.name == "Read") return num(read(ctx));
+  C2SL_CHECK(false, "unknown fetch&increment operation: " + inv.name);
+  return unit();
+}
+
+}  // namespace c2sl::core

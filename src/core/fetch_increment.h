@@ -1,0 +1,47 @@
+// Lock-free strongly-linearizable readable fetch&increment from readable
+// test&set (paper §4.2, Theorem 9).
+//
+// Shared state: an infinite array M of readable test&set objects.
+//   fetch&increment(): apply test&set to M[0], M[1], ... in ascending order
+//                      until one returns 0; return its index.
+//   read():            read M[0], M[1], ... in ascending order until one reads
+//                      0; return its index.
+//
+// At all times the implemented value is the least index whose test&set is
+// still 0; every operation linearizes at the step where it obtains 0 — a fixed
+// step of its own, hence prefix-closed linearization (strong linearizability).
+// The implementation is lock-free: an operation can be delayed past index k
+// only because other fetch&increments completed k wins.
+//
+// The ONE-SHOT restriction (each process invokes fetch&increment at most once)
+// is wait-free with an n·(per-entry cost) step bound — this is the Afek–
+// Weisberger[–Weisman] one-shot fetch&increment the paper's related-work
+// section calls strongly linearizable; `one_shot` enforces the restriction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/object_api.h"
+
+namespace c2sl::core {
+
+class FetchIncrement : public ConcurrentObject, public FaiIface {
+ public:
+  /// `ts` must outlive this object.
+  FetchIncrement(std::string name, ReadableTasArrayIface& ts, bool one_shot = false);
+
+  int64_t fetch_and_increment(sim::Ctx& ctx) override;
+  int64_t read(sim::Ctx& ctx) override;
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  ReadableTasArrayIface& ts_;
+  bool one_shot_;
+  std::vector<sim::ProcId> fai_callers_;  // one-shot enforcement bookkeeping
+};
+
+}  // namespace c2sl::core

@@ -1,0 +1,48 @@
+// Wait-free strongly-linearizable max register from fetch&add (paper §3.1,
+// Theorem 1).
+//
+// One fetch&add register R packs an n-lane bit-interleaved array; process i's
+// lane holds, in unary, the largest value i has written. WriteMax(K) raises the
+// caller's lane from its previous local maximum to K with a single fetch&add
+// (and performs fetch&add(R, 0) when K is not larger — "not needed for
+// correctness, but it simplifies the linearization proof", §3.1, and it makes
+// every operation's linearization point *its own* fetch&add step). ReadMax is
+// fetch&add(R, 0) followed by local reconstruction of the lane maxima.
+//
+// Linearization point of every operation: its unique fetch&add step. The
+// points are fixed steps of the operation itself, so the induced linearization
+// function is prefix-closed — strong linearizability.
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/faa.h"
+#include "primitives/local.h"
+#include "util/interleave.h"
+
+namespace c2sl::core {
+
+class MaxRegisterFAA : public ConcurrentObject, public MaxRegisterIface {
+ public:
+  /// Creates the shared register and per-process bookkeeping in `world`.
+  MaxRegisterFAA(sim::World& world, const std::string& name, int n);
+
+  void write_max(sim::Ctx& ctx, int64_t v) override;
+  int64_t read_max(sim::Ctx& ctx) override;
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+  int n() const { return n_; }
+  /// Current bit-width of the packed register (for the §6 width ablation).
+  uint64_t register_bits(sim::Ctx& ctx);
+
+ private:
+  std::string name_;
+  int n_;
+  sim::Handle<prim::FetchAddBig> reg_;
+  sim::Handle<prim::LocalStore<uint64_t>> prev_local_max_;
+};
+
+}  // namespace c2sl::core

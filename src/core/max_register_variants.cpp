@@ -1,0 +1,123 @@
+#include "core/max_register_variants.h"
+
+#include "util/assert.h"
+
+namespace c2sl::core {
+
+namespace {
+
+Val dispatch_max_register(MaxRegisterIface& self, sim::Ctx& ctx,
+                          const verify::Invocation& inv) {
+  if (inv.name == "WriteMax") {
+    self.write_max(ctx, as_num(inv.args));
+    return unit();
+  }
+  if (inv.name == "ReadMax") {
+    return num(self.read_max(ctx));
+  }
+  C2SL_CHECK(false, "unknown max register operation: " + inv.name);
+  return unit();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- atomic
+
+AtomicMaxRegister::AtomicMaxRegister(sim::World& world, const std::string& name)
+    : name_(name) {
+  reg_ = world.add<prim::MaxRegObj>(name + ".mr");
+}
+
+void AtomicMaxRegister::write_max(sim::Ctx& ctx, int64_t v) {
+  ctx.world->get(reg_).write_max(ctx, v);
+}
+
+int64_t AtomicMaxRegister::read_max(sim::Ctx& ctx) {
+  return ctx.world->get(reg_).read_max(ctx);
+}
+
+Val AtomicMaxRegister::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  return dispatch_max_register(*this, ctx, inv);
+}
+
+// --------------------------------------------------------- bounded, registers
+
+BoundedRWMaxRegister::BoundedRWMaxRegister(sim::World& world, const std::string& name,
+                                           int64_t capacity)
+    : name_(name), capacity_(capacity) {
+  C2SL_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+             "capacity must be a power of two >= 2");
+  switches_ = world.add<prim::RegArray>(name + ".switches");
+}
+
+void BoundedRWMaxRegister::write_max(sim::Ctx& ctx, int64_t v) {
+  C2SL_CHECK(v >= 0 && v < capacity_, "value out of bounded max register range");
+  write_rec(ctx, 1, 0, capacity_, v);
+}
+
+void BoundedRWMaxRegister::write_rec(sim::Ctx& ctx, size_t node, int64_t lo, int64_t hi,
+                                     int64_t v) {
+  if (hi - lo == 1) return;  // leaf: the position itself encodes the value
+  int64_t mid = lo + (hi - lo) / 2;
+  prim::RegArray& sw = ctx.world->get(switches_);
+  if (v < mid) {
+    // A set switch means some value >= mid was already written; v is obsolete.
+    Val s = sw.read(ctx, node);
+    if (!is_unit(s) && as_num(s) == 1) return;
+    write_rec(ctx, 2 * node, lo, mid, v);
+  } else {
+    write_rec(ctx, 2 * node + 1, mid, hi, v);
+    sw.write(ctx, node, num(1));
+  }
+}
+
+int64_t BoundedRWMaxRegister::read_max(sim::Ctx& ctx) {
+  return read_rec(ctx, 1, 0, capacity_);
+}
+
+int64_t BoundedRWMaxRegister::read_rec(sim::Ctx& ctx, size_t node, int64_t lo,
+                                       int64_t hi) {
+  if (hi - lo == 1) return lo;
+  int64_t mid = lo + (hi - lo) / 2;
+  Val s = ctx.world->get(switches_).read(ctx, node);
+  if (!is_unit(s) && as_num(s) == 1) return read_rec(ctx, 2 * node + 1, mid, hi);
+  return read_rec(ctx, 2 * node, lo, mid);
+}
+
+Val BoundedRWMaxRegister::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  return dispatch_max_register(*this, ctx, inv);
+}
+
+// ------------------------------------------------------ unbounded, registers
+
+CollectMaxRegister::CollectMaxRegister(sim::World& world, const std::string& name, int n)
+    : name_(name), n_(n) {
+  C2SL_CHECK(n > 0, "max register needs at least one process");
+  own_max_ = world.add<prim::RegArray>(name + ".A");
+}
+
+void CollectMaxRegister::write_max(sim::Ctx& ctx, int64_t v) {
+  C2SL_CHECK(v >= 0, "max register values are non-negative");
+  C2SL_CHECK(ctx.self >= 0 && ctx.self < n_, "process id out of range");
+  prim::RegArray& arr = ctx.world->get(own_max_);
+  // Own register: single-writer, so read-then-write is race-free.
+  Val cur = arr.read(ctx, static_cast<size_t>(ctx.self));
+  if (!is_unit(cur) && as_num(cur) >= v) return;
+  arr.write(ctx, static_cast<size_t>(ctx.self), num(v));
+}
+
+int64_t CollectMaxRegister::read_max(sim::Ctx& ctx) {
+  prim::RegArray& arr = ctx.world->get(own_max_);
+  int64_t best = 0;
+  for (int i = 0; i < n_; ++i) {
+    Val v = arr.read(ctx, static_cast<size_t>(i));
+    if (!is_unit(v)) best = std::max(best, as_num(v));
+  }
+  return best;
+}
+
+Val CollectMaxRegister::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  return dispatch_max_register(*this, ctx, inv);
+}
+
+}  // namespace c2sl::core

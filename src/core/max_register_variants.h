@@ -1,0 +1,90 @@
+// Max register variants beyond the §3.1 fetch&add construction.
+//
+//  * AtomicMaxRegister — wraps the hypothetical atomic base object; the
+//    reference point every implementation is compared against.
+//  * BoundedRWMaxRegister — wait-free bounded max register from multi-writer
+//    registers, the plain Aspnes–Attiya–Censor binary-tree construction: a
+//    complete binary tree of switch bits over the value range; WriteMax
+//    descends towards its leaf, setting switches on right-turns bottom-up;
+//    ReadMax follows set switches greedily right. O(log capacity) steps per
+//    operation, linearizable (verified by random-schedule sweeps) — but NOT
+//    strongly linearizable: the model checker produces a witness
+//    (tests/strong_lin_negative_test.cpp). Helmi–Higham–Woelfel [18] prove
+//    bounded SL max registers from registers exist via a MODIFIED
+//    construction; the checker verdict documents why the modification is
+//    needed.
+//  * CollectMaxRegister — unbounded wait-free max register from single-writer
+//    registers: process i publishes its personal maximum in its own register;
+//    ReadMax collects all registers and returns the largest value (monotone
+//    values make the non-atomic collect linearizable). It is NOT strongly
+//    linearizable — Denysyuk–Woelfel [14] prove unbounded wait-free SL max
+//    registers from registers impossible — and the model checker exhibits the
+//    violation (tests/strong_lin_negative_test.cpp).
+//
+// (The tempting read-compare-rewrite register loop is not even linearizable —
+// see baselines::NaiveRWMaxRegister for the checker-caught counterexample.)
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/arrays.h"
+#include "primitives/atomic_objects.h"
+#include "primitives/register.h"
+
+namespace c2sl::core {
+
+class AtomicMaxRegister : public ConcurrentObject, public MaxRegisterIface {
+ public:
+  AtomicMaxRegister(sim::World& world, const std::string& name);
+
+  void write_max(sim::Ctx& ctx, int64_t v) override;
+  int64_t read_max(sim::Ctx& ctx) override;
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  sim::Handle<prim::MaxRegObj> reg_;
+};
+
+class BoundedRWMaxRegister : public ConcurrentObject, public MaxRegisterIface {
+ public:
+  /// Values are restricted to [0, capacity); capacity must be a power of two.
+  BoundedRWMaxRegister(sim::World& world, const std::string& name, int64_t capacity);
+
+  void write_max(sim::Ctx& ctx, int64_t v) override;
+  int64_t read_max(sim::Ctx& ctx) override;
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  void write_rec(sim::Ctx& ctx, size_t node, int64_t lo, int64_t hi, int64_t v);
+  int64_t read_rec(sim::Ctx& ctx, size_t node, int64_t lo, int64_t hi);
+
+  std::string name_;
+  int64_t capacity_;
+  sim::Handle<prim::RegArray> switches_;  // heap-indexed tree of 0/1 switches
+};
+
+class CollectMaxRegister : public ConcurrentObject, public MaxRegisterIface {
+ public:
+  CollectMaxRegister(sim::World& world, const std::string& name, int n);
+
+  void write_max(sim::Ctx& ctx, int64_t v) override;
+  int64_t read_max(sim::Ctx& ctx) override;
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  int n_;
+  sim::Handle<prim::RegArray> own_max_;  // A[i]: written only by process i
+};
+
+}  // namespace c2sl::core

@@ -1,0 +1,12 @@
+#include "core/object_api.h"
+
+namespace c2sl::core {
+
+Val invoke_recorded(sim::Ctx& ctx, ConcurrentObject& obj, const verify::Invocation& inv) {
+  sim::OpId id = ctx.begin_op(obj.object_name(), inv.name, inv.args);
+  Val resp = obj.apply(ctx, inv);
+  ctx.end_op(id, resp);
+  return resp;
+}
+
+}  // namespace c2sl::core

@@ -1,0 +1,69 @@
+// Public object API of the library.
+//
+// Every implemented concurrent object exposes two faces:
+//  * typed methods (write_max, scan, test_and_set, ...) — the natural API;
+//  * a uniform dynamic face, ConcurrentObject::apply(ctx, invocation), which
+//    lets generic harnesses (random-workload linearizability sweeps, execution-
+//    tree exploration, benchmarks) drive any object through one code path.
+//
+// Small capability interfaces (MaxRegisterIface, ReadableTasArrayIface,
+// FaiIface) express the paper's composition structure: Theorem 6's multi-shot
+// test&set is written against *a* max register and *an* array of readable
+// test&set objects, and Corollaries 7/8 are obtained by plugging in different
+// implementations of those capabilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/ctx.h"
+#include "verify/spec.h"
+
+namespace c2sl::core {
+
+class ConcurrentObject {
+ public:
+  virtual ~ConcurrentObject() = default;
+  /// Name under which operations are recorded in histories.
+  virtual std::string object_name() const = 0;
+  /// Dynamic dispatch of one operation; unknown names are precondition errors.
+  virtual Val apply(sim::Ctx& ctx, const verify::Invocation& inv) = 0;
+};
+
+/// Runs one operation with invocation/response recording in the history.
+Val invoke_recorded(sim::Ctx& ctx, ConcurrentObject& obj, const verify::Invocation& inv);
+
+/// Max register capability (WriteMax / ReadMax), values >= 0.
+class MaxRegisterIface {
+ public:
+  virtual ~MaxRegisterIface() = default;
+  virtual void write_max(sim::Ctx& ctx, int64_t v) = 0;
+  virtual int64_t read_max(sim::Ctx& ctx) = 0;
+};
+
+/// Infinite array of *readable* test&set objects.
+class ReadableTasArrayIface {
+ public:
+  virtual ~ReadableTasArrayIface() = default;
+  virtual int64_t test_and_set(sim::Ctx& ctx, size_t idx) = 0;
+  virtual int64_t read(sim::Ctx& ctx, size_t idx) = 0;
+};
+
+/// Readable fetch&increment capability.
+class FaiIface {
+ public:
+  virtual ~FaiIface() = default;
+  virtual int64_t fetch_and_increment(sim::Ctx& ctx) = 0;
+  virtual int64_t read(sim::Ctx& ctx) = 0;
+};
+
+/// n-component single-writer snapshot capability (the substrate of
+/// Algorithm 1; Theorem 3 requires a STRONGLY linearizable implementation).
+class SnapshotIface {
+ public:
+  virtual ~SnapshotIface() = default;
+  virtual void update(sim::Ctx& ctx, int64_t v) = 0;
+  virtual std::vector<int64_t> scan(sim::Ctx& ctx) = 0;
+};
+
+}  // namespace c2sl::core

@@ -1,0 +1,57 @@
+#include "core/readable_tas.h"
+
+#include "util/assert.h"
+
+namespace c2sl::core {
+
+ReadableTAS::ReadableTAS(sim::World& world, const std::string& name) : name_(name) {
+  ts_ = world.add<prim::TestAndSet>(name + ".ts", /*readable=*/false);
+  state_ = world.add<prim::RWRegister>(name + ".state", num(0));
+}
+
+int64_t ReadableTAS::test_and_set(sim::Ctx& ctx) {
+  int64_t v = ctx.world->get(ts_).test_and_set(ctx);
+  ctx.world->get(state_).write(ctx, num(1));
+  return v;
+}
+
+int64_t ReadableTAS::read(sim::Ctx& ctx) {
+  return as_num(ctx.world->get(state_).read(ctx));
+}
+
+Val ReadableTAS::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "TAS") return num(test_and_set(ctx));
+  if (inv.name == "Read") return num(read(ctx));
+  C2SL_CHECK(false, "unknown readable test&set operation: " + inv.name);
+  return unit();
+}
+
+ReadableTasArray::ReadableTasArray(sim::World& world, const std::string& name) {
+  ts_ = world.add<prim::TasArray>(name + ".ts", /*readable=*/false);
+  state_ = world.add<prim::RegArray>(name + ".state");
+}
+
+int64_t ReadableTasArray::test_and_set(sim::Ctx& ctx, size_t idx) {
+  int64_t v = ctx.world->get(ts_).test_and_set(ctx, idx);
+  ctx.world->get(state_).write(ctx, idx, num(1));
+  return v;
+}
+
+int64_t ReadableTasArray::read(sim::Ctx& ctx, size_t idx) {
+  Val v = ctx.world->get(state_).read(ctx, idx);
+  return is_unit(v) ? 0 : as_num(v);  // bottom == never set == 0
+}
+
+AtomicReadableTasArray::AtomicReadableTasArray(sim::World& world, const std::string& name) {
+  ts_ = world.add<prim::TasArray>(name + ".ts", /*readable=*/true);
+}
+
+int64_t AtomicReadableTasArray::test_and_set(sim::Ctx& ctx, size_t idx) {
+  return ctx.world->get(ts_).test_and_set(ctx, idx);
+}
+
+int64_t AtomicReadableTasArray::read(sim::Ctx& ctx, size_t idx) {
+  return ctx.world->get(ts_).read(ctx, idx);
+}
+
+}  // namespace c2sl::core

@@ -1,0 +1,70 @@
+// Wait-free strongly-linearizable READABLE test&set from plain test&set and one
+// read/write register (paper §4.1, Theorem 5).
+//
+// Shared state: a register `state` (init 0) and an n-process test&set `ts`.
+//   test&set(): v = ts.test&set(); state.write(1); return v
+//   read():     return state.read()
+//
+// Linearization (Thm 5 proof): reads linearize at their read of `state`; the
+// first write of 1 into `state` (event e) linearizes, in a batch, the test&set
+// operation op* that won `ts` followed by every test&set that had accessed `ts`
+// before e; later test&sets linearize at their `ts` access. All points are
+// schedule-determined and never move in extensions — prefix-closed.
+//
+// ReadableTasArray is the same construction applied index-wise over an infinite
+// array (used by Theorems 6 and 9); AtomicReadableTasArray is the *atomic base
+// object* version for the modular "(atomic) base objects" phrasing of Thm 6.
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/arrays.h"
+#include "primitives/register.h"
+#include "primitives/tas.h"
+
+namespace c2sl::core {
+
+class ReadableTAS : public ConcurrentObject {
+ public:
+  ReadableTAS(sim::World& world, const std::string& name);
+
+  int64_t test_and_set(sim::Ctx& ctx);
+  int64_t read(sim::Ctx& ctx);
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  sim::Handle<prim::TestAndSet> ts_;      // plain (non-readable) test&set
+  sim::Handle<prim::RWRegister> state_;
+};
+
+/// Theorem 5 lifted to an infinite array: base objects are a non-readable
+/// test&set array and a register array; entry k behaves as a readable test&set.
+class ReadableTasArray : public ReadableTasArrayIface {
+ public:
+  ReadableTasArray(sim::World& world, const std::string& name);
+
+  int64_t test_and_set(sim::Ctx& ctx, size_t idx) override;
+  int64_t read(sim::Ctx& ctx, size_t idx) override;
+
+ private:
+  sim::Handle<prim::TasArray> ts_;      // constructed non-readable
+  sim::Handle<prim::RegArray> state_;
+};
+
+/// Atomic readable test&set array — a plain base object, readable natively.
+class AtomicReadableTasArray : public ReadableTasArrayIface {
+ public:
+  AtomicReadableTasArray(sim::World& world, const std::string& name);
+
+  int64_t test_and_set(sim::Ctx& ctx, size_t idx) override;
+  int64_t read(sim::Ctx& ctx, size_t idx) override;
+
+ private:
+  sim::Handle<prim::TasArray> ts_;
+};
+
+}  // namespace c2sl::core

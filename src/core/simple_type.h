@@ -1,0 +1,128 @@
+// Wait-free strongly-linearizable SIMPLE TYPES from atomic snapshot
+// (paper §3.3, Algorithm 1, Theorems 3 and 4; Aspnes–Herlihy [7] construction,
+// strong linearizability by Ovens–Woelfel [27] / the paper's forward
+// simulation).
+//
+// A simple type is an object where every pair of operations either commutes or
+// one overwrites the other (counters, max registers, logical clocks,
+// union-sets, ...). The construction maintains a grow-only operation graph:
+//
+//   * Nodes (invocation, response, preceding[1..n]) live in a shared
+//     append-only arena; a node is immutable once published.
+//   * A snapshot object `root` holds, per process, (a pointer to) its latest
+//     node. Using the §3.2 strongly-linearizable SnapshotFAA here yields
+//     Theorem 4 ("any simple type from fetch&add") by composition.
+//
+//   execute_p(invoke):
+//     view := root.scan()                          (one snapshot step)
+//     G    := graph reachable from view            (one read step per node)
+//     S    := topological sort of lingraph(G)      (local computation)
+//     resp := response making S · invoke · resp valid
+//     publish node {invoke, resp, preceding := view}; root.update_p(node)
+//
+// lingraph(G) starts from the real-time partial order recorded in `preceding`
+// and inserts dominance edges (dominated before dominator) whenever they do
+// not close a cycle; `o1 dominated by o2` iff o2 overwrites o1 but not
+// vice-versa, or they overwrite each other and o1's process id is smaller
+// (Thm 3 proof). All topological sorts are deterministic (ascending node id /
+// Kahn with min-id), as required for replay-based exploration.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/object_api.h"
+#include "core/snapshot_faa.h"
+#include "sim/ctx.h"
+#include "sim/world.h"
+#include "verify/spec.h"
+
+namespace c2sl::core {
+
+/// Published operation node (immutable after append).
+struct STNode {
+  std::string inv_name;
+  Val inv_args;
+  sim::ProcId proc = -1;
+  Val resp;
+  std::vector<int64_t> preceding;  // node id + 1 per process; 0 == null
+};
+
+/// Shared append-only node storage. Appending a fully-initialised node is one
+/// step (a write to fresh memory); reading a published node is one step.
+class NodeArena : public sim::SimObject {
+ public:
+  NodeArena() = default;
+
+  int64_t append(sim::Ctx& ctx, const STNode& node);
+  STNode get(sim::Ctx& ctx, int64_t id);
+  size_t size() const { return nodes_.size(); }
+
+  std::unique_ptr<sim::SimObject> clone() const override;
+  std::string state_string() const override;
+  void set_state_string(const std::string& s) override;
+
+ private:
+  std::vector<STNode> nodes_;
+};
+
+/// `overwrites(o1, o2)` == executing o1 immediately before o2 does not change
+/// the configuration reached after o2.
+using OverwritesFn =
+    std::function<bool(const verify::Invocation& o1, const verify::Invocation& o2)>;
+
+class SimpleTypeObject : public ConcurrentObject {
+ public:
+  /// `spec` must be a deterministic sequential specification of the simple
+  /// type; `overwrites` its overwrite relation. Both must outlive the object.
+  /// The root snapshot is the §3.2 SnapshotFAA (the Theorem 4 composition).
+  SimpleTypeObject(sim::World& world, const std::string& name, int n,
+                   const verify::Spec& spec, OverwritesFn overwrites);
+
+  /// Backend-ablation constructor: runs Algorithm 1 over an externally-owned
+  /// snapshot (Theorem 3 holds only if `root` is strongly linearizable;
+  /// tests/simple_type_backend_test.cpp probes what breaks when it is not).
+  SimpleTypeObject(sim::World& world, const std::string& name, int n,
+                   const verify::Spec& spec, OverwritesFn overwrites,
+                   SnapshotIface& root);
+
+  std::string object_name() const override { return name_; }
+  /// Algorithm 1's execute_p.
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+  /// Number of published operation nodes (diagnostics / benchmarks).
+  size_t graph_size(sim::Ctx& ctx) const;
+
+ private:
+  bool dominated(const STNode& a, const STNode& b) const;  // a dominated by b
+
+  std::string name_;
+  int n_;
+  const verify::Spec& spec_;
+  OverwritesFn overwrites_;
+  std::unique_ptr<SnapshotFAA> owned_root_;  // default (Theorem 4) backend
+  SnapshotIface* root_ = nullptr;            // the backend actually in use
+  sim::Handle<NodeArena> arena_;
+};
+
+/// ----------------------------------------------------------------- instances
+/// Factory helpers wiring the specs from verify/specs.h with their overwrite
+/// relations. Returned objects allocate their shared state in `world`.
+
+std::unique_ptr<SimpleTypeObject> make_counter(sim::World& world, const std::string& name,
+                                               int n, const verify::Spec& spec);
+std::unique_ptr<SimpleTypeObject> make_max_register_st(sim::World& world,
+                                                       const std::string& name, int n,
+                                                       const verify::Spec& spec);
+std::unique_ptr<SimpleTypeObject> make_union_set(sim::World& world, const std::string& name,
+                                                 int n, const verify::Spec& spec);
+/// Logical clock: Join(v) advances to max(clock, v), Observe() reads. A Lamport
+/// tick is the (non-atomic) composition Join(Observe() + 1).
+std::unique_ptr<SimpleTypeObject> make_logical_clock(sim::World& world,
+                                                     const std::string& name, int n,
+                                                     const verify::Spec& spec);
+
+}  // namespace c2sl::core

@@ -1,0 +1,47 @@
+#include "core/sl_set.h"
+
+#include "util/assert.h"
+
+namespace c2sl::core {
+
+SLSet::SLSet(sim::World& world, const std::string& name, FaiIface& max)
+    : name_(name), max_(max) {
+  items_ = world.add<prim::RegArray>(name + ".Items");
+  ts_ = world.add<prim::TasArray>(name + ".TS", /*readable=*/false);
+}
+
+Val SLSet::put(sim::Ctx& ctx, int64_t x) {
+  int64_t m = max_.fetch_and_increment(ctx);
+  ctx.world->get(items_).write(ctx, static_cast<size_t>(m), num(x));
+  return str("OK");
+}
+
+Val SLSet::take(sim::Ctx& ctx) {
+  int64_t taken_old = 0;
+  int64_t max_old = 0;
+  for (;;) {
+    int64_t taken_new = 0;
+    int64_t max_new = max_.read(ctx);
+    for (int64_t c = 0; c < max_new; ++c) {
+      Val x = ctx.world->get(items_).read(ctx, static_cast<size_t>(c));
+      if (!is_unit(x)) {
+        if (ctx.world->get(ts_).test_and_set(ctx, static_cast<size_t>(c)) == 0) {
+          return x;
+        }
+        ++taken_new;  // slot already claimed by some other take
+      }
+    }
+    if (taken_new == taken_old && max_new == max_old) return str("EMPTY");
+    taken_old = taken_new;
+    max_old = max_new;
+  }
+}
+
+Val SLSet::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Put") return put(ctx, as_num(inv.args));
+  if (inv.name == "Take") return take(ctx);
+  C2SL_CHECK(false, "unknown set operation: " + inv.name);
+  return unit();
+}
+
+}  // namespace c2sl::core

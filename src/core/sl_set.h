@@ -1,0 +1,49 @@
+// Lock-free strongly-linearizable SET from test&set (paper §4.3, Algorithm 2,
+// Theorem 10).
+//
+// Shared state: Items — infinite array of read/write registers (init ⊥);
+// TS — infinite array of (plain) test&set objects; Max — a readable
+// fetch&increment object (itself built from readable test&set, Theorem 9).
+//
+//   Put(x):  m = Max.fetch&increment(); Items[m].write(x); return OK
+//   Take():  repeatedly sweep Items[0 .. Max.read()-1]; claim the first slot
+//            whose item is present and whose TS[c].test&set() returns 0;
+//            return EMPTY after two consecutive sweeps observe the same number
+//            of taken slots and the same Max (Algorithm 2's
+//            taken_old/max_old stabilisation check).
+//
+// The abstract set at any moment is { Items[c] : c < Max, Items[c] != ⊥,
+// TS[c] = 0 }. Puts linearize at their Items write, successful Takes at their
+// winning test&set, EMPTY Takes at their last Max read — all fixed steps,
+// hence prefix-closed linearization. Lock-free: a Take sweep can be invalidated
+// only by other Puts/Takes completing.
+#pragma once
+
+#include <string>
+
+#include "core/object_api.h"
+#include "primitives/arrays.h"
+
+namespace c2sl::core {
+
+class SLSet : public ConcurrentObject {
+ public:
+  /// `max` must outlive this object (Theorem 10 composes with Theorem 9's
+  /// fetch&increment; any FaiIface works).
+  SLSet(sim::World& world, const std::string& name, FaiIface& max);
+
+  Val put(sim::Ctx& ctx, int64_t x);
+  /// Returns the taken item, or the string "EMPTY".
+  Val take(sim::Ctx& ctx);
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  FaiIface& max_;
+  sim::Handle<prim::RegArray> items_;
+  sim::Handle<prim::TasArray> ts_;  // plain test&set
+};
+
+}  // namespace c2sl::core

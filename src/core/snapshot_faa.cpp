@@ -1,0 +1,54 @@
+#include "core/snapshot_faa.h"
+
+#include "util/assert.h"
+
+namespace c2sl::core {
+
+SnapshotFAA::SnapshotFAA(sim::World& world, const std::string& name, int n)
+    : name_(name), n_(n) {
+  C2SL_CHECK(n > 0, "snapshot needs at least one process");
+  reg_ = world.add<prim::FetchAddBig>(name + ".R");
+  prev_val_ = world.add<prim::LocalStore<BigInt>>(name + ".prevVal", n, BigInt(0));
+}
+
+void SnapshotFAA::update(sim::Ctx& ctx, int64_t v) {
+  C2SL_CHECK(v >= 0, "snapshot components are non-negative");
+  C2SL_CHECK(ctx.self >= 0 && ctx.self < n_, "process id out of range");
+  BigInt& prev = ctx.world->get(prev_val_).local(ctx);
+  BigInt next(v);
+  if (next == prev) {
+    ctx.world->get(reg_).fetch_add(ctx, BigInt(0));  // §3.2 step 1
+    return;
+  }
+  BigInt delta = lanes::binary_rewrite_delta(n_, ctx.self, prev, next);
+  ctx.world->get(reg_).fetch_add(ctx, delta);
+  prev = next;
+}
+
+std::vector<int64_t> SnapshotFAA::scan(sim::Ctx& ctx) {
+  BigInt snapshot = ctx.world->get(reg_).fetch_add(ctx, BigInt(0));
+  std::vector<int64_t> view(static_cast<size_t>(n_));
+  std::vector<BigInt> lane_values = lanes::all_binary_lanes(snapshot, n_);
+  for (int i = 0; i < n_; ++i) {
+    view[static_cast<size_t>(i)] = static_cast<int64_t>(lane_values[static_cast<size_t>(i)].to_u64());
+  }
+  return view;
+}
+
+Val SnapshotFAA::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Update") {
+    update(ctx, as_num(inv.args));
+    return unit();
+  }
+  if (inv.name == "Scan") {
+    return vec(scan(ctx));
+  }
+  C2SL_CHECK(false, "unknown snapshot operation: " + inv.name);
+  return unit();
+}
+
+uint64_t SnapshotFAA::register_bits(sim::Ctx& ctx) {
+  return ctx.world->get(reg_).peek().bit_length();
+}
+
+}  // namespace c2sl::core

@@ -1,0 +1,47 @@
+// Wait-free strongly-linearizable n-component single-writer atomic snapshot
+// from fetch&add (paper §3.2, Theorem 2).
+//
+// One fetch&add register R packs an n-lane bit-interleaved view: the lane of
+// process i holds the *binary* representation of its component. Update(v) by
+// process i computes posAdj (lane bits to set) and negAdj (lane bits to clear)
+// against its previous value and applies fetch&add(R, posAdj − negAdj) — one
+// atomic step; equal values still perform fetch&add(R, 0). Scan is
+// fetch&add(R, 0) plus local lane reconstruction.
+//
+// Linearization point of every operation: its unique fetch&add step (fixed,
+// owned by the operation), hence strong linearizability.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/object_api.h"
+#include "primitives/faa.h"
+#include "primitives/local.h"
+#include "util/interleave.h"
+
+namespace c2sl::core {
+
+class SnapshotFAA : public ConcurrentObject, public SnapshotIface {
+ public:
+  SnapshotFAA(sim::World& world, const std::string& name, int n);
+
+  /// Sets the calling process's component to v (>= 0).
+  void update(sim::Ctx& ctx, int64_t v) override;
+  /// Returns the full view, component i == latest update by process i.
+  std::vector<int64_t> scan(sim::Ctx& ctx) override;
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+  int n() const { return n_; }
+  uint64_t register_bits(sim::Ctx& ctx);
+
+ private:
+  std::string name_;
+  int n_;
+  sim::Handle<prim::FetchAddBig> reg_;
+  sim::Handle<prim::LocalStore<BigInt>> prev_val_;
+};
+
+}  // namespace c2sl::core

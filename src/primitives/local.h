@@ -1,0 +1,78 @@
+// Per-process local persistent state.
+//
+// Several constructions keep process-local variables across operations
+// (prevLocalMax in §3.1, prevVal in §3.2). Local state is not shared — reading
+// or writing it is not a base-object step — but it must live in the World so
+// that World::clone() (used by Lemma 12's local simulation and by the explorer)
+// carries it along. LocalStore<T> is a per-process array of T accessed only by
+// the owning process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/ctx.h"
+#include "sim/world.h"
+#include "util/assert.h"
+#include "util/bigint.h"
+#include "util/value.h"
+
+namespace c2sl::prim {
+
+namespace detail {
+
+inline std::string encode_local(int64_t v) { return std::to_string(v); }
+inline std::string encode_local(uint64_t v) { return std::to_string(v); }
+inline std::string encode_local(const BigInt& v) { return v.to_hex(); }
+inline std::string encode_local(const Val& v) { return encode_val(v); }
+
+inline void decode_local(const std::string& s, int64_t& out) { out = std::stoll(s); }
+inline void decode_local(const std::string& s, uint64_t& out) { out = std::stoull(s); }
+inline void decode_local(const std::string& s, BigInt& out) { out = BigInt::from_hex(s); }
+inline void decode_local(const std::string& s, Val& out) { out = decode_val(s); }
+
+}  // namespace detail
+
+template <typename T>
+class LocalStore : public sim::SimObject {
+ public:
+  LocalStore(int n, T initial) : cells_(static_cast<size_t>(n), initial) {}
+
+  /// Access the calling process's own cell; free (no step).
+  T& local(sim::Ctx& ctx) {
+    C2SL_ASSERT(ctx.self >= 0 && static_cast<size_t>(ctx.self) < cells_.size());
+    return cells_[static_cast<size_t>(ctx.self)];
+  }
+
+  std::unique_ptr<sim::SimObject> clone() const override {
+    auto c = std::make_unique<LocalStore<T>>(static_cast<int>(cells_.size()), cells_[0]);
+    c->cells_ = cells_;
+    return c;
+  }
+
+  std::string state_string() const override {
+    std::string out;
+    for (const T& cell : cells_) {
+      out += detail::encode_local(cell);
+      out += '\x1f';  // unit separator: cannot occur in the encodings above
+    }
+    return out;
+  }
+
+  void set_state_string(const std::string& s) override {
+    size_t start = 0;
+    size_t idx = 0;
+    while (start < s.size() && idx < cells_.size()) {
+      size_t sep = s.find('\x1f', start);
+      if (sep == std::string::npos) break;
+      detail::decode_local(s.substr(start, sep - start), cells_[idx]);
+      start = sep + 1;
+      ++idx;
+    }
+  }
+
+ private:
+  std::vector<T> cells_;
+};
+
+}  // namespace c2sl::prim

@@ -1,0 +1,16 @@
+// The primitives module is header-only; this translation unit exists so the
+// module builds as a static library and gets compile-checked on its own.
+#include "primitives/arrays.h"
+#include "primitives/faa.h"
+#include "primitives/local.h"
+#include "primitives/register.h"
+#include "primitives/swap_cas.h"
+#include "primitives/tas.h"
+
+namespace c2sl::prim {
+// Instantiate the LocalStore templates the library uses, as a compile check.
+template class LocalStore<int64_t>;
+template class LocalStore<uint64_t>;
+template class LocalStore<BigInt>;
+template class LocalStore<Val>;
+}  // namespace c2sl::prim

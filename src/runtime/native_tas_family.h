@@ -1,0 +1,153 @@
+// Native (std::atomic) variants of the §4 constructions:
+//   * NativeReadableTAS     (Thm 5):  exchange-based test&set + a state word;
+//   * NativeMultishotTAS    (Thm 6):  max register + readable test&set array;
+//   * NativeFetchIncrement  (Thm 9):  ascending scan over readable test&set;
+//   * NativeSet             (Thm 10): Algorithm 2 over the above.
+//
+// std::atomic provides the exact consensus-number-2 primitives the paper
+// assumes: exchange (test&set / swap) and fetch_add. CAS is never used.
+// Arrays are bounded (capacity fixed at construction) — in any finite run only
+// finitely many entries are touched; capacity exhaustion is a checked error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/native_max_register.h"
+#include "util/assert.h"
+
+namespace c2sl::rt {
+
+class NativeReadableTAS {
+ public:
+  /// Returns 0 to exactly one caller, then 1.
+  int64_t test_and_set() {
+    int64_t old = ts_.exchange(1, std::memory_order_seq_cst);
+    state_.store(1, std::memory_order_seq_cst);
+    return old;
+  }
+
+  int64_t read() const { return state_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<int64_t> ts_{0};     // the plain test&set (exchange)
+  std::atomic<int64_t> state_{0};  // the readable register
+};
+
+class NativeReadableTasArray {
+ public:
+  explicit NativeReadableTasArray(size_t capacity)
+      : cells_(std::make_unique<NativeReadableTAS[]>(capacity)), capacity_(capacity) {}
+
+  int64_t test_and_set(size_t idx) {
+    C2SL_CHECK(idx < capacity_, "test&set array capacity exhausted");
+    return cells_[idx].test_and_set();
+  }
+  int64_t read(size_t idx) const {
+    C2SL_CHECK(idx < capacity_, "test&set array capacity exhausted");
+    return cells_[idx].read();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::unique_ptr<NativeReadableTAS[]> cells_;
+  size_t capacity_;
+};
+
+class NativeMultishotTAS {
+ public:
+  /// Supports up to max_resets reset generations.
+  NativeMultishotTAS(int n, int64_t max_resets)
+      : curr_(n, max_resets + 1), ts_(static_cast<size_t>(max_resets) + 2) {}
+
+  int64_t test_and_set(int proc) {
+    (void)proc;
+    return ts_.test_and_set(index());
+  }
+  int64_t read() { return ts_.read(index()); }
+  void reset(int proc) {
+    size_t c = index();
+    if (ts_.read(c) == 1) {
+      curr_.write_max(proc, static_cast<int64_t>(c));  // logical curr := c + 1
+    }
+  }
+
+ private:
+  size_t index() { return static_cast<size_t>(curr_.read_max()) + 1; }
+
+  NativeMaxRegister64 curr_;
+  NativeReadableTasArray ts_;
+};
+
+class NativeFetchIncrement {
+ public:
+  explicit NativeFetchIncrement(size_t capacity) : cells_(capacity) {}
+
+  int64_t fetch_and_increment() {
+    for (size_t i = 0;; ++i) {
+      if (cells_.test_and_set(i) == 0) return static_cast<int64_t>(i);
+    }
+  }
+  int64_t read() const {
+    for (size_t i = 0;; ++i) {
+      if (cells_.read(i) == 0) return static_cast<int64_t>(i);
+    }
+  }
+
+ private:
+  NativeReadableTasArray cells_;
+};
+
+class NativeSet {
+ public:
+  static constexpr int64_t kEmpty = INT64_MIN;
+
+  explicit NativeSet(size_t capacity)
+      : max_(capacity),
+        items_(std::make_unique<std::atomic<int64_t>[]>(capacity)),
+        ts_(std::make_unique<std::atomic<int64_t>[]>(capacity)),
+        capacity_(capacity) {
+    for (size_t i = 0; i < capacity; ++i) {
+      items_[i].store(kEmpty, std::memory_order_relaxed);
+      ts_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void put(int64_t x) {
+    int64_t m = max_.fetch_and_increment();
+    C2SL_CHECK(m >= 0 && static_cast<size_t>(m) < capacity_, "set capacity exhausted");
+    items_[static_cast<size_t>(m)].store(x, std::memory_order_seq_cst);
+  }
+
+  /// Returns the taken item or kEmpty.
+  int64_t take() {
+    int64_t taken_old = 0;
+    int64_t max_old = 0;
+    for (;;) {
+      int64_t taken_new = 0;
+      int64_t max_new = max_.read();
+      for (int64_t c = 0; c < max_new; ++c) {
+        int64_t x = items_[static_cast<size_t>(c)].load(std::memory_order_seq_cst);
+        if (x != kEmpty) {
+          if (ts_[static_cast<size_t>(c)].exchange(1, std::memory_order_seq_cst) == 0) {
+            return x;
+          }
+          ++taken_new;
+        }
+      }
+      if (taken_new == taken_old && max_new == max_old) return kEmpty;
+      taken_old = taken_new;
+      max_old = max_new;
+    }
+  }
+
+ private:
+  NativeFetchIncrement max_;
+  std::unique_ptr<std::atomic<int64_t>[]> items_;
+  std::unique_ptr<std::atomic<int64_t>[]> ts_;
+  size_t capacity_;
+};
+
+}  // namespace c2sl::rt

@@ -1,0 +1,66 @@
+// Real-thread stress harness for the native constructions.
+//
+// Threads run operation loops; every operation draws an invocation sequence
+// number from one global seq_cst counter immediately before it starts and a
+// response number right after it returns. If op A's response number is smaller
+// than op B's invocation number, A really did complete before B began, so the
+// recorded intervals are a sound (conservative) real-time order for post-hoc
+// linearizability checking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace c2sl::rt {
+
+struct TimedOp {
+  int thread = 0;
+  std::string name;
+  int64_t arg = 0;
+  int64_t resp = 0;
+  uint64_t inv_seq = 0;
+  uint64_t resp_seq = 0;
+};
+
+/// Runs `threads` real threads; thread t executes ops_per_thread operations by
+/// calling `body(t, op_index)`, which performs one operation and returns its
+/// record (inv/resp sequence numbers are filled in by the harness).
+inline std::vector<TimedOp> run_stress(
+    int threads, int ops_per_thread,
+    const std::function<TimedOp(int thread, int op_index)>& body) {
+  std::atomic<uint64_t> clock{0};
+  std::atomic<int> start_gate{0};
+  std::vector<std::vector<TimedOp>> per_thread(static_cast<size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      start_gate.fetch_add(1);
+      while (start_gate.load() < threads) {
+      }  // barrier: maximise overlap
+      auto& out = per_thread[static_cast<size_t>(t)];
+      out.reserve(static_cast<size_t>(ops_per_thread));
+      for (int j = 0; j < ops_per_thread; ++j) {
+        uint64_t inv = clock.fetch_add(1, std::memory_order_seq_cst);
+        TimedOp op = body(t, j);
+        uint64_t resp = clock.fetch_add(1, std::memory_order_seq_cst);
+        op.thread = t;
+        op.inv_seq = inv;
+        op.resp_seq = resp;
+        out.push_back(op);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  std::vector<TimedOp> all;
+  for (auto& v : per_thread) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+}  // namespace c2sl::rt

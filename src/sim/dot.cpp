@@ -1,0 +1,52 @@
+#include "sim/dot.h"
+
+#include "sim/history.h"
+
+namespace c2sl::sim {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const ExecTree& tree, const DotOptions& opts) {
+  std::string out = "digraph exec_tree {\n  node [shape=box, fontsize=9];\n";
+  for (const ExecNode& node : tree.nodes) {
+    std::string label = "#" + std::to_string(node.id);
+    if (node.all_done) label += " (done)";
+    if (node.truncated) label += " (truncated)";
+    for (const Event& e : node.suffix) {
+      std::string line = to_string(e);
+      if (line.size() > opts.max_label_chars) {
+        line = line.substr(0, opts.max_label_chars) + "...";
+      }
+      label += "\\n" + escape(line);
+    }
+    out += "  n" + std::to_string(node.id) + " [label=\"" + label + "\"";
+    if (node.id == opts.highlight_node) {
+      out += ", style=filled, fillcolor=salmon";
+    } else if (node.all_done) {
+      out += ", style=filled, fillcolor=palegreen";
+    }
+    out += "];\n";
+  }
+  for (const ExecNode& node : tree.nodes) {
+    if (node.parent < 0) continue;
+    std::string edge_label = "p" + std::to_string(node.incoming.proc);
+    if (node.incoming.crash) edge_label += " CRASH";
+    out += "  n" + std::to_string(node.parent) + " -> n" + std::to_string(node.id) +
+           " [label=\"" + edge_label + "\", fontsize=8];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace c2sl::sim

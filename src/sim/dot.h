@@ -1,0 +1,22 @@
+// Graphviz export of execution trees — tooling for inspecting checker
+// counterexamples: each node shows the events appended on its incoming edge;
+// highlighted nodes mark a checker-reported witness.
+#pragma once
+
+#include <string>
+
+#include "sim/explorer.h"
+
+namespace c2sl::sim {
+
+struct DotOptions {
+  /// Node to highlight (e.g. StrongLinResult::witness_node); -1 for none.
+  int highlight_node = -1;
+  /// Trim event labels to this many characters per line.
+  size_t max_label_chars = 60;
+};
+
+/// Renders the tree in DOT format (pipe into `dot -Tsvg`).
+std::string to_dot(const ExecTree& tree, const DotOptions& opts = {});
+
+}  // namespace c2sl::sim

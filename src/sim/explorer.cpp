@@ -1,0 +1,130 @@
+#include "sim/explorer.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace c2sl::sim {
+
+std::vector<Event> ExecTree::history_at(int id) const {
+  std::vector<int> chain;
+  for (int cur = id; cur != -1; cur = nodes[static_cast<size_t>(cur)].parent) {
+    chain.push_back(cur);
+  }
+  std::reverse(chain.begin(), chain.end());
+  std::vector<Event> out;
+  for (int node : chain) {
+    const auto& sfx = nodes[static_cast<size_t>(node)].suffix;
+    out.insert(out.end(), sfx.begin(), sfx.end());
+  }
+  return out;
+}
+
+std::vector<Choice> ExecTree::path_to(int id) const {
+  std::vector<Choice> out;
+  for (int cur = id; cur != -1; cur = nodes[static_cast<size_t>(cur)].parent) {
+    if (nodes[static_cast<size_t>(cur)].parent != -1) {
+      out.push_back(nodes[static_cast<size_t>(cur)].incoming);
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  out.insert(out.begin(), prefix.begin(), prefix.end());
+  return out;
+}
+
+namespace {
+
+/// Replays `path` on a fresh SimRun and reports the resulting state.
+struct ReplayResult {
+  std::vector<Event> events;
+  std::vector<ProcId> runnable;
+  bool ok = true;  // false if an assertion-level problem occurred
+};
+
+ReplayResult replay(int n, const ScenarioFn& scenario, const std::vector<Choice>& path) {
+  ReplayResult res;
+  SimRun run(n);
+  scenario(run);
+  for (const Choice& c : path) {
+    run.sched.apply(c);
+  }
+  res.events = run.history.events();
+  res.runnable = run.sched.runnable();
+  return res;
+}
+
+}  // namespace
+
+ExecTree explore(int n, const ScenarioFn& scenario, const ExploreOptions& opts) {
+  ExecTree tree;
+  tree.prefix = opts.prefix;
+  tree.nodes.push_back(ExecNode{});
+
+  // Depth-first expansion with an explicit stack of node ids; each expansion
+  // replays the path (cost: O(nodes * depth) scheduler steps).
+  std::vector<int> stack = {0};
+  // Number of crashes along the path to each node (for the crash budget).
+  std::vector<int> crashes = {0};
+
+  {
+    ReplayResult root = replay(n, scenario, opts.prefix);
+    tree.nodes[0].suffix = root.events;
+    tree.nodes[0].all_done = root.runnable.empty();
+  }
+
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+
+    std::vector<Choice> path = tree.path_to(id);
+    ExecNode& node = tree.nodes[static_cast<size_t>(id)];
+    if (node.depth >= opts.max_depth) {
+      node.truncated = !node.all_done;
+      continue;
+    }
+
+    ReplayResult here = replay(n, scenario, path);
+    if (here.runnable.empty()) {
+      tree.nodes[static_cast<size_t>(id)].all_done = true;
+      continue;
+    }
+
+    std::vector<Choice> branches;
+    for (ProcId p : here.runnable) branches.push_back(Choice{p, false});
+    if (opts.include_crashes &&
+        crashes[static_cast<size_t>(id)] < opts.max_crashes &&
+        here.runnable.size() > 1) {
+      for (ProcId p : here.runnable) branches.push_back(Choice{p, true});
+    }
+
+    for (const Choice& c : branches) {
+      if (tree.nodes.size() >= opts.max_nodes) {
+        tree.budget_exhausted = true;
+        tree.nodes[static_cast<size_t>(id)].truncated = true;
+        break;
+      }
+      std::vector<Choice> child_path = path;
+      child_path.push_back(c);
+      ReplayResult child = replay(n, scenario, child_path);
+
+      ExecNode child_node;
+      child_node.id = static_cast<int>(tree.nodes.size());
+      child_node.parent = id;
+      child_node.incoming = c;
+      child_node.depth = tree.nodes[static_cast<size_t>(id)].depth + 1;
+      child_node.all_done = child.runnable.empty();
+      C2SL_ASSERT(child.events.size() >= here.events.size());
+      child_node.suffix.assign(child.events.begin() +
+                                   static_cast<ptrdiff_t>(here.events.size()),
+                               child.events.end());
+      int child_id = child_node.id;
+      tree.nodes[static_cast<size_t>(id)].children.push_back(child_id);
+      tree.nodes.push_back(std::move(child_node));
+      crashes.push_back(crashes[static_cast<size_t>(id)] + (c.crash ? 1 : 0));
+      stack.push_back(child_id);
+    }
+  }
+  return tree;
+}
+
+}  // namespace c2sl::sim

@@ -1,0 +1,68 @@
+#include "sim/fiber.h"
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace c2sl::sim {
+
+Fiber::Fiber(std::function<void()> body, size_t stack_bytes)
+    : stack_(stack_bytes), body_(std::move(body)) {
+  C2SL_ASSERT(stack_bytes >= 16 * 1024);
+}
+
+Fiber::~Fiber() {
+  // Owners (the Scheduler) are responsible for unwinding unfinished fibers via
+  // crash injection before destruction; if they did not, the stack memory is
+  // still reclaimed here but destructors of objects on the fiber stack are
+  // skipped. The Scheduler's destructor guarantees this never happens in
+  // practice.
+}
+
+void Fiber::trampoline(unsigned int hi, unsigned int lo) {
+  auto addr = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(addr)->run_body();
+  // Returning from the trampoline resumes uc_link (== caller_).
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (const CrashUnwind&) {
+    // Crash injection: the process stops silently mid-operation.
+  } catch (...) {
+    exception_ = std::current_exception();
+  }
+  finished_ = true;
+}
+
+void Fiber::resume() {
+  C2SL_ASSERT_MSG(!finished_, "resume() on a finished fiber");
+  C2SL_ASSERT_MSG(!inside_, "resume() from inside the fiber");
+  inside_ = true;
+  if (!started_) {
+    started_ = true;
+    C2SL_ASSERT(getcontext(&self_) == 0);
+    self_.uc_stack.ss_sp = stack_.data();
+    self_.uc_stack.ss_size = stack_.size();
+    self_.uc_link = &caller_;
+    auto addr = reinterpret_cast<uintptr_t>(this);
+    makecontext(&self_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned int>(addr >> 32),
+                static_cast<unsigned int>(addr & 0xffffffffu));
+  }
+  C2SL_ASSERT(swapcontext(&caller_, &self_) == 0);
+  inside_ = false;
+  if (exception_) {
+    std::exception_ptr e = exception_;
+    exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+  C2SL_ASSERT_MSG(inside_, "yield() outside the fiber");
+  C2SL_ASSERT(swapcontext(&self_, &caller_) == 0);
+}
+
+}  // namespace c2sl::sim

@@ -1,0 +1,59 @@
+// Stackful cooperative fibers over POSIX ucontext.
+//
+// The simulator runs every simulated process on its own fiber so that the
+// paper's algorithms can be written as ordinary sequential code. Exactly one
+// fiber runs at a time; context switches happen only inside Ctx::gate(), which
+// makes every interleaving a deterministic function of the scheduler's choice
+// sequence — the property the replay-based explorer and the strong-
+// linearizability checker depend on.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <ucontext.h>
+#include <vector>
+
+namespace c2sl::sim {
+
+/// Thrown by Ctx::gate() to unwind a crashed process. Deliberately not derived
+/// from std::exception so that algorithm-level `catch (std::exception&)` blocks
+/// (none exist in this codebase, but defensively) cannot swallow it. The fiber
+/// trampoline catches it and marks the fiber finished; stack objects are
+/// destroyed by normal unwinding, so crash injection does not leak.
+struct CrashUnwind {};
+
+class Fiber {
+ public:
+  explicit Fiber(std::function<void()> body, size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches into the fiber; returns when the fiber calls yield() or its body
+  /// finishes. Must not be called on a finished fiber.
+  void resume();
+
+  /// Called from inside the fiber body: switches back to the resume() caller.
+  void yield();
+
+  bool finished() const { return finished_; }
+
+  /// Exception (other than CrashUnwind) that escaped the body, if any.
+  std::exception_ptr exception() const { return exception_; }
+
+ private:
+  static void trampoline(unsigned int hi, unsigned int lo);
+  void run_body();
+
+  ucontext_t self_{};
+  ucontext_t caller_{};
+  std::vector<char> stack_;
+  std::function<void()> body_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool inside_ = false;
+  std::exception_ptr exception_;
+};
+
+}  // namespace c2sl::sim

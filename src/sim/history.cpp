@@ -1,0 +1,87 @@
+#include "sim/history.h"
+
+#include "util/assert.h"
+
+namespace c2sl::sim {
+
+OpId History::invoke(ProcId proc, std::string object, std::string name, Val args) {
+  OpId id = static_cast<OpId>(op_count_++);
+  events_.push_back(Event{Event::Kind::kInvoke, proc, id, seq_++, std::move(object),
+                          std::move(name), std::move(args)});
+  return id;
+}
+
+void History::respond(ProcId proc, OpId op, Val resp) {
+  C2SL_ASSERT(op >= 0 && static_cast<size_t>(op) < op_count_);
+  events_.push_back(
+      Event{Event::Kind::kRespond, proc, op, seq_++, "", "", std::move(resp)});
+}
+
+void History::on_step(ProcId proc, const std::string& object, const std::string& desc) {
+  uint64_t seq = seq_++;
+  if (record_steps) {
+    events_.push_back(Event{Event::Kind::kStep, proc, -1, seq, object, desc, Val{}});
+  }
+}
+
+void History::crash(ProcId proc) {
+  events_.push_back(Event{Event::Kind::kCrash, proc, -1, seq_++, "", "", Val{}});
+}
+
+std::vector<OpRecord> History::operations() const {
+  std::vector<OpRecord> ops(op_count_);
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case Event::Kind::kInvoke: {
+        OpRecord& r = ops[static_cast<size_t>(e.op)];
+        r.id = e.op;
+        r.proc = e.proc;
+        r.object = e.object;
+        r.name = e.name;
+        r.args = e.payload;
+        r.inv_seq = e.seq;
+        break;
+      }
+      case Event::Kind::kRespond: {
+        OpRecord& r = ops[static_cast<size_t>(e.op)];
+        r.complete = true;
+        r.resp = e.payload;
+        r.resp_seq = e.seq;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return ops;
+}
+
+std::string to_string(const Event& e) {
+  std::string out = "p" + std::to_string(e.proc) + " ";
+  switch (e.kind) {
+    case Event::Kind::kInvoke:
+      out += "inv  " + e.object + "." + e.name + "(" + c2sl::to_string(e.payload) +
+             ") [op" + std::to_string(e.op) + "]";
+      break;
+    case Event::Kind::kRespond:
+      out += "resp op" + std::to_string(e.op) + " -> " + c2sl::to_string(e.payload);
+      break;
+    case Event::Kind::kStep:
+      out += "step " + e.object + (e.name.empty() ? "" : ": " + e.name);
+      break;
+    case Event::Kind::kCrash:
+      out += "CRASH";
+      break;
+  }
+  return out;
+}
+
+std::string History::to_string() const {
+  std::string out;
+  for (const Event& e : events_) {
+    out += "  @" + std::to_string(e.seq) + " " + sim::to_string(e) + "\n";
+  }
+  return out;
+}
+
+}  // namespace c2sl::sim

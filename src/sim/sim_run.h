@@ -1,0 +1,33 @@
+// SimRun bundles one complete simulated execution environment: a world of base
+// objects, a history, and a scheduler for n processes. Test drivers and
+// benchmarks construct a SimRun, let a scenario function create implementation
+// objects and spawn per-process programs, then drive the scheduler with a
+// strategy.
+#pragma once
+
+#include <functional>
+
+#include "sim/history.h"
+#include "sim/scheduler.h"
+#include "sim/world.h"
+
+namespace c2sl::sim {
+
+class SimRun {
+ public:
+  explicit SimRun(int n) : sched(world, history, n) {}
+
+  World world;
+  History history;
+  Scheduler sched;
+
+  Ctx& ctx(ProcId p) { return sched.ctx(p); }
+  int n() const { return sched.n(); }
+};
+
+/// A scenario creates implementation objects in the run's world and spawns the
+/// per-process programs. It must be deterministic: the explorer replays it many
+/// times and relies on identical behaviour for identical choice sequences.
+using ScenarioFn = std::function<void(SimRun&)>;
+
+}  // namespace c2sl::sim

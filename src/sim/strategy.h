@@ -1,0 +1,138 @@
+// Scheduling strategies — the adversaries of the model.
+//
+//  * RandomStrategy: uniform choice each step, optional crash probability with a
+//    crash budget (the classic strong adversary, sampled).
+//  * RoundRobinStrategy: fair rotation; the friendliest schedule.
+//  * ReplayStrategy: replays a recorded choice sequence exactly; used by the
+//    execution-tree explorer and for counterexample reproduction.
+//  * StarveStrategy: never schedules the victim while anyone else can move —
+//    the adversary used to separate wait-freedom (victim's operation still
+//    finishes in a bounded number of ITS OWN steps once scheduled) from
+//    lock-freedom (victim may starve while others complete infinitely often).
+//  * PriorityStrategy: a fixed priority order; drains high-priority processes
+//    first, giving maximally bursty schedules.
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace c2sl::sim {
+
+class RandomStrategy : public Strategy {
+ public:
+  explicit RandomStrategy(uint64_t seed, double crash_prob = 0.0, int max_crashes = 0)
+      : rng_(seed), crash_prob_(crash_prob), crashes_left_(max_crashes) {}
+
+  Choice choose(const Scheduler& sched, const std::vector<ProcId>& runnable) override {
+    (void)sched;
+    ProcId p = runnable[rng_.next_below(runnable.size())];
+    // Keep at least one process alive so executions always make progress.
+    if (crashes_left_ > 0 && runnable.size() > 1 && rng_.next_bool(crash_prob_)) {
+      --crashes_left_;
+      return Choice{p, /*crash=*/true};
+    }
+    return Choice{p, /*crash=*/false};
+  }
+
+ private:
+  Rng rng_;
+  double crash_prob_;
+  int crashes_left_;
+};
+
+class RoundRobinStrategy : public Strategy {
+ public:
+  Choice choose(const Scheduler& sched, const std::vector<ProcId>& runnable) override {
+    (void)sched;
+    for (ProcId p : runnable) {
+      if (p > last_) {
+        last_ = p;
+        return Choice{p, false};
+      }
+    }
+    last_ = runnable.front();
+    return Choice{last_, false};
+  }
+
+ private:
+  ProcId last_ = -1;
+};
+
+class ReplayStrategy : public Strategy {
+ public:
+  explicit ReplayStrategy(std::vector<Choice> choices) : choices_(std::move(choices)) {}
+
+  Choice choose(const Scheduler& sched, const std::vector<ProcId>& runnable) override {
+    (void)sched;
+    (void)runnable;
+    C2SL_ASSERT_MSG(pos_ < choices_.size(), "replay exhausted");
+    return choices_[pos_++];
+  }
+
+  size_t remaining() const { return choices_.size() - pos_; }
+
+ private:
+  std::vector<Choice> choices_;
+  size_t pos_ = 0;
+};
+
+class StarveStrategy : public Strategy {
+ public:
+  StarveStrategy(ProcId victim, uint64_t seed) : victim_(victim), rng_(seed) {}
+
+  Choice choose(const Scheduler& sched, const std::vector<ProcId>& runnable) override {
+    (void)sched;
+    std::vector<ProcId> others;
+    for (ProcId p : runnable) {
+      if (p != victim_) others.push_back(p);
+    }
+    if (others.empty()) return Choice{victim_, false};
+    return Choice{others[rng_.next_below(others.size())], false};
+  }
+
+ private:
+  ProcId victim_;
+  Rng rng_;
+};
+
+/// Wraps another strategy and records the chosen sequence — used to capture a
+/// replayable prefix for guided exploration (ExploreOptions::prefix).
+class RecordingStrategy : public Strategy {
+ public:
+  explicit RecordingStrategy(Strategy& inner) : inner_(inner) {}
+
+  Choice choose(const Scheduler& sched, const std::vector<ProcId>& runnable) override {
+    Choice c = inner_.choose(sched, runnable);
+    recorded_.push_back(c);
+    return c;
+  }
+
+  const std::vector<Choice>& recorded() const { return recorded_; }
+
+ private:
+  Strategy& inner_;
+  std::vector<Choice> recorded_;
+};
+
+class PriorityStrategy : public Strategy {
+ public:
+  explicit PriorityStrategy(std::vector<ProcId> order) : order_(std::move(order)) {}
+
+  Choice choose(const Scheduler& sched, const std::vector<ProcId>& runnable) override {
+    (void)sched;
+    for (ProcId p : order_) {
+      for (ProcId r : runnable) {
+        if (r == p) return Choice{p, false};
+      }
+    }
+    return Choice{runnable.front(), false};
+  }
+
+ private:
+  std::vector<ProcId> order_;
+};
+
+}  // namespace c2sl::sim

@@ -1,0 +1,27 @@
+#include "sim/world.h"
+
+namespace c2sl::sim {
+
+std::unique_ptr<World> World::clone() const {
+  auto w = std::make_unique<World>();
+  w->objects_.reserve(objects_.size());
+  for (const auto& obj : objects_) {
+    auto copy = obj->clone();
+    copy->set_name(obj->name());
+    w->objects_.push_back(std::move(copy));
+  }
+  return w;
+}
+
+std::string World::state_string() const {
+  std::string out;
+  for (const auto& obj : objects_) {
+    out += obj->name();
+    out += '=';
+    out += obj->state_string();
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace c2sl::sim

@@ -1,0 +1,47 @@
+// Internal assertion helpers for the c2sl library.
+//
+// The simulator and the verification tooling are only trustworthy if their own
+// invariants hold, so assertions stay enabled in every build configuration
+// (the top-level CMakeLists strips -DNDEBUG). C2SL_ASSERT aborts with a
+// source-located message; C2SL_CHECK throws, for conditions that depend on
+// caller input rather than internal logic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace c2sl {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "c2sl assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+/// Thrown by C2SL_CHECK on precondition violations caused by caller input.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace c2sl
+
+#define C2SL_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::c2sl::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define C2SL_ASSERT_MSG(expr, msg)                                    \
+  do {                                                                \
+    if (!(expr)) ::c2sl::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define C2SL_CHECK(expr, msg)                                             \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      throw ::c2sl::PreconditionError(std::string("c2sl precondition: ") + \
+                                      (msg));                             \
+  } while (0)

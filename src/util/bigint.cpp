@@ -1,0 +1,304 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "util/assert.h"
+
+namespace c2sl {
+
+namespace {
+constexpr uint64_t kLimbBits = 64;
+using u128 = unsigned __int128;
+}  // namespace
+
+BigInt::BigInt(int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  uint64_t mag = negative_ ? (~static_cast<uint64_t>(v) + 1) : static_cast<uint64_t>(v);
+  mag_.push_back(mag);
+}
+
+BigInt BigInt::from_u64(uint64_t v) {
+  BigInt r;
+  if (v != 0) r.mag_.push_back(v);
+  return r;
+}
+
+BigInt BigInt::pow2(uint64_t bit) {
+  BigInt r;
+  r.mag_.assign(bit / kLimbBits + 1, 0);
+  r.mag_.back() = uint64_t{1} << (bit % kLimbBits);
+  return r;
+}
+
+BigInt BigInt::from_hex(std::string_view s) {
+  BigInt r;
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) s.remove_prefix(2);
+  C2SL_CHECK(!s.empty(), "empty hex literal");
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else { C2SL_CHECK(false, "invalid hex digit"); return r; }
+    r = r.shifted_left(4);
+    r += BigInt(digit);
+  }
+  r.negative_ = neg && !r.is_zero();
+  return r;
+}
+
+BigInt BigInt::from_dec(std::string_view s) {
+  BigInt r;
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  C2SL_CHECK(!s.empty(), "empty decimal literal");
+  for (char c : s) {
+    C2SL_CHECK(c >= '0' && c <= '9', "invalid decimal digit");
+    r = r * BigInt(10);
+    r += BigInt(c - '0');
+  }
+  r.negative_ = neg && !r.is_zero();
+  return r;
+}
+
+int BigInt::cmp_mag(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::add_mag(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  if (a.size() < b.size()) a.resize(b.size(), 0);
+  unsigned __int128 carry = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    unsigned __int128 sum = carry + a[i] + (i < b.size() ? b[i] : 0);
+    a[i] = static_cast<uint64_t>(sum);
+    carry = sum >> kLimbBits;
+  }
+  if (carry != 0) a.push_back(static_cast<uint64_t>(carry));
+}
+
+void BigInt::sub_mag(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  C2SL_ASSERT(cmp_mag(a, b) >= 0);
+  unsigned __int128 borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    unsigned __int128 sub = borrow + (i < b.size() ? b[i] : 0);
+    if (a[i] >= sub) {
+      a[i] -= static_cast<uint64_t>(sub);
+      borrow = 0;
+    } else {
+      a[i] = static_cast<uint64_t>((u128{1} << kLimbBits) + a[i] - sub);
+      borrow = 1;
+    }
+  }
+  C2SL_ASSERT(borrow == 0);
+}
+
+void BigInt::normalize() {
+  while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
+  if (mag_.empty()) negative_ = false;
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) {
+  if (negative_ == o.negative_) {
+    add_mag(mag_, o.mag_);
+  } else if (cmp_mag(mag_, o.mag_) >= 0) {
+    sub_mag(mag_, o.mag_);
+  } else {
+    std::vector<uint64_t> tmp = o.mag_;
+    sub_mag(tmp, mag_);
+    mag_ = std::move(tmp);
+    negative_ = o.negative_;
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& o) { return *this += -o; }
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt();
+  BigInt r;
+  r.mag_.assign(mag_.size() + o.mag_.size(), 0);
+  for (size_t i = 0; i < mag_.size(); ++i) {
+    unsigned __int128 carry = 0;
+    for (size_t j = 0; j < o.mag_.size(); ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(mag_[i]) * o.mag_[j] +
+                              r.mag_[i + j] + carry;
+      r.mag_[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> kLimbBits;
+    }
+    size_t k = i + o.mag_.size();
+    while (carry != 0) {
+      unsigned __int128 cur = carry + r.mag_[k];
+      r.mag_[k] = static_cast<uint64_t>(cur);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  r.negative_ = negative_ != o.negative_;
+  r.normalize();
+  return r;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_)
+    return a.negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  int c = BigInt::cmp_mag(a.mag_, b.mag_);
+  if (a.negative_) c = -c;
+  if (c < 0) return std::strong_ordering::less;
+  if (c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+bool BigInt::bit(uint64_t i) const {
+  size_t limb_idx = i / kLimbBits;
+  if (limb_idx >= mag_.size()) return false;
+  return (mag_[limb_idx] >> (i % kLimbBits)) & 1;
+}
+
+void BigInt::set_bit(uint64_t i, bool v) {
+  size_t limb_idx = i / kLimbBits;
+  if (v) {
+    if (limb_idx >= mag_.size()) mag_.resize(limb_idx + 1, 0);
+    mag_[limb_idx] |= uint64_t{1} << (i % kLimbBits);
+  } else if (limb_idx < mag_.size()) {
+    mag_[limb_idx] &= ~(uint64_t{1} << (i % kLimbBits));
+    normalize();
+  }
+}
+
+uint64_t BigInt::bit_length() const {
+  if (mag_.empty()) return 0;
+  return (mag_.size() - 1) * kLimbBits +
+         (kLimbBits - static_cast<uint64_t>(std::countl_zero(mag_.back())));
+}
+
+uint64_t BigInt::popcount() const {
+  uint64_t n = 0;
+  for (uint64_t l : mag_) n += static_cast<uint64_t>(std::popcount(l));
+  return n;
+}
+
+BigInt BigInt::shifted_left(uint64_t k) const {
+  if (is_zero() || k == 0) {
+    BigInt r = *this;
+    return r;
+  }
+  BigInt r;
+  r.negative_ = negative_;
+  size_t limb_shift = k / kLimbBits;
+  uint64_t bit_shift = k % kLimbBits;
+  r.mag_.assign(mag_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < mag_.size(); ++i) {
+    r.mag_[i + limb_shift] |= bit_shift == 0 ? mag_[i] : (mag_[i] << bit_shift);
+    if (bit_shift != 0)
+      r.mag_[i + limb_shift + 1] |= mag_[i] >> (kLimbBits - bit_shift);
+  }
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::shifted_right(uint64_t k) const {
+  size_t limb_shift = k / kLimbBits;
+  uint64_t bit_shift = k % kLimbBits;
+  if (limb_shift >= mag_.size()) return BigInt();
+  BigInt r;
+  r.negative_ = negative_;
+  r.mag_.assign(mag_.size() - limb_shift, 0);
+  for (size_t i = 0; i < r.mag_.size(); ++i) {
+    r.mag_[i] = bit_shift == 0 ? mag_[i + limb_shift] : (mag_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < mag_.size())
+      r.mag_[i] |= mag_[i + limb_shift + 1] << (kLimbBits - bit_shift);
+  }
+  r.normalize();
+  return r;
+}
+
+int64_t BigInt::to_i64() const {
+  C2SL_CHECK(mag_.size() <= 1, "BigInt out of int64 range");
+  if (mag_.empty()) return 0;
+  uint64_t m = mag_[0];
+  if (negative_) {
+    C2SL_CHECK(m <= uint64_t{1} << 63, "BigInt out of int64 range");
+    return static_cast<int64_t>(~m + 1);
+  }
+  C2SL_CHECK(m < (uint64_t{1} << 63), "BigInt out of int64 range");
+  return static_cast<int64_t>(m);
+}
+
+uint64_t BigInt::to_u64() const {
+  C2SL_CHECK(!negative_ && mag_.size() <= 1, "BigInt out of uint64 range");
+  return mag_.empty() ? 0 : mag_[0];
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0x0";
+  std::string out = negative_ ? "-0x" : "0x";
+  static const char* digits = "0123456789abcdef";
+  bool started = false;
+  for (size_t i = mag_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      int d = static_cast<int>((mag_[i] >> (nib * 4)) & 0xf);
+      if (!started && d == 0) continue;
+      started = true;
+      out.push_back(digits[d]);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide the magnitude by 10^19 (largest power of ten in a limb).
+  constexpr uint64_t kChunk = 10'000'000'000'000'000'000ULL;
+  std::vector<uint64_t> work = mag_;
+  std::vector<uint64_t> chunks;
+  while (!work.empty()) {
+    unsigned __int128 rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      unsigned __int128 cur = (rem << kLimbBits) | work[i];
+      work[i] = static_cast<uint64_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    chunks.push_back(static_cast<uint64_t>(rem));
+  }
+  std::string out = negative_ ? "-" : "";
+  out += std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(19 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+size_t BigInt::hash() const {
+  uint64_t h = negative_ ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL;
+  for (uint64_t l : mag_) {
+    h ^= l + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace c2sl

@@ -1,0 +1,86 @@
+// Arbitrary-precision signed integers.
+//
+// The paper's §3 constructions (max register, snapshot from fetch&add) pack one
+// bit-lane per process into a single register and store unboundedly large values
+// ("Our implementations using fetch&add store extremely large values in a single
+// variable", §6). The simulated fetch&add base object therefore operates on
+// BigInt. Representation: sign + magnitude, little-endian 64-bit limbs,
+// normalised (no trailing zero limbs; zero has an empty limb vector and positive
+// sign).
+//
+// Only the operations the library needs are provided: exact add/sub/mul,
+// comparison, single-bit access, shifts, popcount, conversion and formatting.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace c2sl {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(int64_t v);  // NOLINT(google-explicit-constructor): intended implicit
+  static BigInt from_u64(uint64_t v);
+  /// 2^bit.
+  static BigInt pow2(uint64_t bit);
+  /// Parse from hex, with optional leading '-' and optional "0x" prefix.
+  static BigInt from_hex(std::string_view s);
+  /// Parse from decimal, with optional leading '-'.
+  static BigInt from_dec(std::string_view s);
+
+  bool is_zero() const { return mag_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  BigInt& operator+=(const BigInt& o);
+  BigInt& operator-=(const BigInt& o);
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  BigInt operator-() const;
+  BigInt operator*(const BigInt& o) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.mag_ == b.mag_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  /// Bit access on the magnitude; callers in this library only use bit access on
+  /// non-negative values (lane encodings never go negative).
+  bool bit(uint64_t i) const;
+  void set_bit(uint64_t i, bool v);
+
+  /// Number of bits in the magnitude (0 for zero).
+  uint64_t bit_length() const;
+  /// Number of set bits in the magnitude.
+  uint64_t popcount() const;
+
+  BigInt shifted_left(uint64_t k) const;
+  BigInt shifted_right(uint64_t k) const;
+
+  /// Checked narrowing conversions; throw PreconditionError if out of range.
+  int64_t to_i64() const;
+  uint64_t to_u64() const;
+
+  std::string to_hex() const;  ///< e.g. "-0x1f", "0x0".
+  std::string to_dec() const;  ///< decimal, e.g. "-31".
+
+  size_t hash() const;
+
+  size_t limb_count() const { return mag_.size(); }
+  uint64_t limb(size_t i) const { return i < mag_.size() ? mag_[i] : 0; }
+
+ private:
+  static int cmp_mag(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b);
+  static void add_mag(std::vector<uint64_t>& a, const std::vector<uint64_t>& b);
+  /// Requires |a| >= |b|.
+  static void sub_mag(std::vector<uint64_t>& a, const std::vector<uint64_t>& b);
+  void normalize();
+
+  bool negative_ = false;
+  std::vector<uint64_t> mag_;
+};
+
+}  // namespace c2sl

@@ -1,0 +1,76 @@
+#include "util/interleave.h"
+
+#include "util/assert.h"
+
+namespace c2sl::lanes {
+
+BigInt extract_lane(const BigInt& reg, int n, int i) {
+  C2SL_ASSERT(n > 0 && i >= 0 && i < n);
+  C2SL_ASSERT(!reg.is_negative());
+  BigInt lane;
+  uint64_t total_bits = reg.bit_length();
+  for (uint64_t j = 0; global_bit(n, i, j) < total_bits; ++j) {
+    if (reg.bit(global_bit(n, i, j))) lane.set_bit(j, true);
+  }
+  return lane;
+}
+
+BigInt spread_lane(const BigInt& lane, int n, int i) {
+  C2SL_ASSERT(n > 0 && i >= 0 && i < n);
+  C2SL_ASSERT(!lane.is_negative());
+  BigInt reg;
+  uint64_t bits = lane.bit_length();
+  for (uint64_t j = 0; j < bits; ++j) {
+    if (lane.bit(j)) reg.set_bit(global_bit(n, i, j), true);
+  }
+  return reg;
+}
+
+uint64_t unary_lane_value(const BigInt& reg, int n, int i) {
+  return extract_lane(reg, n, i).bit_length();
+}
+
+BigInt unary_raise_delta(int n, int i, uint64_t old_value, uint64_t new_value) {
+  C2SL_ASSERT(old_value <= new_value);
+  BigInt delta;
+  for (uint64_t j = old_value; j < new_value; ++j) {
+    delta += BigInt::pow2(global_bit(n, i, j));
+  }
+  return delta;
+}
+
+BigInt binary_lane_value(const BigInt& reg, int n, int i) {
+  return extract_lane(reg, n, i);
+}
+
+BigInt binary_rewrite_delta(int n, int i, const BigInt& old_value,
+                            const BigInt& new_value) {
+  C2SL_ASSERT(!old_value.is_negative() && !new_value.is_negative());
+  BigInt pos_adj;  // bits that are 1 in new but 0 in old: must be set
+  BigInt neg_adj;  // bits that are 0 in new but 1 in old: must be cleared
+  uint64_t bits = std::max(old_value.bit_length(), new_value.bit_length());
+  for (uint64_t j = 0; j < bits; ++j) {
+    bool was = old_value.bit(j);
+    bool now = new_value.bit(j);
+    if (was == now) continue;
+    if (now)
+      pos_adj += BigInt::pow2(global_bit(n, i, j));
+    else
+      neg_adj += BigInt::pow2(global_bit(n, i, j));
+  }
+  return pos_adj - neg_adj;
+}
+
+std::vector<uint64_t> all_unary_lanes(const BigInt& reg, int n) {
+  std::vector<uint64_t> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<size_t>(i)] = unary_lane_value(reg, n, i);
+  return out;
+}
+
+std::vector<BigInt> all_binary_lanes(const BigInt& reg, int n) {
+  std::vector<BigInt> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<size_t>(i)] = binary_lane_value(reg, n, i);
+  return out;
+}
+
+}  // namespace c2sl::lanes

@@ -1,0 +1,62 @@
+// Bit-interleaved per-process lanes inside a single register (paper §3.1–§3.2).
+//
+// With n processes, process i owns the global bit positions i, n+i, 2n+i, ...
+// ("p0 stores its value in bits 0, n, 2n, 3n, ..., p1 gets bits 1, n+1, 2n+1,
+// ...") so that each process can grow its value unboundedly while all values
+// share one fetch&add register. Two encodings are used:
+//
+//  * unary  (max register, §3.1): lane bit j is set iff the process has written a
+//    value > j; the lane value is the number of leading ones = the highest set
+//    lane bit + 1.
+//  * binary (snapshot, §3.2): the lane bits are the binary representation of the
+//    component value.
+//
+// Updates are expressed as fetch&add deltas: setting lane bit j adds 2^(j*n+i),
+// clearing it subtracts the same amount. Because only the owning process ever
+// flips its own lane bits, additions never carry and subtractions never borrow
+// across lanes (the flipped bits are known to be 0 resp. 1), so a single
+// fetch&add flips exactly the intended bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace c2sl::lanes {
+
+/// Global bit position of lane bit `j` of process `i` among `n` processes.
+inline uint64_t global_bit(int n, int i, uint64_t j) {
+  return j * static_cast<uint64_t>(n) + static_cast<uint64_t>(i);
+}
+
+/// Compacts the lane of process `i` out of register value `R`: result bit j ==
+/// R bit (j*n + i).
+BigInt extract_lane(const BigInt& reg, int n, int i);
+
+/// Inverse of extract_lane: spreads `lane` bits of process `i` over the global
+/// positions.
+BigInt spread_lane(const BigInt& lane, int n, int i);
+
+/// Unary lane value: highest set lane bit + 1 (0 when the lane is empty).
+uint64_t unary_lane_value(const BigInt& reg, int n, int i);
+
+/// Delta that raises process i's unary lane from `old_value` to `new_value`
+/// (sets lane bits old_value .. new_value-1). Requires old_value <= new_value.
+BigInt unary_raise_delta(int n, int i, uint64_t old_value, uint64_t new_value);
+
+/// Binary lane value as a BigInt.
+BigInt binary_lane_value(const BigInt& reg, int n, int i);
+
+/// Signed delta (posAdj - negAdj, §3.2) that rewrites process i's binary lane
+/// from `old_value` to `new_value`. Values must be non-negative.
+BigInt binary_rewrite_delta(int n, int i, const BigInt& old_value,
+                            const BigInt& new_value);
+
+/// All unary lane values of an n-process register, index == process id.
+std::vector<uint64_t> all_unary_lanes(const BigInt& reg, int n);
+
+/// All binary lane values of an n-process register, index == process id.
+std::vector<BigInt> all_binary_lanes(const BigInt& reg, int n);
+
+}  // namespace c2sl::lanes

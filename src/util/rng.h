@@ -1,0 +1,66 @@
+// Deterministic, seedable pseudo-random number generation for schedules and
+// workloads. All randomness in the simulator flows through Rng so that every
+// execution is reproducible from a single 64-bit seed (required for replaying
+// counterexamples found by the checkers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace c2sl {
+
+/// SplitMix64: tiny, statistically solid, and trivially seedable. Used both as a
+/// generator and to derive independent streams (one per process, per test case).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be positive.
+  uint64_t next_below(uint64_t bound) {
+    C2SL_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias; the loop terminates quickly since
+    // at least half the range is accepted.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t next_in(int64_t lo, int64_t hi) {
+    C2SL_ASSERT(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    next_below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool next_bool(double p_true = 0.5) {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53 < p_true;
+  }
+
+  /// Derive an independent stream; mixing the label keeps streams decorrelated.
+  Rng fork(uint64_t label) {
+    uint64_t s = next_u64() ^ (label * 0xda942042e4dd58b5ULL);
+    return Rng(s);
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    C2SL_ASSERT(!v.empty());
+    return v[next_below(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace c2sl

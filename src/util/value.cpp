@@ -1,0 +1,86 @@
+#include "util/value.h"
+
+namespace c2sl {
+
+std::string to_string(const Val& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "()"; }
+    std::string operator()(int64_t n) const { return std::to_string(n); }
+    std::string operator()(const std::vector<int64_t>& xs) const {
+      std::string out = "[";
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(xs[i]);
+      }
+      return out + "]";
+    }
+    std::string operator()(const std::string& s) const { return "\"" + s + "\""; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+std::string encode_val(const Val& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "u"; }
+    std::string operator()(int64_t n) const { return "n:" + std::to_string(n); }
+    std::string operator()(const std::vector<int64_t>& xs) const {
+      std::string out = "v:";
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (i != 0) out += ",";
+        out += std::to_string(xs[i]);
+      }
+      return out;
+    }
+    std::string operator()(const std::string& s) const {
+      return "s:" + std::to_string(s.size()) + ":" + s;
+    }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+Val decode_val(std::string_view s) {
+  if (s == "u") return Val{std::monostate{}};
+  if (s.substr(0, 2) == "n:") {
+    return Val{static_cast<int64_t>(std::stoll(std::string(s.substr(2))))};
+  }
+  if (s.substr(0, 2) == "v:") {
+    std::vector<int64_t> xs;
+    std::string_view rest = s.substr(2);
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view tok = comma == std::string_view::npos ? rest : rest.substr(0, comma);
+      xs.push_back(static_cast<int64_t>(std::stoll(std::string(tok))));
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+    return Val{std::move(xs)};
+  }
+  if (s.substr(0, 2) == "s:") {
+    std::string_view rest = s.substr(2);
+    size_t colon = rest.find(':');
+    size_t len = static_cast<size_t>(std::stoull(std::string(rest.substr(0, colon))));
+    return Val{std::string(rest.substr(colon + 1, len))};
+  }
+  return Val{std::monostate{}};
+}
+
+size_t hash_val(const Val& v) {
+  struct Visitor {
+    size_t operator()(std::monostate) const { return 0x5bd1e995; }
+    size_t operator()(int64_t n) const {
+      uint64_t z = static_cast<uint64_t>(n) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<size_t>(z ^ (z >> 31));
+    }
+    size_t operator()(const std::vector<int64_t>& xs) const {
+      size_t h = 0x9e3779b9;
+      for (int64_t x : xs) {
+        h ^= (*this)(x) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+    size_t operator()(const std::string& s) const { return std::hash<std::string>{}(s); }
+  };
+  return std::visit(Visitor{}, v) ^ (v.index() * 0x94d049bb133111ebULL);
+}
+
+}  // namespace c2sl

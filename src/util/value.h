@@ -1,0 +1,41 @@
+// A small dynamic value type used at the boundary between implementations and
+// the verification tooling: operation arguments, responses, and history events
+// all carry Vals. Keeping the set of cases minimal (unit, integer, integer
+// vector, string) makes specs and checkers simple to write while covering every
+// object in the paper (bits, indices, items, snapshot views, OK/EMPTY markers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace c2sl {
+
+using Val = std::variant<std::monostate, int64_t, std::vector<int64_t>, std::string>;
+
+/// Human-readable rendering, e.g. "()", "42", "[1, 2, 3]", "\"OK\"".
+std::string to_string(const Val& v);
+
+/// Stable hash for memoisation keys in the checkers.
+size_t hash_val(const Val& v);
+
+/// Convenience constructors.
+inline Val unit() { return Val{std::monostate{}}; }
+inline Val num(int64_t v) { return Val{v}; }
+inline Val vec(std::vector<int64_t> v) { return Val{std::move(v)}; }
+inline Val str(std::string s) { return Val{std::move(s)}; }
+
+inline bool is_unit(const Val& v) { return std::holds_alternative<std::monostate>(v); }
+inline int64_t as_num(const Val& v) { return std::get<int64_t>(v); }
+inline const std::vector<int64_t>& as_vec(const Val& v) {
+  return std::get<std::vector<int64_t>>(v);
+}
+inline const std::string& as_str(const Val& v) { return std::get<std::string>(v); }
+
+/// Exact, machine-readable round-trip encoding (used for simulated-object state
+/// serialisation: world cloning, tree-node hashing and the Lemma 12 collect).
+std::string encode_val(const Val& v);
+Val decode_val(std::string_view s);
+
+}  // namespace c2sl

@@ -1,0 +1,105 @@
+#include "verify/lin_checker.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace c2sl::verify {
+
+namespace {
+
+class Search {
+ public:
+  Search(const std::vector<sim::OpRecord>& ops, const Spec& spec, const LinOptions& opts)
+      : ops_(ops), spec_(spec), opts_(opts) {
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].complete) complete_mask_ |= uint64_t{1} << i;
+    }
+  }
+
+  LinResult run() {
+    LinResult result;
+    if (ops_.size() > 64) {
+      result.decided = false;
+      result.explanation = "history too large (> 64 operations)";
+      return result;
+    }
+    bool ok = dfs(0, spec_.initial());
+    result.decided = visited_.size() < opts_.max_visited;
+    result.linearizable = ok;
+    if (ok) {
+      result.witness = witness_;
+    } else {
+      result.explanation = "no linearization exists for history:\n" + render_history();
+    }
+    return result;
+  }
+
+ private:
+  bool dfs(uint64_t mask, const std::string& state) {
+    if ((mask & complete_mask_) == complete_mask_) return true;
+    if (visited_.size() >= opts_.max_visited) return false;
+    std::string key = state;
+    key += '#';
+    key += std::to_string(mask);
+    if (!visited_.insert(key).second) return false;
+
+    // Minimal-operation rule: op o may be linearized next iff no unlinearized
+    // operation completed strictly before o was invoked.
+    uint64_t min_resp = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) continue;
+      if (ops_[i].complete) min_resp = std::min(min_resp, ops_[i].resp_seq);
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) continue;
+      const sim::OpRecord& op = ops_[i];
+      if (op.inv_seq > min_resp) continue;  // some unlinearized op precedes it
+      Invocation inv{op.name, op.args, op.proc};
+      for (const Transition& t : spec_.next(state, inv)) {
+        if (op.complete && !(t.resp == op.resp)) continue;
+        witness_.emplace_back(op.id, t.resp);
+        if (dfs(mask | (uint64_t{1} << i), t.state)) return true;
+        witness_.pop_back();
+      }
+    }
+    return false;
+  }
+
+  std::string render_history() const {
+    std::string out;
+    for (const sim::OpRecord& r : ops_) {
+      out += "  op" + std::to_string(r.id) + " p" + std::to_string(r.proc) + " " +
+             r.name + "(" + c2sl::to_string(r.args) + ")";
+      out += r.complete ? " -> " + c2sl::to_string(r.resp) : " (pending)";
+      out += " [" + std::to_string(r.inv_seq) + "," +
+             (r.complete ? std::to_string(r.resp_seq) : "inf") + "]\n";
+    }
+    return out;
+  }
+
+  const std::vector<sim::OpRecord>& ops_;
+  const Spec& spec_;
+  const LinOptions& opts_;
+  uint64_t complete_mask_ = 0;
+  std::unordered_set<std::string> visited_;
+  std::vector<std::pair<sim::OpId, Val>> witness_;
+};
+
+}  // namespace
+
+LinResult check_linearizability(const std::vector<sim::OpRecord>& ops, const Spec& spec,
+                                const LinOptions& opts) {
+  Search search(ops, spec, opts);
+  return search.run();
+}
+
+LinResult check_object_linearizability(const std::vector<sim::OpRecord>& ops,
+                                       const std::string& object, const Spec& spec,
+                                       const LinOptions& opts) {
+  return check_linearizability(filter_object(ops, object), spec, opts);
+}
+
+}  // namespace c2sl::verify

@@ -1,0 +1,49 @@
+// Linearizability checker (Wing–Gong search with state memoisation).
+//
+// Given the operation table of one object's history and its sequential spec,
+// decides whether a linearization exists: a sequence containing every complete
+// operation (with its actual response) and any subset of the pending operations
+// (with spec-chosen responses), that respects real-time order and is a valid
+// sequential execution of the spec. Pending operations may be linearized —
+// this matters, e.g., when a completed Deq returned an item whose Enq is still
+// pending.
+//
+// Complexity is exponential in the worst case; the memoisation key
+// (linearized-set bitmask, spec state) keeps realistic histories fast. Both the
+// decision and a witness linearization are reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "verify/spec.h"
+
+namespace c2sl::verify {
+
+struct LinOptions {
+  /// Search-node budget; exceeding it yields decided == false.
+  size_t max_visited = 4'000'000;
+};
+
+struct LinResult {
+  bool linearizable = false;
+  bool decided = true;
+  /// On success: the linearization as (op id, response) in order.
+  std::vector<std::pair<sim::OpId, Val>> witness;
+  /// On failure: human-readable explanation with the history embedded.
+  std::string explanation;
+};
+
+/// Checks the (single-object) operation table `ops` against `spec`.
+/// At most 64 operations are supported (bitmask-based memoisation).
+LinResult check_linearizability(const std::vector<sim::OpRecord>& ops, const Spec& spec,
+                                const LinOptions& opts = {});
+
+/// Convenience: filter `ops` by object name, then check.
+LinResult check_object_linearizability(const std::vector<sim::OpRecord>& ops,
+                                       const std::string& object, const Spec& spec,
+                                       const LinOptions& opts = {});
+
+}  // namespace c2sl::verify

@@ -1,0 +1,52 @@
+// Sequential specifications as nondeterministic transition relations.
+//
+// A Spec describes an object by its initial state and, for every (state,
+// invocation) pair, the set of allowed (next-state, response) transitions.
+// Nondeterminism is first-class so that relaxed objects — the paper's §5
+// k-out-of-order and m-stuttering queues/stacks and the unordered set of §4.3 —
+// check under exactly the same machinery as deterministic ones.
+//
+// States are type-erased as canonical strings: simple to clone, hash and
+// memoise, and uniform across the checker implementations. Checker inputs are
+// short histories, so the encoding cost is irrelevant next to search cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/history.h"
+#include "util/value.h"
+
+namespace c2sl::verify {
+
+struct Invocation {
+  std::string name;
+  Val args;
+  sim::ProcId proc = -1;  ///< needed by per-process objects (e.g. snapshot update)
+};
+
+struct Transition {
+  std::string state;
+  Val resp;
+};
+
+class Spec {
+ public:
+  virtual ~Spec() = default;
+  virtual std::string name() const = 0;
+  virtual std::string initial() const = 0;
+  /// All allowed transitions; empty result == invocation not allowed in state.
+  virtual std::vector<Transition> next(const std::string& state,
+                                       const Invocation& inv) const = 0;
+};
+
+/// Operation table from a raw event sequence (same derivation as
+/// History::operations, usable on explorer node histories).
+std::vector<sim::OpRecord> operations_from_events(const std::vector<sim::Event>& events);
+
+/// Ops on one object only (linearizability is compositional, so checking is
+/// done per object).
+std::vector<sim::OpRecord> filter_object(const std::vector<sim::OpRecord>& ops,
+                                         const std::string& object);
+
+}  // namespace c2sl::verify

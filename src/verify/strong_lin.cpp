@@ -1,0 +1,215 @@
+#include "verify/strong_lin.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace c2sl::verify {
+
+namespace {
+
+/// A linearization under construction: ordered (op, response) pairs plus the
+/// spec state reached after applying them.
+struct Lin {
+  std::vector<std::pair<sim::OpId, Val>> seq;
+  std::string state;
+
+  bool contains(sim::OpId id) const {
+    for (const auto& [op, resp] : seq) {
+      if (op == id) return true;
+    }
+    return false;
+  }
+
+  std::string key() const {
+    std::string out = state;
+    out += '|';
+    for (const auto& [op, resp] : seq) {
+      out += std::to_string(op);
+      out += '=';
+      out += encode_val(resp);
+      out += ';';
+    }
+    return out;
+  }
+
+  std::string render() const {
+    std::string out = "[";
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "op" + std::to_string(seq[i].first) + "->" + c2sl::to_string(seq[i].second);
+    }
+    return out + "]";
+  }
+};
+
+class Checker {
+ public:
+  Checker(const sim::ExecTree& tree, const Spec& spec, const StrongLinOptions& opts)
+      : tree_(tree), spec_(spec), opts_(opts) {
+    // Per-node operation tables, filtered to the object under scrutiny.
+    ops_at_.reserve(tree_.nodes.size());
+    for (size_t v = 0; v < tree_.nodes.size(); ++v) {
+      std::vector<sim::OpRecord> ops =
+          operations_from_events(tree_.history_at(static_cast<int>(v)));
+      if (!opts_.object.empty()) {
+        // Keep ids stable: blank out foreign-object ops instead of compacting.
+        for (sim::OpRecord& r : ops) {
+          if (r.object != opts_.object) r.id = -1;
+        }
+      }
+      ops_at_.push_back(std::move(ops));
+    }
+  }
+
+  StrongLinResult run() {
+    StrongLinResult result;
+    Lin root_lin;
+    root_lin.state = spec_.initial();
+    bool ok = extend_and_solve(0, root_lin);
+    result.decided = budget_ > 0;
+    result.strongly_linearizable = ok && result.decided;
+    if (!ok && result.decided) {
+      result.witness_node = deepest_fail_;
+      result.report = render_failure();
+    }
+    return result;
+  }
+
+ private:
+  /// Operations of node v that the checker tracks (object-filtered).
+  std::vector<const sim::OpRecord*> tracked_ops(int v) const {
+    std::vector<const sim::OpRecord*> out;
+    for (const sim::OpRecord& r : ops_at_[static_cast<size_t>(v)]) {
+      if (r.id >= 0) out.push_back(&r);
+    }
+    return out;
+  }
+
+  /// Entry point per node: find an extension of `base` (the parent's
+  /// linearization, or the empty one at the root) into a valid linearization
+  /// of v's history whose subtree also solves; `base` itself may already be a
+  /// candidate when all of v's complete ops are covered.
+  bool extend_and_solve(int v, const Lin& base) {
+    if (budget_ == 0) return false;
+    std::string memo_key = std::to_string(v) + '@' + base.key();
+    if (failed_.count(memo_key)) return false;
+    bool ok = ext_dfs(v, base);
+    if (!ok) {
+      failed_.insert(memo_key);
+      note_failure(v, base);
+    }
+    return ok;
+  }
+
+  /// Backtracking search over ways to append operations of node v to `lin`.
+  bool ext_dfs(int v, const Lin& lin) {
+    if (budget_ == 0) return false;
+    --budget_;
+    const auto ops = tracked_ops(v);
+
+    // Response consistency: an op linearized earlier (while pending) must have
+    // been given the response it actually returned by now.
+    for (const auto& [op, resp] : lin.seq) {
+      const sim::OpRecord* rec = find_op(ops, op);
+      if (rec != nullptr && rec->complete && !(rec->resp == resp)) return false;
+    }
+
+    bool all_complete_in = true;
+    for (const sim::OpRecord* r : ops) {
+      if (r->complete && !lin.contains(r->id)) {
+        all_complete_in = false;
+        break;
+      }
+    }
+    if (all_complete_in && solve_children(v, lin)) return true;
+
+    // Try appending one more eligible operation. Minimal-op rule relative to
+    // the FULL history of v: an op is appendable only if every op that
+    // real-time-precedes it is already linearized.
+    uint64_t min_resp = std::numeric_limits<uint64_t>::max();
+    for (const sim::OpRecord* r : ops) {
+      if (r->complete && !lin.contains(r->id)) min_resp = std::min(min_resp, r->resp_seq);
+    }
+    for (const sim::OpRecord* r : ops) {
+      if (lin.contains(r->id)) continue;
+      if (r->inv_seq > min_resp) continue;
+      Invocation inv{r->name, r->args, r->proc};
+      for (const Transition& t : spec_.next(lin.state, inv)) {
+        if (r->complete && !(t.resp == r->resp)) continue;
+        Lin next = lin;
+        next.seq.emplace_back(r->id, t.resp);
+        next.state = t.state;
+        if (ext_dfs(v, next)) return true;
+      }
+    }
+    return false;
+  }
+
+  bool solve_children(int v, const Lin& lin) {
+    const sim::ExecNode& node = tree_.nodes[static_cast<size_t>(v)];
+    for (int child : node.children) {
+      if (!extend_and_solve(child, lin)) return false;
+    }
+    return true;
+  }
+
+  static const sim::OpRecord* find_op(const std::vector<const sim::OpRecord*>& ops,
+                                      sim::OpId id) {
+    for (const sim::OpRecord* r : ops) {
+      if (r->id == id) return r;
+    }
+    return nullptr;
+  }
+
+  void note_failure(int v, const Lin& lin) {
+    int depth = tree_.nodes[static_cast<size_t>(v)].depth;
+    if (depth >= deepest_fail_depth_) {
+      deepest_fail_depth_ = depth;
+      deepest_fail_ = v;
+      deepest_fail_lin_ = lin.render();
+    }
+  }
+
+  std::string render_failure() const {
+    if (deepest_fail_ < 0) return "no prefix-closed linearization function exists";
+    std::string out =
+        "no prefix-closed linearization function exists.\n"
+        "Deepest conflicting node: " +
+        std::to_string(deepest_fail_) + " (depth " + std::to_string(deepest_fail_depth_) +
+        ")\nParent linearization that could not be extended: " + deepest_fail_lin_ +
+        "\nHistory at that node:\n";
+    for (const sim::Event& e : tree_.history_at(deepest_fail_)) {
+      out += "  " + sim::to_string(e) + "\n";
+    }
+    return out;
+  }
+
+  const sim::ExecTree& tree_;
+  const Spec& spec_;
+  const StrongLinOptions& opts_;
+  std::vector<std::vector<sim::OpRecord>> ops_at_;
+  std::unordered_set<std::string> failed_;
+  size_t budget_ = 0;
+
+  int deepest_fail_ = -1;
+  int deepest_fail_depth_ = -1;
+  std::string deepest_fail_lin_;
+
+ public:
+  void set_budget(size_t b) { budget_ = b; }
+};
+
+}  // namespace
+
+StrongLinResult check_strong_linearizability(const sim::ExecTree& tree, const Spec& spec,
+                                             const StrongLinOptions& opts) {
+  Checker checker(tree, spec, opts);
+  checker.set_budget(opts.max_search_nodes);
+  return checker.run();
+}
+
+}  // namespace c2sl::verify

@@ -1,0 +1,203 @@
+// Unit and property tests for util/BigInt — the arithmetic substrate of the
+// §3 fetch&add constructions. Correct exact add/sub is what makes
+// "fetch&add(posAdj - negAdj) flips exactly the intended bits" true.
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace c2sl {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.to_i64(), 0);
+  EXPECT_EQ(z.to_hex(), "0x0");
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(BigInt, SmallValuesRoundTrip) {
+  for (int64_t v : {0L, 1L, -1L, 42L, -42L, 1000000007L, -999999937L}) {
+    BigInt b(v);
+    EXPECT_EQ(b.to_i64(), v) << v;
+    EXPECT_EQ(b.to_dec(), std::to_string(v)) << v;
+  }
+}
+
+TEST(BigInt, Int64MinMaxRoundTrip) {
+  BigInt lo(INT64_MIN);
+  BigInt hi(INT64_MAX);
+  EXPECT_EQ(lo.to_i64(), INT64_MIN);
+  EXPECT_EQ(hi.to_i64(), INT64_MAX);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(BigInt, Pow2) {
+  EXPECT_EQ(BigInt::pow2(0).to_u64(), 1u);
+  EXPECT_EQ(BigInt::pow2(10).to_u64(), 1024u);
+  EXPECT_EQ(BigInt::pow2(63).to_u64(), uint64_t{1} << 63);
+  BigInt big = BigInt::pow2(200);
+  EXPECT_EQ(big.bit_length(), 201u);
+  EXPECT_EQ(big.popcount(), 1u);
+  EXPECT_TRUE(big.bit(200));
+  EXPECT_FALSE(big.bit(199));
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::from_u64(UINT64_MAX);
+  BigInt b = a + BigInt(1);
+  EXPECT_EQ(b, BigInt::pow2(64));
+  EXPECT_EQ((b - BigInt(1)), a);
+}
+
+TEST(BigInt, SubtractionBorrowsAcrossLimbs) {
+  BigInt a = BigInt::pow2(128);
+  BigInt b = a - BigInt(1);
+  EXPECT_EQ(b.bit_length(), 128u);
+  EXPECT_EQ(b.popcount(), 128u);
+  EXPECT_EQ(b + BigInt(1), a);
+}
+
+TEST(BigInt, SignedArithmetic) {
+  BigInt a(100);
+  BigInt b(-250);
+  EXPECT_EQ((a + b).to_i64(), -150);
+  EXPECT_EQ((b + a).to_i64(), -150);
+  EXPECT_EQ((a - b).to_i64(), 350);
+  EXPECT_EQ((b - a).to_i64(), -350);
+  EXPECT_EQ((-a).to_i64(), -100);
+  EXPECT_EQ((a + (-a)).to_i64(), 0);
+}
+
+TEST(BigInt, Multiplication) {
+  EXPECT_EQ((BigInt(12345) * BigInt(6789)).to_i64(), 12345LL * 6789);
+  EXPECT_EQ((BigInt(-3) * BigInt(7)).to_i64(), -21);
+  EXPECT_EQ((BigInt(-3) * BigInt(-7)).to_i64(), 21);
+  EXPECT_TRUE((BigInt(0) * BigInt(123456)).is_zero());
+  // (2^64)^2 == 2^128
+  EXPECT_EQ(BigInt::pow2(64) * BigInt::pow2(64), BigInt::pow2(128));
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt::pow2(100), BigInt::pow2(99));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_LT(BigInt(), BigInt(1));
+  EXPECT_GT(BigInt(), BigInt(-1));
+}
+
+TEST(BigInt, BitSetAndClear) {
+  BigInt b;
+  b.set_bit(5, true);
+  b.set_bit(70, true);
+  EXPECT_TRUE(b.bit(5));
+  EXPECT_TRUE(b.bit(70));
+  EXPECT_FALSE(b.bit(6));
+  EXPECT_EQ(b.popcount(), 2u);
+  b.set_bit(70, false);
+  EXPECT_FALSE(b.bit(70));
+  EXPECT_EQ(b.bit_length(), 6u);
+  b.set_bit(5, false);
+  EXPECT_TRUE(b.is_zero());
+}
+
+TEST(BigInt, Shifts) {
+  BigInt b(0b1011);
+  EXPECT_EQ(b.shifted_left(3).to_i64(), 0b1011000);
+  EXPECT_EQ(b.shifted_right(2).to_i64(), 0b10);
+  EXPECT_EQ(b.shifted_right(10).to_i64(), 0);
+  EXPECT_EQ(BigInt(1).shifted_left(100), BigInt::pow2(100));
+  EXPECT_EQ(BigInt::pow2(100).shifted_right(100).to_i64(), 1);
+  // shift by multiples of the limb size
+  EXPECT_EQ(BigInt(5).shifted_left(64).shifted_right(64).to_i64(), 5);
+}
+
+TEST(BigInt, HexRoundTrip) {
+  for (const char* s : {"0x0", "0x1", "0xdeadbeef", "-0xff", "0x123456789abcdef0123456789"}) {
+    BigInt b = BigInt::from_hex(s);
+    EXPECT_EQ(b.to_hex(), s);
+  }
+  EXPECT_EQ(BigInt::from_hex("0X1F").to_i64(), 31);
+  EXPECT_EQ(BigInt::from_hex("ff").to_i64(), 255);
+}
+
+TEST(BigInt, DecRoundTrip) {
+  for (const char* s :
+       {"0", "7", "-7", "18446744073709551616",  // 2^64
+        "340282366920938463463374607431768211456",  // 2^128
+        "-99999999999999999999999999999999"}) {
+    BigInt b = BigInt::from_dec(s);
+    EXPECT_EQ(b.to_dec(), s);
+  }
+}
+
+TEST(BigInt, HashDiffersForDifferentValues) {
+  EXPECT_NE(BigInt(1).hash(), BigInt(2).hash());
+  EXPECT_NE(BigInt(1).hash(), BigInt(-1).hash());
+  EXPECT_EQ(BigInt(42).hash(), BigInt(42).hash());
+}
+
+// Property: add/sub agree with int64 arithmetic on random small values.
+TEST(BigIntProperty, MatchesInt64Arithmetic) {
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    int64_t x = rng.next_in(-1000000, 1000000);
+    int64_t y = rng.next_in(-1000000, 1000000);
+    EXPECT_EQ((BigInt(x) + BigInt(y)).to_i64(), x + y);
+    EXPECT_EQ((BigInt(x) - BigInt(y)).to_i64(), x - y);
+    EXPECT_EQ((BigInt(x) * BigInt(y)).to_i64(), x * y);
+    EXPECT_EQ(BigInt(x) < BigInt(y), x < y);
+  }
+}
+
+// Property: (a + b) - b == a on random multi-limb values.
+TEST(BigIntProperty, AddSubInverse) {
+  Rng rng(13);
+  for (int iter = 0; iter < 500; ++iter) {
+    BigInt a;
+    BigInt b;
+    for (int bits = 0; bits < 5; ++bits) {
+      a.set_bit(rng.next_below(300), true);
+      b.set_bit(rng.next_below(300), true);
+    }
+    if (rng.next_bool()) a = -a;
+    if (rng.next_bool()) b = -b;
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+// Property: setting a clear bit == adding 2^bit; clearing a set bit ==
+// subtracting 2^bit. This is exactly the §3.2 posAdj/negAdj reasoning.
+TEST(BigIntProperty, BitFlipEqualsAddSub) {
+  Rng rng(21);
+  for (int iter = 0; iter < 500; ++iter) {
+    BigInt a;
+    for (int bits = 0; bits < 8; ++bits) a.set_bit(rng.next_below(200), true);
+    uint64_t bit = rng.next_below(200);
+    BigInt flipped = a;
+    if (a.bit(bit)) {
+      flipped.set_bit(bit, false);
+      EXPECT_EQ(a - BigInt::pow2(bit), flipped);
+    } else {
+      flipped.set_bit(bit, true);
+      EXPECT_EQ(a + BigInt::pow2(bit), flipped);
+    }
+  }
+}
+
+TEST(BigInt, OutOfRangeConversionsThrow) {
+  EXPECT_THROW(BigInt::pow2(64).to_u64(), PreconditionError);
+  EXPECT_THROW(BigInt::pow2(63).to_i64(), PreconditionError);
+  EXPECT_THROW(BigInt(-1).to_u64(), PreconditionError);
+  EXPECT_NO_THROW((-BigInt::pow2(63)).to_i64());  // INT64_MIN is representable
+}
+
+}  // namespace
+}  // namespace c2sl

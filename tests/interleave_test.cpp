@@ -1,0 +1,137 @@
+// Tests for the bit-interleaved lane codec (paper §3.1–§3.2): the invariant
+// that per-process lanes are disjoint and that unary/binary deltas flip exactly
+// the intended bits.
+#include "util/interleave.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace c2sl {
+namespace {
+
+TEST(Lanes, GlobalBitLayout) {
+  // n == 3: p0 owns bits 0,3,6,...; p1 owns 1,4,7,...; p2 owns 2,5,8,...
+  EXPECT_EQ(lanes::global_bit(3, 0, 0), 0u);
+  EXPECT_EQ(lanes::global_bit(3, 1, 0), 1u);
+  EXPECT_EQ(lanes::global_bit(3, 2, 0), 2u);
+  EXPECT_EQ(lanes::global_bit(3, 0, 1), 3u);
+  EXPECT_EQ(lanes::global_bit(3, 1, 2), 7u);
+}
+
+TEST(Lanes, ExtractSpreadRoundTrip) {
+  Rng rng(3);
+  for (int iter = 0; iter < 200; ++iter) {
+    int n = static_cast<int>(rng.next_in(1, 6));
+    int i = static_cast<int>(rng.next_below(static_cast<uint64_t>(n)));
+    BigInt lane;
+    for (int b = 0; b < 6; ++b) lane.set_bit(rng.next_below(40), true);
+    BigInt reg = lanes::spread_lane(lane, n, i);
+    EXPECT_EQ(lanes::extract_lane(reg, n, i), lane);
+    // Other lanes stay empty.
+    for (int j = 0; j < n; ++j) {
+      if (j != i) {
+        EXPECT_TRUE(lanes::extract_lane(reg, n, j).is_zero());
+      }
+    }
+  }
+}
+
+TEST(Lanes, LanesAreDisjoint) {
+  // Superimpose all lanes; extraction recovers each.
+  const int n = 4;
+  std::vector<BigInt> lanes_in(n);
+  BigInt reg;
+  Rng rng(17);
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < 5; ++b) lanes_in[static_cast<size_t>(i)].set_bit(rng.next_below(30), true);
+    reg += lanes::spread_lane(lanes_in[static_cast<size_t>(i)], n, i);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(lanes::extract_lane(reg, n, i), lanes_in[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(Lanes, UnaryRaiseDelta) {
+  const int n = 3;
+  const int i = 1;
+  BigInt reg;
+  // Raise 0 -> 3: lane bits 0,1,2 set.
+  reg += lanes::unary_raise_delta(n, i, 0, 3);
+  EXPECT_EQ(lanes::unary_lane_value(reg, n, i), 3u);
+  // Raise 3 -> 5.
+  reg += lanes::unary_raise_delta(n, i, 3, 5);
+  EXPECT_EQ(lanes::unary_lane_value(reg, n, i), 5u);
+  // No-op raise.
+  BigInt zero_delta = lanes::unary_raise_delta(n, i, 5, 5);
+  EXPECT_TRUE(zero_delta.is_zero());
+  // Other lanes untouched.
+  EXPECT_EQ(lanes::unary_lane_value(reg, n, 0), 0u);
+  EXPECT_EQ(lanes::unary_lane_value(reg, n, 2), 0u);
+}
+
+TEST(Lanes, UnaryConcurrentLanesAccumulate) {
+  const int n = 3;
+  BigInt reg;
+  reg += lanes::unary_raise_delta(n, 0, 0, 7);
+  reg += lanes::unary_raise_delta(n, 1, 0, 2);
+  reg += lanes::unary_raise_delta(n, 2, 0, 9);
+  std::vector<uint64_t> values = lanes::all_unary_lanes(reg, n);
+  EXPECT_EQ(values, (std::vector<uint64_t>{7, 2, 9}));
+}
+
+TEST(Lanes, BinaryRewriteDelta) {
+  const int n = 4;
+  const int i = 2;
+  BigInt reg;
+  reg += lanes::binary_rewrite_delta(n, i, BigInt(0), BigInt(13));
+  EXPECT_EQ(lanes::binary_lane_value(reg, n, i).to_i64(), 13);
+  reg += lanes::binary_rewrite_delta(n, i, BigInt(13), BigInt(6));
+  EXPECT_EQ(lanes::binary_lane_value(reg, n, i).to_i64(), 6);
+  reg += lanes::binary_rewrite_delta(n, i, BigInt(6), BigInt(0));
+  EXPECT_TRUE(reg.is_zero());
+}
+
+// Property: a sequence of per-lane binary rewrites, applied through a single
+// accumulating register, always reconstructs the latest value of every lane —
+// the §3.2 correctness core.
+TEST(LanesProperty, BinaryRewritesNeverInterfere) {
+  Rng rng(99);
+  for (int n : {2, 3, 5}) {
+    BigInt reg;
+    std::vector<BigInt> current(static_cast<size_t>(n), BigInt(0));
+    for (int step = 0; step < 300; ++step) {
+      int i = static_cast<int>(rng.next_below(static_cast<uint64_t>(n)));
+      BigInt next(rng.next_in(0, 1 << 20));
+      reg += lanes::binary_rewrite_delta(n, i, current[static_cast<size_t>(i)], next);
+      current[static_cast<size_t>(i)] = next;
+      std::vector<BigInt> views = lanes::all_binary_lanes(reg, n);
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(views[static_cast<size_t>(j)], current[static_cast<size_t>(j)])
+            << "n=" << n << " step=" << step << " lane=" << j;
+      }
+    }
+  }
+}
+
+// Property: unary raises through the shared register reconstruct per-process
+// maxima — the §3.1 correctness core.
+TEST(LanesProperty, UnaryRaisesReconstructMaxima) {
+  Rng rng(123);
+  for (int n : {2, 4}) {
+    BigInt reg;
+    std::vector<uint64_t> maxima(static_cast<size_t>(n), 0);
+    for (int step = 0; step < 200; ++step) {
+      int i = static_cast<int>(rng.next_below(static_cast<uint64_t>(n)));
+      uint64_t target = rng.next_below(64);
+      if (target > maxima[static_cast<size_t>(i)]) {
+        reg += lanes::unary_raise_delta(n, i, maxima[static_cast<size_t>(i)], target);
+        maxima[static_cast<size_t>(i)] = target;
+      }
+      ASSERT_EQ(lanes::all_unary_lanes(reg, n), maxima);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c2sl

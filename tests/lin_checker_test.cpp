@@ -1,0 +1,245 @@
+// Unit tests for the linearizability checker against hand-crafted histories
+// with known verdicts, including pending operations and nondeterministic
+// (relaxed) specifications.
+#include "verify/lin_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "verify/specs.h"
+
+namespace c2sl {
+namespace {
+
+using sim::OpRecord;
+
+/// Builds an OpRecord with explicit interval endpoints.
+OpRecord op(sim::OpId id, int proc, std::string name, Val args, Val resp,
+            uint64_t inv_seq, uint64_t resp_seq) {
+  OpRecord r;
+  r.id = id;
+  r.proc = proc;
+  r.object = "obj";
+  r.name = std::move(name);
+  r.args = std::move(args);
+  r.complete = true;
+  r.resp = std::move(resp);
+  r.inv_seq = inv_seq;
+  r.resp_seq = resp_seq;
+  return r;
+}
+
+OpRecord pending_op(sim::OpId id, int proc, std::string name, Val args, uint64_t inv_seq) {
+  OpRecord r;
+  r.id = id;
+  r.proc = proc;
+  r.object = "obj";
+  r.name = std::move(name);
+  r.args = std::move(args);
+  r.complete = false;
+  r.inv_seq = inv_seq;
+  return r;
+}
+
+TEST(LinChecker, EmptyHistoryIsLinearizable) {
+  verify::QueueSpec spec;
+  auto res = verify::check_linearizability({}, spec);
+  EXPECT_TRUE(res.linearizable);
+}
+
+TEST(LinChecker, SequentialQueueHistory) {
+  verify::QueueSpec spec;
+  std::vector<OpRecord> h = {
+      op(0, 0, "Enq", num(1), str("OK"), 0, 1),
+      op(1, 0, "Enq", num(2), str("OK"), 2, 3),
+      op(2, 1, "Deq", unit(), num(1), 4, 5),
+      op(3, 1, "Deq", unit(), num(2), 6, 7),
+  };
+  auto res = verify::check_linearizability(h, spec);
+  EXPECT_TRUE(res.linearizable);
+  ASSERT_EQ(res.witness.size(), 4u);
+  EXPECT_EQ(res.witness[0].first, 0);
+}
+
+TEST(LinChecker, FifoViolationRejected) {
+  verify::QueueSpec spec;
+  // Enq(1) strictly before Enq(2), but Deq returns 2 first: not linearizable.
+  std::vector<OpRecord> h = {
+      op(0, 0, "Enq", num(1), str("OK"), 0, 1),
+      op(1, 0, "Enq", num(2), str("OK"), 2, 3),
+      op(2, 1, "Deq", unit(), num(2), 4, 5),
+      op(3, 1, "Deq", unit(), num(1), 6, 7),
+  };
+  auto res = verify::check_linearizability(h, spec);
+  EXPECT_FALSE(res.linearizable);
+  EXPECT_TRUE(res.decided);
+  EXPECT_NE(res.explanation.find("no linearization"), std::string::npos);
+}
+
+TEST(LinChecker, ConcurrentEnqsAllowEitherOrder) {
+  verify::QueueSpec spec;
+  // Overlapping Enq(1)/Enq(2); dequeues can observe either order.
+  for (int first : {1, 2}) {
+    std::vector<OpRecord> h = {
+        op(0, 0, "Enq", num(1), str("OK"), 0, 3),
+        op(1, 1, "Enq", num(2), str("OK"), 1, 2),
+        op(2, 2, "Deq", unit(), num(first), 4, 5),
+        op(3, 2, "Deq", unit(), num(3 - first), 6, 7),
+    };
+    auto res = verify::check_linearizability(h, spec);
+    EXPECT_TRUE(res.linearizable) << "first=" << first;
+  }
+}
+
+TEST(LinChecker, RealTimeOrderIsRespected) {
+  verify::MaxRegisterSpec spec;
+  // WriteMax(5) completes before ReadMax starts; the read must see >= 5.
+  std::vector<OpRecord> h = {
+      op(0, 0, "WriteMax", num(5), unit(), 0, 1),
+      op(1, 1, "ReadMax", unit(), num(0), 2, 3),
+  };
+  auto res = verify::check_linearizability(h, spec);
+  EXPECT_FALSE(res.linearizable);
+}
+
+TEST(LinChecker, PendingOperationMayBeIncluded) {
+  verify::QueueSpec spec;
+  // Deq returned 7 although Enq(7) is still pending: the pending Enq must be
+  // linearized before the Deq.
+  std::vector<OpRecord> h = {
+      pending_op(0, 0, "Enq", num(7), 0),
+      op(1, 1, "Deq", unit(), num(7), 1, 2),
+  };
+  auto res = verify::check_linearizability(h, spec);
+  EXPECT_TRUE(res.linearizable);
+  ASSERT_EQ(res.witness.size(), 2u);
+  EXPECT_EQ(res.witness[0].first, 0);  // the pending Enq linearized first
+}
+
+TEST(LinChecker, PendingOperationMayBeExcluded) {
+  verify::QueueSpec spec;
+  // A pending Enq need not be linearized: Deq -> EMPTY remains valid.
+  std::vector<OpRecord> h = {
+      pending_op(0, 0, "Enq", num(7), 0),
+      op(1, 1, "Deq", unit(), str("EMPTY"), 1, 2),
+  };
+  auto res = verify::check_linearizability(h, spec);
+  EXPECT_TRUE(res.linearizable);
+}
+
+TEST(LinChecker, PendingCannotBeInvokedInTheFuture) {
+  verify::QueueSpec spec;
+  // Deq->7 completes BEFORE Enq(7) is invoked: never linearizable.
+  std::vector<OpRecord> h = {
+      op(0, 1, "Deq", unit(), num(7), 0, 1),
+      pending_op(1, 0, "Enq", num(7), 2),
+  };
+  auto res = verify::check_linearizability(h, spec);
+  EXPECT_FALSE(res.linearizable);
+}
+
+TEST(LinChecker, SnapshotRegularity) {
+  verify::SnapshotSpec spec(2);
+  // p0 updates to 3; overlapping scan may see [0,0] or [3,0].
+  std::vector<OpRecord> ok = {
+      op(0, 0, "Update", num(3), unit(), 0, 3),
+      op(1, 1, "Scan", unit(), vec({3, 0}), 1, 2),
+  };
+  EXPECT_TRUE(verify::check_linearizability(ok, spec).linearizable);
+
+  // But after Update completed, a later scan cannot miss it.
+  std::vector<OpRecord> bad = {
+      op(0, 0, "Update", num(3), unit(), 0, 1),
+      op(1, 1, "Scan", unit(), vec({0, 0}), 2, 3),
+  };
+  EXPECT_FALSE(verify::check_linearizability(bad, spec).linearizable);
+}
+
+TEST(LinChecker, NewOldInversionRejected) {
+  verify::SnapshotSpec spec(2);
+  // Two sequential scans: the first sees the update, the second does not.
+  std::vector<OpRecord> h = {
+      op(0, 0, "Update", num(3), unit(), 0, 5),
+      op(1, 1, "Scan", unit(), vec({3, 0}), 1, 2),
+      op(2, 1, "Scan", unit(), vec({0, 0}), 3, 4),
+  };
+  EXPECT_FALSE(verify::check_linearizability(h, spec).linearizable);
+}
+
+TEST(LinChecker, NondeterministicSetTake) {
+  verify::SetSpec spec;
+  // Take may remove either element.
+  for (int taken : {1, 2}) {
+    std::vector<OpRecord> h = {
+        op(0, 0, "Put", num(1), str("OK"), 0, 1),
+        op(1, 0, "Put", num(2), str("OK"), 2, 3),
+        op(2, 1, "Take", unit(), num(taken), 4, 5),
+    };
+    EXPECT_TRUE(verify::check_linearizability(h, spec).linearizable) << taken;
+  }
+  // But it cannot return an item never put.
+  std::vector<OpRecord> bad = {
+      op(0, 0, "Put", num(1), str("OK"), 0, 1),
+      op(1, 1, "Take", unit(), num(9), 2, 3),
+  };
+  EXPECT_FALSE(verify::check_linearizability(bad, spec).linearizable);
+}
+
+TEST(LinChecker, KOutOfOrderQueueWindow) {
+  // 2-out-of-order queue: Deq may return the 2nd oldest, not the 3rd.
+  verify::QueueSpec relaxed(2);
+  std::vector<OpRecord> base = {
+      op(0, 0, "Enq", num(1), str("OK"), 0, 1),
+      op(1, 0, "Enq", num(2), str("OK"), 2, 3),
+      op(2, 0, "Enq", num(3), str("OK"), 4, 5),
+  };
+  {
+    auto h = base;
+    h.push_back(op(3, 1, "Deq", unit(), num(2), 6, 7));
+    EXPECT_TRUE(verify::check_linearizability(h, relaxed).linearizable);
+  }
+  {
+    auto h = base;
+    h.push_back(op(3, 1, "Deq", unit(), num(3), 6, 7));
+    EXPECT_FALSE(verify::check_linearizability(h, relaxed).linearizable);
+  }
+}
+
+TEST(LinChecker, StutteringQueueAllowsBoundedNoOps) {
+  verify::StutteringQueueSpec spec(1);  // m == 1
+  // One enqueue may stutter: two identical Deq responses are allowed...
+  std::vector<OpRecord> h = {
+      op(0, 0, "Enq", num(1), str("OK"), 0, 1),
+      op(1, 1, "Deq", unit(), num(1), 2, 3),
+      op(2, 1, "Deq", unit(), num(1), 4, 5),
+  };
+  EXPECT_TRUE(verify::check_linearizability(h, spec).linearizable);
+  // ...but not three in a row (at least one of m+1 consecutive ops must land).
+  std::vector<OpRecord> bad = h;
+  bad.push_back(op(3, 1, "Deq", unit(), num(1), 6, 7));
+  EXPECT_FALSE(verify::check_linearizability(bad, spec).linearizable);
+}
+
+TEST(LinChecker, TasSpecSingleWinner) {
+  verify::TasSpec spec;
+  std::vector<OpRecord> good = {
+      op(0, 0, "TAS", unit(), num(0), 0, 3),
+      op(1, 1, "TAS", unit(), num(1), 1, 2),
+  };
+  EXPECT_TRUE(verify::check_linearizability(good, spec).linearizable);
+  std::vector<OpRecord> two_winners = {
+      op(0, 0, "TAS", unit(), num(0), 0, 3),
+      op(1, 1, "TAS", unit(), num(0), 1, 2),
+  };
+  EXPECT_FALSE(verify::check_linearizability(two_winners, spec).linearizable);
+}
+
+TEST(LinChecker, RejectsOversizedHistories) {
+  verify::CounterSpec spec;
+  std::vector<OpRecord> h;
+  for (int i = 0; i < 65; ++i) h.push_back(op(i, 0, "Inc", unit(), unit(), 2 * i, 2 * i + 1));
+  auto res = verify::check_linearizability(h, spec);
+  EXPECT_FALSE(res.decided);
+}
+
+}  // namespace
+}  // namespace c2sl

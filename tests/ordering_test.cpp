@@ -1,0 +1,171 @@
+// Unit tests for the Definition 11 machinery: the ordering adapters' proposal/
+// decision sequences and decision functions, and algorithm B's internals (the
+// pre-step instrumentation that writes T[i] before every step of A, and the
+// world-clone isolation of the local simulation).
+#include "agreement/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "agreement/lemma12.h"
+#include "baselines/cas_structures.h"
+#include "primitives/faa.h"
+#include "primitives/register.h"
+#include "sim/sim_run.h"
+#include "sim/strategy.h"
+
+namespace c2sl {
+namespace {
+
+TEST(Ordering, QueueSequencesAndDecision) {
+  auto o = agreement::queue_ordering(4);
+  EXPECT_EQ(o.k, 1);
+  auto prop = o.prop(2);
+  ASSERT_EQ(prop.size(), 1u);
+  EXPECT_EQ(prop[0].name, "Enq");
+  EXPECT_EQ(prop[0].args, num(2));
+  auto dec = o.dec(2);
+  ASSERT_EQ(dec.size(), 1u);
+  EXPECT_EQ(dec[0].name, "Deq");
+  // d(i, OK . l) = l
+  EXPECT_EQ(o.decide(2, {str("OK"), num(3)}), 3);
+  // malformed responses are rejected, not misdecoded
+  EXPECT_EQ(o.decide(2, {str("OK"), str("EMPTY")}), -1);
+  EXPECT_EQ(o.decide(2, {str("OK")}), -1);
+}
+
+TEST(Ordering, StackSequencesAndDecision) {
+  const int n = 3;
+  auto o = agreement::stack_ordering(n);
+  auto dec = o.dec(0);
+  EXPECT_EQ(dec.size(), static_cast<size_t>(n + 1));  // n+1 pops
+  // d = last non-EMPTY pop: [OK, 2, 0, EMPTY, EMPTY] -> 0 (the FIRST push).
+  EXPECT_EQ(o.decide(0, {str("OK"), num(2), num(0), str("EMPTY"), str("EMPTY")}), 0);
+  // All pops non-empty would be malformed for this workload, but the function
+  // still picks the last value.
+  EXPECT_EQ(o.decide(0, {str("OK"), num(2), num(1), num(0), str("EMPTY")}), 0);
+  // Unexpected payload kills the decision.
+  EXPECT_EQ(o.decide(0, {str("OK"), str("BOGUS"), num(1), num(0), str("EMPTY")}), -1);
+}
+
+TEST(Ordering, StutteringQueueSequences) {
+  auto o = agreement::stuttering_queue_ordering(3, /*m=*/2);
+  auto prop = o.prop(1);
+  EXPECT_EQ(prop.size(), 3u);  // m+1 enqueues
+  for (const auto& inv : prop) {
+    EXPECT_EQ(inv.name, "Enq");
+    EXPECT_EQ(inv.args, num(1));
+  }
+  // d(i, OK^(m+1) . l) = l
+  EXPECT_EQ(o.decide(1, {str("OK"), str("OK"), str("OK"), num(2)}), 2);
+}
+
+TEST(Ordering, StutteringStackSequences) {
+  const int n = 2;
+  const int m = 1;
+  auto o = agreement::stuttering_stack_ordering(n, m);
+  EXPECT_EQ(o.prop(0).size(), static_cast<size_t>(m + 1));
+  EXPECT_EQ(o.dec(0).size(), static_cast<size_t>(n * (m + 1) + 1));  // 5 pops
+  EXPECT_EQ(o.decide(0, {str("OK"), str("OK"), num(1), num(1), num(0),
+                         str("EMPTY"), str("EMPTY")}),
+            0);
+}
+
+TEST(Ordering, KOutOfOrderIsKOrdering) {
+  auto o = agreement::k_out_of_order_queue_ordering(5, 2);
+  EXPECT_EQ(o.k, 2);
+  EXPECT_EQ(o.decide(4, {str("OK"), num(1)}), 1);
+}
+
+// Algorithm B instrumentation: with step recording on, every base-object step
+// of A taken during the proposal phase must be immediately preceded by a write
+// to lemma12.T (the pre-step hook contract from Lemma 12 step 3).
+TEST(Lemma12Internals, TWrittenBeforeEveryAStep) {
+  const int n = 2;
+  sim::SimRun run(n);
+  run.history.record_steps = true;
+  auto impl = std::make_unique<baselines::CasQueue>(run.world, "A");
+  size_t range_end = run.world.size();
+  agreement::Lemma12State state;
+  agreement::spawn_lemma12(run, *impl, range_end, agreement::queue_ordering(n),
+                           {100, 101}, state);
+  sim::RandomStrategy strategy(3);
+  run.sched.run(strategy, 100000);
+  ASSERT_TRUE(run.sched.all_done());
+
+  const auto& events = run.history.events();
+  // Track, per process, whether the previous step of that process was a T write.
+  std::vector<std::string> prev_object(static_cast<size_t>(n));
+  int a_steps_checked = 0;
+  for (const auto& e : events) {
+    if (e.kind != sim::Event::Kind::kStep) continue;
+    const std::string& obj = e.object;
+    bool is_a_step = obj.rfind("A.", 0) == 0;
+    if (is_a_step) {
+      EXPECT_EQ(prev_object[static_cast<size_t>(e.proc)], "lemma12.T")
+          << "A-step without preceding T write at seq " << e.seq;
+      ++a_steps_checked;
+    }
+    prev_object[static_cast<size_t>(e.proc)] = obj;
+  }
+  EXPECT_GT(a_steps_checked, 0);
+}
+
+// Local simulation isolation: the solo run of dec_i must not disturb the real
+// world (it operates on a clone with the collected states installed).
+TEST(Lemma12Internals, LocalSimulationDoesNotMutateRealWorld) {
+  const int n = 3;
+  sim::SimRun run(n);
+  auto impl = std::make_unique<baselines::CasQueue>(run.world, "A");
+  size_t range_end = run.world.size();
+  agreement::Lemma12State state;
+  agreement::spawn_lemma12(run, *impl, range_end, agreement::queue_ordering(n),
+                           {100, 101, 102}, state);
+  sim::RandomStrategy strategy(11);
+  run.sched.run(strategy, 200000);
+  ASSERT_TRUE(run.sched.all_done());
+  // All three enqueued items are still in the REAL queue: the simulated deqs
+  // happened on clones only.
+  sim::Ctx solo;
+  solo.world = &run.world;
+  std::vector<int64_t> drained;
+  for (int i = 0; i < n; ++i) {
+    Val v = impl->deq(solo);
+    ASSERT_TRUE(std::holds_alternative<int64_t>(v));
+    drained.push_back(as_num(v));
+  }
+  std::sort(drained.begin(), drained.end());
+  EXPECT_EQ(drained, (std::vector<int64_t>{0, 1, 2}));  // process indices
+  EXPECT_EQ(impl->deq(solo), str("EMPTY"));
+}
+
+// Solo budget: a decision simulation that cannot finish is reported, not hung.
+TEST(Lemma12Internals, SoloBudgetExceededIsReported) {
+  struct Spinner : core::ConcurrentObject {
+    sim::Handle<prim::FetchAddInt> c;
+    explicit Spinner(sim::World& w) { c = w.add<prim::FetchAddInt>("A.c"); }
+    std::string object_name() const override { return "A"; }
+    Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override {
+      if (inv.name == "Enq") {
+        ctx.world->get(c).fetch_add(ctx, 1);
+        return str("OK");
+      }
+      for (;;) ctx.world->get(c).fetch_add(ctx, 0);  // Deq never returns
+    }
+  };
+  const int n = 2;
+  auto ordering = agreement::queue_ordering(n);
+  auto make = [](sim::World& w) -> std::unique_ptr<core::ConcurrentObject> {
+    return std::make_unique<Spinner>(w);
+  };
+  sim::RandomStrategy strategy(1);
+  agreement::Lemma12Options opts;
+  opts.solo_step_budget = 500;
+  auto res = agreement::run_lemma12(n, ordering, {100, 101}, make, strategy, 100000,
+                                    opts);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.state.solo_budget_exhausted, n);
+  EXPECT_FALSE(res.check.termination);
+}
+
+}  // namespace
+}  // namespace c2sl

@@ -1,0 +1,188 @@
+// Systematic progress-property measurements across all constructions — the
+// wait-free / lock-free classification column of Figure 1, as assertions.
+//
+//  * wait-free objects: a per-operation step bound holds on EVERY schedule,
+//    including maximally adversarial (starving) ones;
+//  * lock-free objects: system-wide progress holds while individual operations
+//    can be starved by completions (fetch&increment's reader, the set's
+//    taker), which is exactly the paper's wait-free vs lock-free split
+//    (Thms 9/10 are lock-free; Thms 1/2/5/6 wait-free).
+#include <gtest/gtest.h>
+
+#include "core/fetch_increment.h"
+#include "core/max_register_faa.h"
+#include "core/max_register_variants.h"
+#include "core/multishot_tas.h"
+#include "core/readable_tas.h"
+#include "core/sl_set.h"
+#include "core/snapshot_faa.h"
+#include "harness.h"
+
+namespace c2sl {
+namespace {
+
+using verify::Invocation;
+
+/// Runs `victim_ops` on process 0 under a starving adversary while others run
+/// `noise_ops`; returns the victim's steps per completed operation (empty if
+/// the victim never completed).
+struct StarveResult {
+  std::vector<uint64_t> victim_op_steps;
+  bool victim_done = false;
+  bool all_done = false;
+};
+
+StarveResult starve_run(const std::function<std::shared_ptr<core::ConcurrentObject>(
+                            sim::World&, int)>& factory,
+                        std::vector<Invocation> victim_ops,
+                        std::vector<Invocation> noise_ops, int n, uint64_t seed,
+                        uint64_t max_steps = 200000) {
+  StarveResult result;
+  sim::SimRun run(n);
+  auto obj = factory(run.world, n);
+  run.sched.spawn(0, [obj, victim_ops, &result](sim::Ctx& ctx) {
+    for (Invocation inv : victim_ops) {
+      inv.proc = 0;
+      uint64_t before = ctx.steps_taken;
+      obj->apply(ctx, inv);
+      result.victim_op_steps.push_back(ctx.steps_taken - before);
+    }
+    result.victim_done = true;
+  });
+  for (int p = 1; p < n; ++p) {
+    run.sched.spawn(p, [obj, noise_ops, p](sim::Ctx& ctx) {
+      for (Invocation inv : noise_ops) {
+        inv.proc = p;
+        obj->apply(ctx, inv);
+      }
+    });
+  }
+  sim::StarveStrategy starve(/*victim=*/0, seed);
+  result.all_done = run.sched.run(starve, max_steps).all_done;
+  return result;
+}
+
+// ---- wait-free: fixed step bounds under starvation -------------------------
+
+TEST(Progress, MaxRegisterFAAIsOneStepWaitFree) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<core::MaxRegisterFAA>(w, "m", n);
+  };
+  auto res = starve_run(factory,
+                        {{"WriteMax", num(9), 0}, {"ReadMax", unit(), 0}},
+                        {{"WriteMax", num(5), 0}, {"ReadMax", unit(), 0}}, 4, 7);
+  EXPECT_TRUE(res.victim_done);
+  for (uint64_t s : res.victim_op_steps) EXPECT_EQ(s, 1u);
+}
+
+TEST(Progress, SnapshotFAAIsOneStepWaitFree) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<core::SnapshotFAA>(w, "s", n);
+  };
+  auto res = starve_run(factory, {{"Update", num(3), 0}, {"Scan", unit(), 0}},
+                        {{"Update", num(1), 0}, {"Scan", unit(), 0}}, 4, 7);
+  EXPECT_TRUE(res.victim_done);
+  for (uint64_t s : res.victim_op_steps) EXPECT_EQ(s, 1u);
+}
+
+TEST(Progress, ReadableTASIsTwoStepWaitFree) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<core::ReadableTAS>(w, "t");
+  };
+  auto res = starve_run(factory, {{"TAS", unit(), 0}, {"Read", unit(), 0}},
+                        {{"TAS", unit(), 0}, {"Read", unit(), 0}}, 4, 7);
+  EXPECT_TRUE(res.victim_done);
+  ASSERT_EQ(res.victim_op_steps.size(), 2u);
+  EXPECT_EQ(res.victim_op_steps[0], 2u);  // ts.test&set + state.write
+  EXPECT_EQ(res.victim_op_steps[1], 1u);  // state.read
+}
+
+TEST(Progress, MultishotTASIsBoundedWaitFree) {
+  // Steps per op <= 3 with atomic bases (readMax + up to two TS accesses).
+  struct Bundle : core::ConcurrentObject {
+    core::AtomicMaxRegister curr;
+    core::AtomicReadableTasArray ts;
+    core::MultishotTAS mtas;
+    explicit Bundle(sim::World& w) : curr(w, "c"), ts(w, "T"), mtas("mt", curr, ts) {}
+    std::string object_name() const override { return "mt"; }
+    Val apply(sim::Ctx& c, const Invocation& i) override { return mtas.apply(c, i); }
+  };
+  auto factory = [](sim::World& w, int) { return std::make_shared<Bundle>(w); };
+  auto res = starve_run(factory,
+                        {{"TAS", unit(), 0}, {"Reset", unit(), 0}, {"Read", unit(), 0}},
+                        {{"TAS", unit(), 0}, {"Reset", unit(), 0}}, 4, 7);
+  EXPECT_TRUE(res.victim_done);
+  for (uint64_t s : res.victim_op_steps) EXPECT_LE(s, 3u);
+}
+
+// ---- lock-free: system progress, starvable individuals ---------------------
+
+TEST(Progress, FetchIncrementReadIsStarvableButSystemProgresses) {
+  // The victim's Read chases a moving target: each completed FAI invalidates
+  // its scan position. Under the starving adversary with ENOUGH noise ops the
+  // victim cannot finish within their window — lock-free, not wait-free.
+  struct Bundle : core::ConcurrentObject {
+    core::ReadableTasArray ts;
+    core::FetchIncrement fai;
+    explicit Bundle(sim::World& w) : ts(w, "M"), fai("f", ts) {}
+    std::string object_name() const override { return "f"; }
+    Val apply(sim::Ctx& c, const Invocation& i) override { return fai.apply(c, i); }
+  };
+  auto factory = [](sim::World& w, int) { return std::make_shared<Bundle>(w); };
+  std::vector<Invocation> noise(40, {"FAI", unit(), 0});
+  auto res = starve_run(factory, {{"Read", unit(), 0}}, noise, 3, 7);
+  // The noise processes all complete (system-wide progress)...
+  EXPECT_TRUE(res.all_done);
+  // ...and once they are done the victim finishes too (the adversary can only
+  // delay it while completions keep happening — the definition of lock-free).
+  EXPECT_TRUE(res.victim_done);
+  // Its single Read cost far more than any wait-free bound tied to its own
+  // "contention-free" cost (1 step): it paid for others' progress.
+  ASSERT_EQ(res.victim_op_steps.size(), 1u);
+  EXPECT_GE(res.victim_op_steps[0], 80u);  // scanned past all 80 FAI wins
+}
+
+TEST(Progress, SetTakeScalesWithCompletedPuts) {
+  struct Bundle : core::ConcurrentObject {
+    core::ReadableTasArray fts;
+    core::FetchIncrement fai;
+    core::SLSet set;
+    explicit Bundle(sim::World& w) : fts(w, "MM"), fai("Max", fts), set(w, "s", fai) {}
+    std::string object_name() const override { return "s"; }
+    Val apply(sim::Ctx& c, const Invocation& i) override { return set.apply(c, i); }
+  };
+  auto factory = [](sim::World& w, int) { return std::make_shared<Bundle>(w); };
+  std::vector<Invocation> noise;
+  for (int j = 0; j < 20; ++j) noise.push_back({"Put", num(j), 0});
+  auto res = starve_run(factory, {{"Take", unit(), 0}}, noise, 3, 7);
+  EXPECT_TRUE(res.all_done);
+  EXPECT_TRUE(res.victim_done);
+  ASSERT_EQ(res.victim_op_steps.size(), 1u);
+  // The starved Take paid at least a full sweep over the completed puts.
+  EXPECT_GE(res.victim_op_steps[0], 20u);
+}
+
+// ---- crashes never block others (all objects are non-blocking) -------------
+
+TEST(Progress, CrashedProcessNeverBlocksOthers) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<core::MaxRegisterFAA>(w, "m", n);
+  };
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    sim::SimRun run(3);
+    auto obj = factory(run.world, 3);
+    for (int p = 0; p < 3; ++p) {
+      run.sched.spawn(p, [obj, p](sim::Ctx& ctx) {
+        for (int j = 0; j < 5; ++j) {
+          core::invoke_recorded(ctx, *obj, {"WriteMax", num(p * 10 + j), p});
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed, /*crash_prob=*/0.1, /*max_crashes=*/2);
+    auto rr = run.sched.run(strategy, 100000);
+    EXPECT_TRUE(rr.all_done) << "seed " << seed;  // survivors always finish
+  }
+}
+
+}  // namespace
+}  // namespace c2sl

@@ -1,0 +1,171 @@
+// Mechanical REFUTATIONS of strong linearizability — the §5 side of the paper.
+//
+//  * Herlihy–Wing queue (fetch&add + swap): linearizable but not strongly
+//    linearizable. Witness shape (cf. Lemma 12's disagreement scenario): once
+//    Enq(10) has claimed slot 0 but not written it while Enq(20) completed, a
+//    dequeuer either observes 20 (forcing 20 first) or, after the write lands,
+//    observes 10 (forcing 10 first) — no single linearization of the common
+//    prefix extends both futures.
+//  * AADGMS snapshot (read/write): the original Golab–Higham–Woelfel exhibit.
+//  * CollectMaxRegister (read/write): wait-free and linearizable; the
+//    Denysyuk–Woelfel impossibility says unbounded wait-free SL max registers
+//    from registers cannot exist, and the checker finds a concrete violation.
+//
+// Together with strong_lin_positive_test.cpp, this demonstrates that the
+// checker separates the two classes — these verdicts are findings, not
+// assumptions.
+#include <gtest/gtest.h>
+
+#include "baselines/aadgms_snapshot.h"
+#include "baselines/herlihy_wing_queue.h"
+#include "core/max_register_variants.h"
+#include "harness.h"
+#include "verify/specs.h"
+#include "verify/strong_lin.h"
+
+namespace c2sl {
+namespace {
+
+using verify::Invocation;
+
+verify::StrongLinResult check(const sim::ScenarioFn& scenario, int n,
+                              const verify::Spec& spec, const std::string& object,
+                              int max_depth, size_t max_nodes) {
+  sim::ExploreOptions opts;
+  opts.max_depth = max_depth;
+  opts.max_nodes = max_nodes;
+  sim::ExecTree tree = sim::explore(n, scenario, opts);
+  verify::StrongLinOptions slopts;
+  slopts.object = object;
+  slopts.max_search_nodes = 30'000'000;
+  return verify::check_strong_linearizability(tree, spec, slopts);
+}
+
+TEST(StrongLinNegative, HerlihyWingQueueRefuted) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<baselines::HerlihyWingQueue>(w, "queue");
+  };
+  // p0: Enq(10); p1: Enq(20); p2: Deq. The conflict needs ~10 steps.
+  auto scenario = testing::fixed_scenario(factory, {{{"Enq", num(10), 0}},
+                                                    {{"Enq", num(20), 1}},
+                                                    {{"Deq", unit(), 2}}});
+  verify::QueueSpec spec;
+  auto res = check(scenario, 3, spec, "queue", /*max_depth=*/14, /*max_nodes=*/500000);
+  ASSERT_TRUE(res.decided) << "search budget exhausted";
+  EXPECT_FALSE(res.strongly_linearizable)
+      << "Herlihy-Wing queue must NOT be strongly linearizable (Theorem 17 regime)";
+  EXPECT_GE(res.witness_node, 0);
+  // The diagnostic report embeds the conflicting history.
+  EXPECT_NE(res.report.find("no prefix-closed linearization function"),
+            std::string::npos);
+}
+
+// Control: the same scenario IS linearizable on every explored schedule — the
+// violation is about prefix-closure, not about linearizability.
+TEST(StrongLinNegative, HerlihyWingQueueStillLinearizable) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<baselines::HerlihyWingQueue>(w, "queue");
+  };
+  auto scenario = testing::fixed_scenario(factory, {{{"Enq", num(10), 0}},
+                                                    {{"Enq", num(20), 1}},
+                                                    {{"Deq", unit(), 2}}});
+  sim::ExploreOptions opts;
+  opts.max_depth = 14;
+  opts.max_nodes = 500000;
+  sim::ExecTree tree = sim::explore(3, scenario, opts);
+  verify::QueueSpec spec;
+  int checked = 0;
+  for (const auto& node : tree.nodes) {
+    if (!node.all_done) continue;
+    auto ops = verify::operations_from_events(tree.history_at(node.id));
+    auto lin = verify::check_linearizability(verify::filter_object(ops, "queue"), spec);
+    EXPECT_TRUE(lin.linearizable) << "node " << node.id << "\n" << lin.explanation;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// AADGMS operations are long (a scan is >= 2n reads), so the conflict region
+// sits too deep for full-tree exploration. Guided refutation: sample random
+// schedule prefixes and exhaustively explore the shallow subtree after each —
+// a prefix-closure conflict inside ANY subtree refutes strong linearizability
+// of the whole implementation.
+TEST(StrongLinNegative, AadgmsSnapshotRefutedGuided) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<baselines::AadgmsSnapshot>(w, "snap", n);
+  };
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"Update", num(1), 0}, {"Update", num(2), 0}},
+                {{"Scan", unit(), 1}},
+                {{"Update", num(3), 2}}});
+  verify::SnapshotSpec spec(3);
+
+  bool refuted = false;
+  for (uint64_t seed = 0; seed < 60 && !refuted; ++seed) {
+    for (uint64_t prefix_len : {6u, 10u, 14u, 18u}) {
+      // Record a replayable schedule prefix.
+      sim::SimRun probe(3);
+      scenario(probe);
+      sim::RandomStrategy random(seed);
+      sim::RecordingStrategy recorder(random);
+      probe.sched.run(recorder, prefix_len);
+      if (recorder.recorded().size() < prefix_len) break;  // programs finished
+
+      sim::ExploreOptions opts;
+      opts.prefix = recorder.recorded();
+      opts.max_depth = 12;
+      opts.max_nodes = 60000;
+      sim::ExecTree tree = sim::explore(3, scenario, opts);
+      verify::StrongLinOptions slopts;
+      slopts.object = "snap";
+      slopts.max_search_nodes = 4'000'000;
+      auto res = verify::check_strong_linearizability(tree, spec, slopts);
+      if (res.decided && !res.strongly_linearizable) {
+        refuted = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(refuted)
+      << "AADGMS snapshot must NOT be strongly linearizable (GHW 2011)";
+}
+
+// The plain Aspnes–Attiya–Censor tree max register (registers only) fails the
+// model check as well: its read path chases switch bits whose meaning depends
+// on concurrent writers, so read linearization points are future-dependent.
+// (Helmi–Higham–Woelfel's positive result for bounded SL max registers uses a
+// modified construction, which this exhibit motivates.)
+TEST(StrongLinNegative, PlainAacTreeMaxRegisterRefuted) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<core::BoundedRWMaxRegister>(w, "maxreg", 4);
+  };
+  auto scenario = testing::fixed_scenario(factory, {{{"WriteMax", num(3), 0}},
+                                                    {{"WriteMax", num(1), 1}},
+                                                    {{"ReadMax", unit(), 2}}});
+  verify::MaxRegisterSpec spec;
+  auto res = check(scenario, 3, spec, "maxreg", /*max_depth=*/24, /*max_nodes=*/400000);
+  ASSERT_TRUE(res.decided) << "search budget exhausted";
+  EXPECT_FALSE(res.strongly_linearizable);
+  EXPECT_GE(res.witness_node, 0);
+}
+
+TEST(StrongLinNegative, CollectMaxRegisterRefuted) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<core::CollectMaxRegister>(w, "maxreg", n);
+  };
+  // Readers collecting lane-by-lane while writers land: the reader's return
+  // value depends on the future relative to its first collect read.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"WriteMax", num(2), 0}},
+                {{"WriteMax", num(1), 1}},
+                {{"ReadMax", unit(), 2}, {"ReadMax", unit(), 2}}});
+  verify::MaxRegisterSpec spec;
+  auto res = check(scenario, 3, spec, "maxreg", /*max_depth=*/24, /*max_nodes=*/800000);
+  ASSERT_TRUE(res.decided) << "search budget exhausted";
+  EXPECT_FALSE(res.strongly_linearizable)
+      << "collect-based max register must NOT be strongly linearizable "
+         "(Denysyuk-Woelfel impossibility)";
+}
+
+}  // namespace
+}  // namespace c2sl

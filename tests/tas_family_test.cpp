@@ -1,0 +1,358 @@
+// §4 constructions: readable test&set (Thm 5), readable multi-shot test&set
+// (Thm 6 + Corollaries 7/8), readable fetch&increment (Thm 9) and the set
+// (Thm 10 / Algorithm 2). Sequential semantics, random-schedule linearizability
+// sweeps over all backend compositions, progress properties, and crash runs.
+#include <gtest/gtest.h>
+
+#include "core/fetch_increment.h"
+#include "core/max_register_faa.h"
+#include "core/max_register_variants.h"
+#include "core/multishot_tas.h"
+#include "core/readable_tas.h"
+#include "core/sl_set.h"
+#include "harness.h"
+#include "verify/specs.h"
+
+namespace c2sl {
+namespace {
+
+using testing::ObjectFactory;
+using testing::OpGen;
+using testing::WorkloadOptions;
+using verify::Invocation;
+
+// ------------------------------------------------------------- readable TAS
+
+TEST(ReadableTAS, SequentialSemantics) {
+  sim::World world;
+  core::ReadableTAS t(world, "t");
+  sim::Ctx solo;
+  solo.world = &world;
+  EXPECT_EQ(t.read(solo), 0);
+  EXPECT_EQ(t.test_and_set(solo), 0);
+  EXPECT_EQ(t.read(solo), 1);
+  EXPECT_EQ(t.test_and_set(solo), 1);
+  EXPECT_EQ(t.read(solo), 1);
+}
+
+TEST(ReadableTAS, LinearizableUnderRandomSchedules) {
+  verify::TasSpec spec;
+  ObjectFactory factory = [](sim::World& w, int) {
+    return std::make_shared<core::ReadableTAS>(w, "rtas");
+  };
+  OpGen gen = [](int, int, Rng& rng) {
+    return rng.next_bool(0.5) ? Invocation{"TAS", unit(), -1}
+                              : Invocation{"Read", unit(), -1};
+  };
+  for (int n : {2, 3, 5}) {
+    WorkloadOptions opts;
+    opts.n = n;
+    opts.ops_per_proc = 3;
+    EXPECT_TRUE(testing::lin_sweep(factory, gen, spec, opts, 40, "rtas")) << n;
+  }
+}
+
+TEST(ReadableTAS, ExactlyOneWinnerEvenWithCrashes) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    sim::SimRun run(4);
+    auto obj = std::make_shared<core::ReadableTAS>(run.world, "t");
+    std::vector<int64_t> results(4, -1);
+    for (int p = 0; p < 4; ++p) {
+      run.sched.spawn(p, [obj, &results](sim::Ctx& ctx) {
+        results[static_cast<size_t>(ctx.self)] = obj->test_and_set(ctx);
+      });
+    }
+    sim::RandomStrategy strategy(seed, /*crash_prob=*/0.05, /*max_crashes=*/2);
+    run.sched.run(strategy, 1000);
+    EXPECT_LE(std::count(results.begin(), results.end(), 0), 1) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------- multi-shot TAS
+
+/// All Theorem 6 backend compositions under one factory.
+enum class MtasBackend { kAtomicBases, kCor7FaaMax, kCollectMax };
+
+ObjectFactory mtas_factory(MtasBackend backend) {
+  return [backend](sim::World& w, int n) -> std::shared_ptr<core::ConcurrentObject> {
+    struct Bundle : core::ConcurrentObject {
+      std::unique_ptr<core::MaxRegisterIface> curr_owner;
+      std::unique_ptr<core::ReadableTasArrayIface> ts_owner;
+      std::unique_ptr<core::MultishotTAS> mtas;
+      std::string object_name() const override { return "mtas"; }
+      Val apply(sim::Ctx& c, const Invocation& i) override { return mtas->apply(c, i); }
+    };
+    auto b = std::make_shared<Bundle>();
+    switch (backend) {
+      case MtasBackend::kAtomicBases:
+        b->curr_owner = std::make_unique<core::AtomicMaxRegister>(w, "curr");
+        b->ts_owner = std::make_unique<core::AtomicReadableTasArray>(w, "TS");
+        break;
+      case MtasBackend::kCor7FaaMax:
+        b->curr_owner = std::make_unique<core::MaxRegisterFAA>(w, "curr", n);
+        b->ts_owner = std::make_unique<core::ReadableTasArray>(w, "TS");
+        break;
+      case MtasBackend::kCollectMax:
+        b->curr_owner = std::make_unique<core::CollectMaxRegister>(w, "curr", n);
+        b->ts_owner = std::make_unique<core::ReadableTasArray>(w, "TS");
+        break;
+    }
+    b->mtas = std::make_unique<core::MultishotTAS>("mtas", *b->curr_owner, *b->ts_owner);
+    return b;
+  };
+}
+
+TEST(MultishotTAS, SequentialSemantics) {
+  sim::World world;
+  core::AtomicMaxRegister curr(world, "curr");
+  core::AtomicReadableTasArray ts(world, "TS");
+  core::MultishotTAS t("t", curr, ts);
+  sim::Ctx solo;
+  solo.world = &world;
+  solo.self = 0;
+  EXPECT_EQ(t.read(solo), 0);
+  EXPECT_EQ(t.test_and_set(solo), 0);
+  EXPECT_EQ(t.read(solo), 1);
+  t.reset(solo);
+  EXPECT_EQ(t.read(solo), 0);
+  EXPECT_EQ(t.test_and_set(solo), 0);  // winnable again after reset
+  t.reset(solo);
+  t.reset(solo);  // reset of an already-0 object is a no-op
+  EXPECT_EQ(t.read(solo), 0);
+}
+
+class MultishotTASBackends : public ::testing::TestWithParam<MtasBackend> {};
+
+TEST_P(MultishotTASBackends, LinearizableUnderRandomSchedules) {
+  verify::TasSpec spec(/*multi_shot=*/true);
+  OpGen gen = [](int, int, Rng& rng) {
+    uint64_t r = rng.next_below(10);
+    if (r < 4) return Invocation{"TAS", unit(), -1};
+    if (r < 7) return Invocation{"Read", unit(), -1};
+    return Invocation{"Reset", unit(), -1};
+  };
+  WorkloadOptions opts;
+  opts.n = 3;
+  opts.ops_per_proc = 3;
+  EXPECT_TRUE(
+      testing::lin_sweep(mtas_factory(GetParam()), gen, spec, opts, 40, "mtas"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MultishotTASBackends,
+                         ::testing::Values(MtasBackend::kAtomicBases,
+                                           MtasBackend::kCor7FaaMax,
+                                           MtasBackend::kCollectMax));
+
+// ---------------------------------------------------------- fetch&increment
+
+struct FaiBundle : core::ConcurrentObject {
+  core::ReadableTasArray ts;
+  core::FetchIncrement fai;
+  FaiBundle(sim::World& w, bool one_shot = false)
+      : ts(w, "M"), fai("fai", ts, one_shot) {}
+  std::string object_name() const override { return "fai"; }
+  Val apply(sim::Ctx& c, const Invocation& i) override { return fai.apply(c, i); }
+};
+
+TEST(FetchIncrement, SequentialSemantics) {
+  sim::World world;
+  FaiBundle b(world);
+  sim::Ctx solo;
+  solo.world = &world;
+  EXPECT_EQ(b.fai.read(solo), 0);
+  EXPECT_EQ(b.fai.fetch_and_increment(solo), 0);
+  EXPECT_EQ(b.fai.fetch_and_increment(solo), 1);
+  EXPECT_EQ(b.fai.read(solo), 2);
+  EXPECT_EQ(b.fai.fetch_and_increment(solo), 2);
+}
+
+TEST(FetchIncrement, LinearizableUnderRandomSchedules) {
+  verify::FaiSpec spec;
+  ObjectFactory factory = [](sim::World& w, int) {
+    return std::make_shared<FaiBundle>(w);
+  };
+  OpGen gen = [](int, int, Rng& rng) {
+    return rng.next_bool(0.6) ? Invocation{"FAI", unit(), -1}
+                              : Invocation{"Read", unit(), -1};
+  };
+  for (int n : {2, 3, 4}) {
+    WorkloadOptions opts;
+    opts.n = n;
+    opts.ops_per_proc = 3;
+    EXPECT_TRUE(testing::lin_sweep(factory, gen, spec, opts, 40, "fai")) << n;
+  }
+}
+
+TEST(FetchIncrement, DistinctValuesAcrossProcesses) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    sim::SimRun run(4);
+    auto obj = std::make_shared<FaiBundle>(run.world);
+    std::vector<int64_t> got;
+    for (int p = 0; p < 4; ++p) {
+      run.sched.spawn(p, [obj, &got](sim::Ctx& ctx) {
+        for (int j = 0; j < 3; ++j) got.push_back(obj->fai.fetch_and_increment(ctx));
+      });
+    }
+    sim::RandomStrategy strategy(seed);
+    run.sched.run(strategy, 100000);
+    ASSERT_TRUE(run.sched.all_done());
+    std::sort(got.begin(), got.end());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], static_cast<int64_t>(i)) << "seed " << seed;
+    }
+  }
+}
+
+// One-shot restriction (paper §1 re [4,5]): wait-free with a bound of
+// 2n steps — each of the <= n array entries costs one test&set plus one state
+// write.
+TEST(FetchIncrement, OneShotIsWaitFreeBounded) {
+  const int n = 5;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    sim::SimRun run(n);
+    auto obj = std::make_shared<FaiBundle>(run.world, /*one_shot=*/true);
+    std::vector<uint64_t> op_steps(static_cast<size_t>(n), 0);
+    for (int p = 0; p < n; ++p) {
+      run.sched.spawn(p, [obj, &op_steps](sim::Ctx& ctx) {
+        uint64_t before = ctx.steps_taken;
+        obj->fai.fetch_and_increment(ctx);
+        op_steps[static_cast<size_t>(ctx.self)] = ctx.steps_taken - before;
+      });
+    }
+    sim::RandomStrategy strategy(seed);
+    run.sched.run(strategy, 100000);
+    ASSERT_TRUE(run.sched.all_done());
+    for (uint64_t s : op_steps) EXPECT_LE(s, 2u * n);
+  }
+}
+
+TEST(FetchIncrement, OneShotRejectsSecondCall) {
+  sim::World world;
+  FaiBundle b(world, /*one_shot=*/true);
+  sim::Ctx solo;
+  solo.world = &world;
+  b.fai.fetch_and_increment(solo);
+  EXPECT_THROW(b.fai.fetch_and_increment(solo), PreconditionError);
+}
+
+// Lock-freedom of the multi-shot version: a starved reader makes no progress
+// while FAI completions keep invalidating it, but the system completes
+// operations (this is exactly why Thm 9 claims lock-freedom, not wait-freedom).
+TEST(FetchIncrement, SystemProgressUnderStarvation) {
+  sim::SimRun run(3);
+  auto obj = std::make_shared<FaiBundle>(run.world);
+  int completed_fais = 0;
+  run.sched.spawn(0, [obj](sim::Ctx& ctx) { obj->fai.read(ctx); });
+  for (int p = 1; p < 3; ++p) {
+    run.sched.spawn(p, [obj, &completed_fais](sim::Ctx& ctx) {
+      for (int j = 0; j < 10; ++j) {
+        obj->fai.fetch_and_increment(ctx);
+        ++completed_fais;
+      }
+    });
+  }
+  sim::StarveStrategy starve(/*victim=*/0, /*seed=*/13);
+  run.sched.run(starve, 100000);
+  EXPECT_EQ(completed_fais, 20);  // system-wide progress despite the starved read
+  EXPECT_TRUE(run.sched.all_done());
+}
+
+// -------------------------------------------------------------------- set
+
+struct SetBundle : core::ConcurrentObject {
+  core::ReadableTasArray fai_ts;
+  core::FetchIncrement fai;
+  core::SLSet set;
+  SetBundle(sim::World& w) : fai_ts(w, "MaxM"), fai("Max", fai_ts), set(w, "set", fai) {}
+  std::string object_name() const override { return "set"; }
+  Val apply(sim::Ctx& c, const Invocation& i) override { return set.apply(c, i); }
+};
+
+TEST(SLSet, SequentialSemantics) {
+  sim::World world;
+  SetBundle b(world);
+  sim::Ctx solo;
+  solo.world = &world;
+  EXPECT_EQ(b.set.take(solo), str("EMPTY"));
+  EXPECT_EQ(b.set.put(solo, 7), str("OK"));
+  EXPECT_EQ(b.set.put(solo, 9), str("OK"));
+  Val first = b.set.take(solo);
+  Val second = b.set.take(solo);
+  std::vector<int64_t> taken = {as_num(first), as_num(second)};
+  std::sort(taken.begin(), taken.end());
+  EXPECT_EQ(taken, (std::vector<int64_t>{7, 9}));
+  EXPECT_EQ(b.set.take(solo), str("EMPTY"));
+}
+
+TEST(SLSet, LinearizableUnderRandomSchedules) {
+  verify::SetSpec spec;
+  ObjectFactory factory = [](sim::World& w, int) {
+    return std::make_shared<SetBundle>(w);
+  };
+  // Unique items per (proc, index): the paper assumes distinct put inputs.
+  OpGen gen = [](int proc, int j, Rng& rng) {
+    if (rng.next_bool(0.55)) {
+      return Invocation{"Put", num(proc * 100 + j), -1};
+    }
+    return Invocation{"Take", unit(), -1};
+  };
+  for (int n : {2, 3}) {
+    WorkloadOptions opts;
+    opts.n = n;
+    opts.ops_per_proc = 3;
+    EXPECT_TRUE(testing::lin_sweep(factory, gen, spec, opts, 40, "set")) << n;
+  }
+}
+
+TEST(SLSet, NoItemTakenTwiceAndNoItemLost) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    sim::SimRun run(4);
+    auto obj = std::make_shared<SetBundle>(run.world);
+    std::vector<int64_t> taken;
+    int empties = 0;
+    for (int p = 0; p < 4; ++p) {
+      run.sched.spawn(p, [obj, p, &taken, &empties](sim::Ctx& ctx) {
+        for (int j = 0; j < 2; ++j) obj->set.put(ctx, p * 10 + j);
+        for (int j = 0; j < 2; ++j) {
+          Val v = obj->set.take(ctx);
+          if (std::holds_alternative<int64_t>(v)) {
+            taken.push_back(as_num(v));
+          } else {
+            ++empties;
+          }
+        }
+      });
+    }
+    sim::RandomStrategy strategy(seed);
+    run.sched.run(strategy, 200000);
+    ASSERT_TRUE(run.sched.all_done()) << "seed " << seed;
+    std::sort(taken.begin(), taken.end());
+    EXPECT_TRUE(std::adjacent_find(taken.begin(), taken.end()) == taken.end())
+        << "item taken twice, seed " << seed;
+    EXPECT_EQ(taken.size() + static_cast<size_t>(empties), 8u);
+  }
+}
+
+TEST(SLSet, PutIsWaitFreeBoundedSteps) {
+  // Put = one fetch&increment (lock-free in general, but bounded here by the
+  // number of puts) + one write. With k puts total, FAI costs <= 2k steps.
+  sim::SimRun run(3);
+  auto obj = std::make_shared<SetBundle>(run.world);
+  std::vector<uint64_t> put_steps;
+  for (int p = 0; p < 3; ++p) {
+    run.sched.spawn(p, [obj, p, &put_steps](sim::Ctx& ctx) {
+      for (int j = 0; j < 3; ++j) {
+        uint64_t before = ctx.steps_taken;
+        obj->set.put(ctx, p * 10 + j);
+        put_steps.push_back(ctx.steps_taken - before);
+      }
+    });
+  }
+  sim::RandomStrategy strategy(3);
+  run.sched.run(strategy, 100000);
+  ASSERT_TRUE(run.sched.all_done());
+  for (uint64_t s : put_steps) EXPECT_LE(s, 2u * 9 + 1);
+}
+
+}  // namespace
+}  // namespace c2sl
