@@ -1,0 +1,135 @@
+// C2Store service benchmark: thread-scaling sweep (1..hardware_concurrency),
+// shard-count ablation, and the four canonical op mixes, driven through the
+// workload engine. Emits one c2sl-bench-v1 suite document (BENCH_c2store.json
+// by default) and a human-readable summary on stdout.
+//
+//   $ ./bench_c2store [--quick] [--out FILE] [--ops N] [--threads-max N]
+//
+// --quick shrinks op counts for CI smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workload/engine.h"
+
+using namespace c2sl;
+
+namespace {
+
+struct Args {
+  bool quick = false;
+  std::string out = "BENCH_c2store.json";
+  uint64_t ops = 5000;
+  bool ops_explicit = false;  // --quick only lowers ops when --ops is absent
+  int threads_max = 0;        // 0 == hardware_concurrency
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      a.quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      a.out = argv[++i];
+    } else if (arg == "--ops" && i + 1 < argc) {
+      a.ops = std::strtoull(argv[++i], nullptr, 10);
+      a.ops_explicit = true;
+    } else if (arg == "--threads-max" && i + 1 < argc) {
+      a.threads_max = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]\n",
+                   argv[0]);
+      std::exit(1);
+    }
+  }
+  if (a.quick && !a.ops_explicit) a.ops = 1000;
+  return a;
+}
+
+void run_one(wl::JsonWriter& w, const std::string& bench, wl::WorkloadConfig cfg) {
+  wl::WorkloadResult r = wl::run_workload(cfg);
+  wl::append_result_entry(w, bench, r);
+  std::printf("%-32s threads=%-2d shards=%-3d  %10.0f ops/s  p50=%6lld ns  p99=%8lld ns\n",
+              bench.c_str(), cfg.threads, cfg.store.shards, r.throughput_ops_s,
+              static_cast<long long>(r.latency.p50_ns),
+              static_cast<long long>(r.latency.p99_ns));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse(argc, argv);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 1;
+  int max_threads = args.threads_max > 0 ? args.threads_max : hw;
+  max_threads = std::min(max_threads, 31);  // engine lane budget
+
+  wl::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "c2sl-bench-v1");
+  w.field("suite", "bench_c2store");
+  w.key("host").begin_object();
+  w.field("hardware_concurrency", hw);
+  w.end_object();
+  w.key("results").begin_array();
+
+  // --- thread-scaling sweep, zipfian keys, mixed ops ---
+  for (int t = 1; t <= max_threads; ++t) {
+    wl::WorkloadConfig cfg;
+    cfg.threads = t;
+    cfg.ops_per_thread = args.ops;
+    cfg.key_space = 4096;
+    cfg.dist = "zipfian";
+    cfg.mix = wl::OpMix::mixed();
+    cfg.store.shards = 16;
+    run_one(w, "sweep/threads=" + std::to_string(t), cfg);
+  }
+
+  // --- shard-count ablation at full thread count ---
+  for (int shards : {1, 2, 4, 8, 16, 32}) {
+    wl::WorkloadConfig cfg;
+    cfg.threads = max_threads;
+    cfg.ops_per_thread = args.ops;
+    cfg.key_space = 4096;
+    cfg.dist = "zipfian";
+    cfg.mix = wl::OpMix::mixed();
+    cfg.store.shards = shards;
+    run_one(w, "ablation/shards=" + std::to_string(shards), cfg);
+  }
+
+  // --- op-mix and key-distribution scenarios ---
+  for (const char* mix : {"read_heavy", "write_heavy", "mixed", "aggregate_scan"}) {
+    wl::WorkloadConfig cfg;
+    cfg.threads = max_threads;
+    cfg.ops_per_thread = args.ops;
+    cfg.key_space = 4096;
+    cfg.dist = "zipfian";
+    cfg.mix = wl::OpMix::by_name(mix);
+    cfg.store.shards = 16;
+    run_one(w, std::string("mix/") + mix, cfg);
+  }
+  for (const char* dist : {"uniform", "hotburst"}) {
+    wl::WorkloadConfig cfg;
+    cfg.threads = max_threads;
+    cfg.ops_per_thread = args.ops;
+    cfg.key_space = 4096;
+    cfg.dist = dist;
+    cfg.mix = wl::OpMix::mixed();
+    cfg.store.shards = 16;
+    run_one(w, std::string("dist/") + dist, cfg);
+  }
+
+  w.end_array();
+  w.end_object();
+  std::ofstream out(args.out);
+  out << w.str() << "\n";
+  std::printf("wrote %s\n", args.out.c_str());
+  return 0;
+}

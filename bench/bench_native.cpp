@@ -2,7 +2,12 @@
 // bounded §3/§4 variants under genuine hardware contention. (On a single-core
 // host the thread counts time-slice; the numbers are functional throughput,
 // not a scaling study.)
+//
+// Emits BENCH_native.json in the repo-wide c2sl-bench-v1 schema alongside the
+// usual console output.
 #include <benchmark/benchmark.h>
+
+#include "json_reporter.h"
 
 #include "runtime/native_max_register.h"
 #include "runtime/native_snapshot.h"
@@ -112,3 +117,8 @@ void NAT_FetchAdd_Reference(benchmark::State& state) {
 BENCHMARK(NAT_FetchAdd_Reference)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return c2bench::run_with_schema_reporter(argc, argv, "bench_native",
+                                           "BENCH_native.json");
+}

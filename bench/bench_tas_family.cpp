@@ -2,7 +2,12 @@
 // test&set backends (Thm 6 atomic bases, Cor 7 FAA max register, the
 // registers-only collect max register), fetch&increment one-shot vs
 // multi-shot, and the Algorithm 2 set under different put/take mixes.
+//
+// Emits BENCH_tas_family.json in the repo-wide c2sl-bench-v1 schema alongside
+// the usual console output.
 #include <benchmark/benchmark.h>
+
+#include "json_reporter.h"
 
 #include "core/fetch_increment.h"
 #include "core/max_register_faa.h"
@@ -168,3 +173,8 @@ void T10_Set(benchmark::State& state) {
 BENCHMARK(T10_Set)->Args({2, 70})->Args({4, 70})->Args({4, 30})->Args({8, 50});
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return c2bench::run_with_schema_reporter(argc, argv, "bench_tas_family",
+                                           "BENCH_tas_family.json");
+}

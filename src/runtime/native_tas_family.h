@@ -60,7 +60,9 @@ class NativeMultishotTAS {
  public:
   /// Supports up to max_resets reset generations.
   NativeMultishotTAS(int n, int64_t max_resets)
-      : curr_(n, max_resets + 1), ts_(static_cast<size_t>(max_resets) + 2) {}
+      : max_resets_(max_resets),
+        curr_(n, max_resets + 1),
+        ts_(static_cast<size_t>(max_resets) + 2) {}
 
   int64_t test_and_set(int proc) {
     (void)proc;
@@ -74,9 +76,17 @@ class NativeMultishotTAS {
     }
   }
 
+  /// Reset generations consumed so far (0 .. max_resets). Callers that may run
+  /// out of generations (e.g. the C2Store service layer) gate reset() on this;
+  /// near exhaustion the gate is advisory only, so concurrent resetters must be
+  /// externally serialized for the last generation.
+  int64_t generation() { return curr_.read_max(); }
+  int64_t max_resets() const { return max_resets_; }
+
  private:
   size_t index() { return static_cast<size_t>(curr_.read_max()) + 1; }
 
+  int64_t max_resets_;
   NativeMaxRegister64 curr_;
   NativeReadableTasArray ts_;
 };

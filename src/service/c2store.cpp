@@ -1,0 +1,169 @@
+#include "service/c2store.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace c2sl::svc {
+
+struct C2Store::ShardObjects {
+  rt::NativeMaxRegister64 max;
+  rt::NativeFetchIncrement counter;
+  rt::NativeMultishotTAS tas;
+  rt::NativeSet set;
+
+  explicit ShardObjects(const C2StoreConfig& c)
+      : max(c.max_threads, c.max_value),
+        counter(c.counter_capacity),
+        tas(c.max_threads, c.tas_max_resets),
+        set(c.set_capacity) {}
+};
+
+// Runs in the init list, before any member construction: every config error
+// surfaces here with a service-level message, and ShardObjects construction
+// below can no longer throw for config reasons (only bad_alloc remains).
+const C2StoreConfig& C2Store::validate(const C2StoreConfig& cfg) {
+  C2SL_CHECK(cfg.max_threads >= 1, "need at least one thread lane");
+  C2SL_CHECK(cfg.max_value >= 1, "max_value must be at least 1");
+  C2SL_CHECK(cfg.tas_max_resets >= 0, "tas_max_resets must be non-negative");
+  C2SL_CHECK(cfg.counter_capacity >= 1 && cfg.set_capacity >= 1,
+             "per-shard capacities must be non-zero");
+  C2SL_CHECK(static_cast<int64_t>(cfg.max_threads) * cfg.max_value <= 63,
+             "max_threads * max_value must fit in 63 bits");
+  C2SL_CHECK(static_cast<int64_t>(cfg.max_threads) * (cfg.tas_max_resets + 1) <= 63,
+             "max_threads * (tas_max_resets + 1) must fit in 63 bits");
+  return cfg;
+}
+
+C2Store::C2Store(const C2StoreConfig& cfg)
+    : cfg_(validate(cfg)),
+      router_(cfg.shards),
+      slots_(std::make_unique<ShardSlot[]>(static_cast<size_t>(cfg.shards))),
+      digest_(cfg.max_threads, cfg.max_value) {}
+
+C2Store::~C2Store() {
+  for (int s = 0; s < router_.shard_count(); ++s) {
+    delete slots_[static_cast<size_t>(s)].objs.load(std::memory_order_seq_cst);
+  }
+}
+
+C2Store::ShardObjects& C2Store::shard(int s) {
+  ShardSlot& slot = slots_[static_cast<size_t>(s)];
+  ShardObjects* p = slot.objs.load(std::memory_order_seq_cst);
+  if (p) return *p;
+  if (slot.claim.test_and_set() == 0) {
+    // We won the readable test&set: construct and publish. The publication is
+    // a plain register write (consensus number 1) — still no CAS. The config
+    // was validated up front, so only allocation failure can throw here; the
+    // poison flag turns that into an error for the waiters instead of a
+    // permanent spin (the one-shot claim is already consumed).
+    try {
+      p = new ShardObjects(cfg_);
+    } catch (...) {
+      slot.poisoned.store(true, std::memory_order_seq_cst);
+      throw;
+    }
+    slot.objs.store(p, std::memory_order_seq_cst);
+    return *p;
+  }
+  // Another thread won the claim; its publication is at most a few stores
+  // away, so losers spin on the pointer.
+  while (!(p = slot.objs.load(std::memory_order_seq_cst))) {
+    C2SL_CHECK(!slot.poisoned.load(std::memory_order_seq_cst),
+               "shard initialization failed in another thread");
+  }
+  return *p;
+}
+
+C2Store::ShardObjects* C2Store::peek(int s) const {
+  return slots_[static_cast<size_t>(s)].objs.load(std::memory_order_seq_cst);
+}
+
+void C2Store::max_write_shard(int tid, int s, int64_t v) {
+  shard(s).max.write_max(tid, v);
+  digest_.write_max(tid, v);  // keeps global_max() a single-word read
+}
+
+int64_t C2Store::max_read_shard(int s) {
+  ShardObjects* p = peek(s);
+  return p ? p->max.read_max() : 0;
+}
+
+int64_t C2Store::counter_inc_shard(int s) { return shard(s).counter.fetch_and_increment(); }
+
+int64_t C2Store::counter_read_shard(int s) {
+  ShardObjects* p = peek(s);
+  return p ? p->counter.read() : 0;
+}
+
+int64_t C2Store::tas_shard(int tid, int s) { return shard(s).tas.test_and_set(tid); }
+
+int64_t C2Store::tas_read_shard(int s) {
+  ShardObjects* p = peek(s);
+  return p ? p->tas.read() : 0;
+}
+
+bool C2Store::tas_reset_shard(int tid, int s) {
+  ShardObjects& o = shard(s);
+  if (o.tas.generation() >= o.tas.max_resets()) return false;
+  o.tas.reset(tid);
+  return true;
+}
+
+void C2Store::set_put_shard(int s, int64_t item) { shard(s).set.put(item); }
+
+int64_t C2Store::set_take_shard(int s) {
+  ShardObjects* p = peek(s);
+  return p ? p->set.take() : kEmpty;
+}
+
+// Double-collect over a monotone per-shard read. Uninitialised shards read as
+// `empty`; a shard can only transition uninitialised → initialised, and the
+// per-shard values only grow, so two identical consecutive collects certify a
+// single logical instant at which all collected values were simultaneously
+// current (the read linearizes there).
+namespace {
+template <typename ReadShard>
+std::vector<int64_t> stable_collect(int shards, int64_t empty, const ReadShard& read) {
+  // Two buffers, swapped between rounds: no allocations after the first
+  // round even when write contention forces many rescans.
+  std::vector<int64_t> prev(static_cast<size_t>(shards), empty - 1);
+  std::vector<int64_t> curr(static_cast<size_t>(shards));
+  for (;;) {
+    for (int s = 0; s < shards; ++s) curr[static_cast<size_t>(s)] = read(s);
+    if (curr == prev) return curr;
+    std::swap(prev, curr);
+  }
+}
+}  // namespace
+
+int64_t C2Store::global_max() { return digest_.read_max(); }
+
+int64_t C2Store::global_max_scan() {
+  auto view = stable_collect(router_.shard_count(), 0, [this](int s) {
+    ShardObjects* p = peek(s);
+    return p ? p->max.read_max() : 0;
+  });
+  return *std::max_element(view.begin(), view.end());
+}
+
+int64_t C2Store::counter_sum() {
+  auto view = stable_collect(router_.shard_count(), 0, [this](int s) {
+    ShardObjects* p = peek(s);
+    return p ? p->counter.read() : 0;
+  });
+  int64_t sum = 0;
+  for (int64_t v : view) sum += v;
+  return sum;
+}
+
+int C2Store::initialized_shards() const {
+  int count = 0;
+  for (int s = 0; s < router_.shard_count(); ++s) {
+    if (peek(s)) ++count;
+  }
+  return count;
+}
+
+}  // namespace c2sl::svc

@@ -1,0 +1,162 @@
+// C2Store — a sharded, strongly-linearizable object service over the native
+// (std::atomic) constructions of the paper, using NO primitive stronger than
+// consensus number 2: exchange (test&set / swap) and fetch&add only; there is
+// no compare&swap anywhere in the service plumbing either (grep-enforced by
+// tests/c2store_test.cpp).
+//
+// Shape: `shards` cache-line-padded slots; a key (int or string) is hashed
+// onto a slot (lock-striping style — keys that collide share the slot's
+// objects, which is the documented semantics: the store serves `shards`
+// independent instances of each object type and keys *name* them through
+// hashing). Each slot lazily materialises one instance of each shardable
+// object type on first touch:
+//   * NativeMaxRegister64  (Thm 1)  — max_write / max_read
+//   * NativeFetchIncrement (Thm 9)  — counter_inc / counter_read
+//   * NativeMultishotTAS   (Thm 6)  — tas / tas_read / tas_reset
+//   * NativeSet            (Thm 10) — set_put / set_take
+//
+// Lazy initialisation is guarded by the paper's own readable test&set (Thm 5):
+// the winner of the slot's test&set constructs the objects and publishes them
+// through an atomic pointer store (a plain register write — consensus number
+// 1); losers spin on the publication. No CAS, no mutex.
+//
+// Per-key operations are strongly linearizable by locality: each key's ops run
+// on one strongly-linearizable shard instance, and strong linearizability
+// composes (tests/service_sim_test.cpp checks per-shard facets through the
+// real routing layer on full execution trees).
+//
+// Aggregates come in two provably different flavours:
+//   * global_max() reads a store-level DIGEST — one extra NativeMaxRegister64
+//     that every max_write also updates — so the global read is a single
+//     fetch&add(0): wait-free and strongly linearizable, exactly the paper's
+//     "pack it into one FAA word" move (§3.1/§3.2).
+//   * global_max_scan() / counter_sum() scan the per-shard read paths with a
+//     double-collect stabilisation loop (repeat until two consecutive collects
+//     of the monotone per-shard values coincide). A naive one-pass scan is not
+//     even linearizable — a reader can miss an earlier, larger write on a
+//     shard it already passed while observing a later, smaller write on a
+//     shard still ahead of it. The double-collect IS linearizable, but it is
+//     NOT strongly linearizable: the read's linearization point (the stable
+//     pair) is determined by future schedule steps, so it is not
+//     prefix-closed. The bounded model checker refutes it mechanically
+//     (tests/service_sim_test.cpp pins both refutations), which is precisely
+//     why the digest exists. Scans are lock-free, the same trade Algorithm 2's
+//     Take makes with its taken_old/max_old stabilisation check.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "runtime/native_tas_family.h"
+#include "service/shard_router.h"
+
+namespace c2sl::svc {
+
+struct C2StoreConfig {
+  int shards = 16;      ///< power of two
+  int max_threads = 8;  ///< lane owners for the per-shard max registers / TAS
+
+  /// Per-shard max register bound; max_threads * max_value must fit in 63 bits.
+  int64_t max_value = 7;
+  /// Per-shard multi-shot TAS reset budget; max_threads * (tas_max_resets + 1)
+  /// must fit in 63 bits.
+  int64_t tas_max_resets = 6;
+  size_t counter_capacity = size_t{1} << 14;  ///< max increments per shard
+  size_t set_capacity = size_t{1} << 14;      ///< max puts per shard
+};
+
+class C2Store {
+ public:
+  static constexpr int64_t kEmpty = rt::NativeSet::kEmpty;
+
+  explicit C2Store(const C2StoreConfig& cfg);
+  ~C2Store();
+  C2Store(const C2Store&) = delete;
+  C2Store& operator=(const C2Store&) = delete;
+
+  // --- per-key operations (tid: calling thread's lane, < cfg.max_threads) ---
+  void max_write(int tid, uint64_t key, int64_t v) { max_write_shard(tid, route(key), v); }
+  void max_write(int tid, std::string_view key, int64_t v) {
+    max_write_shard(tid, route(key), v);
+  }
+  int64_t max_read(uint64_t key) { return max_read_shard(route(key)); }
+  int64_t max_read(std::string_view key) { return max_read_shard(route(key)); }
+
+  int64_t counter_inc(uint64_t key) { return counter_inc_shard(route(key)); }
+  int64_t counter_inc(std::string_view key) { return counter_inc_shard(route(key)); }
+  int64_t counter_read(uint64_t key) { return counter_read_shard(route(key)); }
+  int64_t counter_read(std::string_view key) { return counter_read_shard(route(key)); }
+
+  int64_t tas(int tid, uint64_t key) { return tas_shard(tid, route(key)); }
+  int64_t tas(int tid, std::string_view key) { return tas_shard(tid, route(key)); }
+  int64_t tas_read(uint64_t key) { return tas_read_shard(route(key)); }
+  int64_t tas_read(std::string_view key) { return tas_read_shard(route(key)); }
+  /// Returns false (and does nothing) once the shard's reset budget is spent.
+  /// The budget gate is advisory under concurrency: callers that might consume
+  /// the LAST generation concurrently must serialize resets externally.
+  bool tas_reset(int tid, uint64_t key) { return tas_reset_shard(tid, route(key)); }
+  bool tas_reset(int tid, std::string_view key) { return tas_reset_shard(tid, route(key)); }
+
+  void set_put(uint64_t key, int64_t item) { set_put_shard(route(key), item); }
+  void set_put(std::string_view key, int64_t item) { set_put_shard(route(key), item); }
+  int64_t set_take(uint64_t key) { return set_take_shard(route(key)); }
+  int64_t set_take(std::string_view key) { return set_take_shard(route(key)); }
+
+  // --- aggregates ---
+  /// Digest read: one fetch&add(0); wait-free, strongly linearizable as its
+  /// own facet. Cross-facet caveat: max_write updates the shard register
+  /// BEFORE the digest, so a client that reads a value via max_read(key) can
+  /// briefly observe global_max() lagging behind it while the writer is
+  /// between its two updates; each facet is individually consistent.
+  int64_t global_max();
+  /// Double-collect scans over per-shard read paths: linearizable, lock-free,
+  /// NOT strongly linearizable (pinned refutation in tests/service_sim_test).
+  int64_t global_max_scan();
+  int64_t counter_sum();
+
+  // --- introspection ---
+  int shard_count() const { return router_.shard_count(); }
+  int initialized_shards() const;
+  const C2StoreConfig& config() const { return cfg_; }
+  int shard_of(uint64_t key) const { return router_.shard_of(key); }
+  int shard_of(std::string_view key) const { return router_.shard_of(key); }
+
+ private:
+  struct ShardObjects;
+  struct alignas(128) ShardSlot {
+    rt::NativeReadableTAS claim;           // Thm 5 readable test&set: init winner
+    std::atomic<ShardObjects*> objs{nullptr};
+    std::atomic<bool> poisoned{false};     // claim winner threw before publishing
+  };
+
+  static const C2StoreConfig& validate(const C2StoreConfig& cfg);
+
+  int route(uint64_t key) const { return router_.shard_of(key); }
+  int route(std::string_view key) const { return router_.shard_of(key); }
+
+  /// Get-or-lazily-initialize the slot's objects (readable-TAS guarded).
+  ShardObjects& shard(int s);
+  /// Initialized objects or nullptr; never initializes.
+  ShardObjects* peek(int s) const;
+
+  void max_write_shard(int tid, int s, int64_t v);
+  int64_t max_read_shard(int s);
+  int64_t counter_inc_shard(int s);
+  int64_t counter_read_shard(int s);
+  int64_t tas_shard(int tid, int s);
+  int64_t tas_read_shard(int s);
+  bool tas_reset_shard(int tid, int s);
+  void set_put_shard(int s, int64_t item);
+  int64_t set_take_shard(int s);
+
+  C2StoreConfig cfg_;
+  ShardRouter router_;
+  std::unique_ptr<ShardSlot[]> slots_;
+  /// Store-level max digest; max_write updates it after the shard write so
+  /// global_max() is a single-word read.
+  rt::NativeMaxRegister64 digest_;
+};
+
+}  // namespace c2sl::svc

@@ -1,0 +1,61 @@
+// Key → shard routing for the C2Store service layer.
+//
+// Routing is pure hashing: a key (64-bit integer or string) is mixed through a
+// SplitMix64-style finalizer and masked onto a power-of-two shard count, so
+// the router is stateless, wait-free and identical on every thread. Because
+// strong linearizability is local (composable), a keyspace striped across
+// independent strongly-linearizable shard objects stays strongly linearizable
+// end-to-end — the router is the only piece of "distribution" logic and it
+// touches no shared memory at all.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/assert.h"
+
+namespace c2sl::svc {
+
+/// SplitMix64 finalizer: cheap full-avalanche 64-bit mix.
+inline uint64_t mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+inline uint64_t hash_key(uint64_t key) { return mix64(key + 0x9e3779b97f4a7c15ULL); }
+
+/// FNV-1a over the bytes, then finalized so that low bits are well mixed
+/// before the power-of-two mask is applied.
+inline uint64_t hash_key(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(int shard_count)
+      : shard_count_(shard_count), mask_(static_cast<uint64_t>(shard_count) - 1) {
+    C2SL_CHECK(shard_count > 0 && (shard_count & (shard_count - 1)) == 0,
+               "shard count must be a power of two");
+  }
+
+  int shard_of(uint64_t key) const { return static_cast<int>(hash_key(key) & mask_); }
+  int shard_of(std::string_view key) const {
+    return static_cast<int>(hash_key(key) & mask_);
+  }
+  int shard_count() const { return shard_count_; }
+
+ private:
+  int shard_count_;
+  uint64_t mask_;
+};
+
+}  // namespace c2sl::svc

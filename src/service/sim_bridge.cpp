@@ -1,0 +1,196 @@
+#include "service/sim_bridge.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace c2sl::svc {
+
+// --- SimKeyedStore ----------------------------------------------------------
+
+SimKeyedStore::SimKeyedStore(sim::World& world, std::string name, int n, int shards)
+    : name_(std::move(name)), router_(shards) {
+  for (int s = 0; s < shards; ++s) {
+    regs_.push_back(std::make_unique<core::MaxRegisterFAA>(
+        world, name_ + ".s" + std::to_string(s) + ".maxreg", n));
+    ts_.push_back(std::make_unique<core::AtomicReadableTasArray>(
+        world, name_ + ".s" + std::to_string(s) + ".M"));
+    ctrs_.push_back(std::make_unique<core::FetchIncrement>(
+        name_ + ".s" + std::to_string(s) + ".fai", *ts_.back()));
+  }
+}
+
+std::string SimKeyedStore::max_object(int shard) const {
+  return name_ + ".s" + std::to_string(shard) + ".max";
+}
+
+std::string SimKeyedStore::ctr_object(int shard) const {
+  return name_ + ".s" + std::to_string(shard) + ".ctr";
+}
+
+void SimKeyedStore::max_write(sim::Ctx& ctx, uint64_t key, int64_t v) {
+  int s = router_.shard_of(key);
+  sim::record_op(ctx, max_object(s), "WriteMax", num(v), [&] {
+    regs_[static_cast<size_t>(s)]->write_max(ctx, v);
+    return unit();
+  });
+}
+
+int64_t SimKeyedStore::max_read(sim::Ctx& ctx, uint64_t key) {
+  int s = router_.shard_of(key);
+  Val r = sim::record_op(ctx, max_object(s), "ReadMax", unit(), [&] {
+    return num(regs_[static_cast<size_t>(s)]->read_max(ctx));
+  });
+  return as_num(r);
+}
+
+int64_t SimKeyedStore::counter_inc(sim::Ctx& ctx, uint64_t key) {
+  int s = router_.shard_of(key);
+  Val r = sim::record_op(ctx, ctr_object(s), "FAI", unit(), [&] {
+    return num(ctrs_[static_cast<size_t>(s)]->fetch_and_increment(ctx));
+  });
+  return as_num(r);
+}
+
+int64_t SimKeyedStore::counter_read(sim::Ctx& ctx, uint64_t key) {
+  int s = router_.shard_of(key);
+  Val r = sim::record_op(ctx, ctr_object(s), "Read", unit(), [&] {
+    return num(ctrs_[static_cast<size_t>(s)]->read(ctx));
+  });
+  return as_num(r);
+}
+
+// --- SimGlobalMax -----------------------------------------------------------
+
+SimGlobalMax::SimGlobalMax(sim::World& world, std::string name, int n, int shards)
+    : name_(std::move(name)), shards_(shards) {
+  C2SL_CHECK(shards > 0 && (shards & (shards - 1)) == 0,
+             "shard count must be a power of two");
+  for (int s = 0; s < shards; ++s) {
+    regs_.push_back(std::make_unique<core::MaxRegisterFAA>(
+        world, name_ + ".shard" + std::to_string(s), n));
+  }
+  digest_ = std::make_unique<core::MaxRegisterFAA>(world, name_ + ".digest", n);
+}
+
+void SimGlobalMax::write_max(sim::Ctx& ctx, int64_t v) {
+  int s = static_cast<int>(static_cast<uint64_t>(v) & static_cast<uint64_t>(shards_ - 1));
+  regs_[static_cast<size_t>(s)]->write_max(ctx, v);
+  digest_->write_max(ctx, v);
+}
+
+int64_t SimGlobalMax::read_max(sim::Ctx& ctx) { return digest_->read_max(ctx); }
+
+Val SimGlobalMax::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "WriteMax") {
+    write_max(ctx, as_num(inv.args));
+    return unit();
+  }
+  if (inv.name == "ReadMax") return num(read_max(ctx));
+  C2SL_CHECK(false, "unknown operation on global max digest: " + inv.name);
+  return unit();
+}
+
+// --- SimShardedMaxRegister (aggregate-scan experiment) ----------------------
+
+SimShardedMaxRegister::SimShardedMaxRegister(sim::World& world, std::string name, int n,
+                                             int shards, bool double_collect)
+    : name_(std::move(name)), shards_(shards), double_collect_(double_collect) {
+  C2SL_CHECK(shards > 0 && (shards & (shards - 1)) == 0,
+             "shard count must be a power of two");
+  regs_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    regs_.push_back(std::make_unique<core::MaxRegisterFAA>(
+        world, name_ + ".shard" + std::to_string(s), n));
+  }
+}
+
+void SimShardedMaxRegister::write_max(sim::Ctx& ctx, int64_t v) {
+  int s = static_cast<int>(static_cast<uint64_t>(v) & static_cast<uint64_t>(shards_ - 1));
+  regs_[static_cast<size_t>(s)]->write_max(ctx, v);
+}
+
+std::vector<int64_t> SimShardedMaxRegister::collect(sim::Ctx& ctx) {
+  std::vector<int64_t> view(static_cast<size_t>(shards_));
+  for (int s = 0; s < shards_; ++s) {
+    view[static_cast<size_t>(s)] = regs_[static_cast<size_t>(s)]->read_max(ctx);
+  }
+  return view;
+}
+
+int64_t SimShardedMaxRegister::read_max(sim::Ctx& ctx) {
+  std::vector<int64_t> curr = collect(ctx);
+  if (double_collect_) {
+    for (;;) {
+      std::vector<int64_t> next = collect(ctx);
+      if (next == curr) break;
+      curr = std::move(next);
+    }
+  }
+  return *std::max_element(curr.begin(), curr.end());
+}
+
+Val SimShardedMaxRegister::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "WriteMax") {
+    write_max(ctx, as_num(inv.args));
+    return unit();
+  }
+  if (inv.name == "ReadMax") return num(read_max(ctx));
+  C2SL_CHECK(false, "unknown operation on sharded max register: " + inv.name);
+  return unit();
+}
+
+// --- SimShardedCounter (aggregate-scan experiment) ---------------------------
+
+SimShardedCounter::SimShardedCounter(sim::World& world, std::string name, int shards,
+                                     bool double_collect)
+    : name_(std::move(name)), shards_(shards), double_collect_(double_collect) {
+  C2SL_CHECK(shards > 0 && (shards & (shards - 1)) == 0,
+             "shard count must be a power of two");
+  for (int s = 0; s < shards; ++s) {
+    ts_.push_back(std::make_unique<core::AtomicReadableTasArray>(
+        world, name_ + ".M" + std::to_string(s)));
+    ctrs_.push_back(std::make_unique<core::FetchIncrement>(
+        name_ + ".ctr" + std::to_string(s), *ts_.back()));
+  }
+}
+
+void SimShardedCounter::inc(sim::Ctx& ctx) {
+  int s = static_cast<int>(static_cast<uint64_t>(ctx.self) &
+                           static_cast<uint64_t>(shards_ - 1));
+  ctrs_[static_cast<size_t>(s)]->fetch_and_increment(ctx);
+}
+
+std::vector<int64_t> SimShardedCounter::collect(sim::Ctx& ctx) {
+  std::vector<int64_t> view(static_cast<size_t>(shards_));
+  for (int s = 0; s < shards_; ++s) {
+    view[static_cast<size_t>(s)] = ctrs_[static_cast<size_t>(s)]->read(ctx);
+  }
+  return view;
+}
+
+int64_t SimShardedCounter::read(sim::Ctx& ctx) {
+  std::vector<int64_t> curr = collect(ctx);
+  if (double_collect_) {
+    for (;;) {
+      std::vector<int64_t> next = collect(ctx);
+      if (next == curr) break;
+      curr = std::move(next);
+    }
+  }
+  int64_t sum = 0;
+  for (int64_t v : curr) sum += v;
+  return sum;
+}
+
+Val SimShardedCounter::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Inc") {
+    this->inc(ctx);
+    return unit();
+  }
+  if (inv.name == "Read") return num(read(ctx));
+  C2SL_CHECK(false, "unknown operation on sharded counter: " + inv.name);
+  return unit();
+}
+
+}  // namespace c2sl::svc

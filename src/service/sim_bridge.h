@@ -1,0 +1,124 @@
+// Sim-mode C2Store bridge: small sharded configurations of the service layer
+// rebuilt over the *simulated* paper constructions, so the bounded model
+// checkers (verify/lin_checker, verify/strong_lin) can exercise the service's
+// routing and aggregate algorithms on full execution trees.
+//
+// Four facades, mirroring the native service's verification story:
+//
+//   * SimKeyedStore — the per-key service path through the REAL ShardRouter:
+//     keyed max-register and counter ops recorded under per-shard object
+//     names ("<name>.s<k>.max" / "<name>.s<k>.ctr"). Strong linearizability
+//     is local, so checking each shard facet on the shared execution tree
+//     certifies the whole keyed configuration; this is the configuration the
+//     checker PASSES (tests/service_sim_test.cpp).
+//
+//   * SimGlobalMax — the digest design behind C2Store::global_max(): WriteMax
+//     routes the value to a shard register AND a single digest register;
+//     GlobalMax reads only the digest (one FAA(0) step). Strongly linearizable
+//     — the write's linearization point is its own digest step.
+//
+//   * SimShardedMaxRegister / SimShardedCounter — the aggregate-SCAN
+//     experiments. Reads collect per-shard values: with `double_collect` the
+//     read repeats until two consecutive collects of the monotone values
+//     coincide — linearizable (the stable pair pins a single logical instant)
+//     but NOT strongly linearizable: the linearization point depends on
+//     future schedule steps, so no prefix-closed assignment exists and the
+//     checker refutes it. With `double_collect = false` (naive one-pass scan)
+//     the read is not even linearizable. Both refutations are pinned tests —
+//     they are exactly why C2Store serves global_max from a digest word, the
+//     same reason the paper packs its snapshot into one fetch&add register.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fetch_increment.h"
+#include "core/max_register_faa.h"
+#include "core/object_api.h"
+#include "core/readable_tas.h"
+#include "service/shard_router.h"
+
+namespace c2sl::svc {
+
+class SimKeyedStore {
+ public:
+  SimKeyedStore(sim::World& world, std::string name, int n, int shards);
+
+  // Each call is recorded as one high-level op on its shard's facet.
+  void max_write(sim::Ctx& ctx, uint64_t key, int64_t v);
+  int64_t max_read(sim::Ctx& ctx, uint64_t key);
+  int64_t counter_inc(sim::Ctx& ctx, uint64_t key);
+  int64_t counter_read(sim::Ctx& ctx, uint64_t key);
+
+  int shard_of(uint64_t key) const { return router_.shard_of(key); }
+  std::string max_object(int shard) const;
+  std::string ctr_object(int shard) const;
+
+ private:
+  std::string name_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<core::MaxRegisterFAA>> regs_;
+  std::vector<std::unique_ptr<core::AtomicReadableTasArray>> ts_;
+  std::vector<std::unique_ptr<core::FetchIncrement>> ctrs_;
+};
+
+class SimGlobalMax : public core::ConcurrentObject {
+ public:
+  SimGlobalMax(sim::World& world, std::string name, int n, int shards);
+
+  void write_max(sim::Ctx& ctx, int64_t v);  ///< shard write, then digest write
+  int64_t read_max(sim::Ctx& ctx);           ///< digest read only
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  int shards_;
+  std::vector<std::unique_ptr<core::MaxRegisterFAA>> regs_;
+  std::unique_ptr<core::MaxRegisterFAA> digest_;
+};
+
+class SimShardedMaxRegister : public core::ConcurrentObject {
+ public:
+  SimShardedMaxRegister(sim::World& world, std::string name, int n, int shards,
+                        bool double_collect = true);
+
+  void write_max(sim::Ctx& ctx, int64_t v);  ///< routes by v & (shards-1)
+  int64_t read_max(sim::Ctx& ctx);           ///< aggregate scan
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::vector<int64_t> collect(sim::Ctx& ctx);
+
+  std::string name_;
+  int shards_;
+  bool double_collect_;
+  std::vector<std::unique_ptr<core::MaxRegisterFAA>> regs_;
+};
+
+class SimShardedCounter : public core::ConcurrentObject {
+ public:
+  SimShardedCounter(sim::World& world, std::string name, int shards,
+                    bool double_collect = true);
+
+  void inc(sim::Ctx& ctx);    ///< routes by calling process id
+  int64_t read(sim::Ctx& ctx);  ///< aggregate scan (sum)
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::vector<int64_t> collect(sim::Ctx& ctx);
+
+  std::string name_;
+  int shards_;
+  bool double_collect_;
+  std::vector<std::unique_ptr<core::AtomicReadableTasArray>> ts_;
+  std::vector<std::unique_ptr<core::FetchIncrement>> ctrs_;
+};
+
+}  // namespace c2sl::svc

@@ -43,9 +43,10 @@ class Rng {
                     next_below(static_cast<uint64_t>(hi - lo) + 1));
   }
 
-  bool next_bool(double p_true = 0.5) {
-    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53 < p_true;
-  }
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_unit() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  bool next_bool(double p_true = 0.5) { return next_unit() < p_true; }
 
   /// Derive an independent stream; mixing the label keeps streams decorrelated.
   Rng fork(uint64_t label) {

@@ -1,0 +1,76 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "service/shard_router.h"
+#include "util/assert.h"
+
+namespace c2sl::wl {
+
+UniformKeys::UniformKeys(uint64_t key_space) : space_(key_space) {
+  C2SL_CHECK(key_space > 0, "key space must be non-empty");
+}
+
+uint64_t UniformKeys::next(Rng& rng, uint64_t) const { return rng.next_below(space_); }
+
+ZipfianKeys::ZipfianKeys(uint64_t key_space, double theta, bool scramble)
+    : space_(key_space), scramble_(scramble) {
+  C2SL_CHECK(key_space > 0, "key space must be non-empty");
+  C2SL_CHECK(key_space <= (uint64_t{1} << 24),
+             "zipfian CDF table capped at 2^24 entries");
+  C2SL_CHECK(theta > 0.0, "zipf theta must be positive");
+  cdf_.resize(space_);
+  double sum = 0.0;
+  for (uint64_t r = 0; r < space_; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = sum;
+  }
+  for (uint64_t r = 0; r < space_; ++r) cdf_[r] /= sum;
+  cdf_.back() = 1.0;
+}
+
+double ZipfianKeys::mass(uint64_t rank) const {
+  C2SL_CHECK(rank < space_, "rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+uint64_t ZipfianKeys::next(Rng& rng, uint64_t) const {
+  double u = rng.next_unit();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  uint64_t rank =
+      it == cdf_.end() ? space_ - 1 : static_cast<uint64_t>(it - cdf_.begin());
+  // YCSB-style scatter: hash the rank onto the keyspace so the hot ranks land
+  // on unrelated shards (collisions merge ranks, which only flattens the tail).
+  return scramble_ ? svc::mix64(rank) % space_ : rank;
+}
+
+HotKeyBurstKeys::HotKeyBurstKeys(uint64_t key_space, uint64_t hot_set_size,
+                                 double hot_prob, uint64_t period)
+    : space_(key_space), hot_set_(hot_set_size), hot_prob_(hot_prob), period_(period) {
+  C2SL_CHECK(key_space > 0, "key space must be non-empty");
+  C2SL_CHECK(hot_set_size > 0 && hot_set_size <= key_space,
+             "hot set must be a non-empty subset of the keyspace");
+  C2SL_CHECK(period > 0, "burst period must be positive");
+}
+
+uint64_t HotKeyBurstKeys::next(Rng& rng, uint64_t op_index) const {
+  if (in_hot_phase(op_index) && rng.next_bool(hot_prob_)) {
+    return rng.next_below(hot_set_);
+  }
+  return rng.next_below(space_);
+}
+
+std::unique_ptr<KeyDist> make_dist(const std::string& name, uint64_t key_space,
+                                   double zipf_theta) {
+  if (name == "uniform") return std::make_unique<UniformKeys>(key_space);
+  if (name == "zipfian") return std::make_unique<ZipfianKeys>(key_space, zipf_theta);
+  if (name == "hotburst") {
+    uint64_t hot = std::max<uint64_t>(1, key_space / 64);
+    return std::make_unique<HotKeyBurstKeys>(key_space, hot, 0.8, 1000);
+  }
+  C2SL_CHECK(false, "unknown key distribution: " + name);
+  return nullptr;
+}
+
+}  // namespace c2sl::wl

@@ -1,0 +1,81 @@
+// Pluggable key distributions for the workload engine.
+//
+// A KeyDist draws keys in [0, key_space) from a caller-owned Rng, so the same
+// distribution object can be shared (it is immutable after construction) while
+// each worker thread keeps its own deterministic stream. The op index is
+// passed in so phase-dependent distributions (hot-key bursts) stay a pure
+// function of (rng stream, op index) — reproducible from the seed alone.
+//
+//   * UniformKeys      — uniform over the keyspace.
+//   * ZipfianKeys      — Zipf(theta) by inverse-CDF over a precomputed table;
+//                        ranks are optionally scattered across the keyspace
+//                        YCSB-style (hash of the rank) so that hot keys do not
+//                        cluster in one shard.
+//   * HotKeyBurstKeys  — alternates hot and cold phases every `period` ops; in
+//                        a hot phase, with probability `hot_prob` the key is
+//                        drawn from a small hot set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace c2sl::wl {
+
+class KeyDist {
+ public:
+  virtual ~KeyDist() = default;
+  virtual uint64_t next(Rng& rng, uint64_t op_index) const = 0;
+  virtual std::string name() const = 0;
+};
+
+class UniformKeys : public KeyDist {
+ public:
+  explicit UniformKeys(uint64_t key_space);
+  uint64_t next(Rng& rng, uint64_t op_index) const override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  uint64_t space_;
+};
+
+class ZipfianKeys : public KeyDist {
+ public:
+  ZipfianKeys(uint64_t key_space, double theta, bool scramble = true);
+  uint64_t next(Rng& rng, uint64_t op_index) const override;
+  std::string name() const override { return "zipfian"; }
+
+  /// Rank r's probability mass (for tests); rank 0 is the hottest.
+  double mass(uint64_t rank) const;
+
+ private:
+  uint64_t space_;
+  bool scramble_;
+  std::vector<double> cdf_;  ///< cdf_[r] = P(rank <= r); back() == 1.0
+};
+
+class HotKeyBurstKeys : public KeyDist {
+ public:
+  HotKeyBurstKeys(uint64_t key_space, uint64_t hot_set_size, double hot_prob,
+                  uint64_t period);
+  uint64_t next(Rng& rng, uint64_t op_index) const override;
+  std::string name() const override { return "hotburst"; }
+
+  bool in_hot_phase(uint64_t op_index) const { return (op_index / period_) % 2 == 0; }
+  uint64_t hot_set_size() const { return hot_set_; }
+
+ private:
+  uint64_t space_;
+  uint64_t hot_set_;
+  double hot_prob_;
+  uint64_t period_;
+};
+
+/// Factory by name: "uniform" | "zipfian" | "hotburst".
+std::unique_ptr<KeyDist> make_dist(const std::string& name, uint64_t key_space,
+                                   double zipf_theta = 0.99);
+
+}  // namespace c2sl::wl

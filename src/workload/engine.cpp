@@ -1,0 +1,198 @@
+#include "workload/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace c2sl::wl {
+
+namespace {
+
+/// Clamp the store config so this workload cannot violate a construction
+/// precondition: lane budgets (63-bit packing) and per-shard capacities
+/// (worst case: every routed op lands on one shard).
+svc::C2StoreConfig clamp_store(const WorkloadConfig& cfg) {
+  svc::C2StoreConfig s = cfg.store;
+  s.max_threads = std::max(s.max_threads, cfg.threads);
+  C2SL_CHECK(s.max_threads <= 31, "engine supports at most 31 threads");
+  s.max_value = std::min<int64_t>(s.max_value, 63 / s.max_threads);
+  s.tas_max_resets = std::min<int64_t>(s.tas_max_resets, 63 / s.max_threads - 1);
+  uint64_t worst = static_cast<uint64_t>(cfg.threads) * cfg.ops_per_thread + 1;
+  s.counter_capacity = std::max<size_t>(s.counter_capacity, worst);
+  s.set_capacity = std::max<size_t>(s.set_capacity, worst);
+  return s;
+}
+
+}  // namespace
+
+WorkloadResult run_workload(const WorkloadConfig& cfg) {
+  C2SL_CHECK(cfg.threads >= 1, "need at least one worker thread");
+  WorkloadResult result;
+  result.cfg = cfg;
+  result.cfg.store = clamp_store(cfg);
+
+  svc::C2Store store(result.cfg.store);
+  std::unique_ptr<KeyDist> dist = make_dist(cfg.dist, cfg.key_space, cfg.zipf_theta);
+
+  const int threads = cfg.threads;
+  const uint64_t ops = cfg.ops_per_thread;
+  std::vector<std::vector<int64_t>> lat(static_cast<size_t>(threads));
+  std::vector<std::vector<uint64_t>> counts(
+      static_cast<size_t>(threads), std::vector<uint64_t>(kOpKindCount, 0));
+  std::atomic<int> start_gate{0};
+
+  auto worker = [&](int tid) {
+    Rng rng(cfg.seed * 1000003 + static_cast<uint64_t>(tid));
+    auto& my_lat = lat[static_cast<size_t>(tid)];
+    auto& my_counts = counts[static_cast<size_t>(tid)];
+    my_lat.reserve(ops);
+    // Resets of the per-shard multi-shot TAS have a finite generation budget;
+    // thread 0 is the sole resetter so the budget gate is race-free.
+    std::vector<int64_t> resets_done(
+        static_cast<size_t>(store.shard_count()), 0);
+
+    start_gate.fetch_add(1);
+    while (start_gate.load() < threads) {
+    }
+
+    for (uint64_t i = 0; i < ops; ++i) {
+      OpKind kind = cfg.mix.pick(rng);
+      uint64_t key = dist->next(rng, i);
+      auto t0 = std::chrono::steady_clock::now();
+      switch (kind) {
+        case OpKind::kMaxWrite:
+          store.max_write(tid, key,
+                          rng.next_in(0, result.cfg.store.max_value));
+          break;
+        case OpKind::kMaxRead:
+          store.max_read(key);
+          break;
+        case OpKind::kCounterInc:
+          store.counter_inc(key);
+          break;
+        case OpKind::kCounterRead:
+          store.counter_read(key);
+          break;
+        case OpKind::kSetPut:
+          store.set_put(key, static_cast<int64_t>(tid) * (1 << 30) +
+                                 static_cast<int64_t>(i));
+          break;
+        case OpKind::kSetTake:
+          store.set_take(key);
+          break;
+        case OpKind::kTas: {
+          // Thread 0 occasionally recycles the TAS within the shard budget.
+          int s = store.shard_of(key);
+          if (tid == 0 && store.tas_read(key) == 1 &&
+              resets_done[static_cast<size_t>(s)] <
+                  result.cfg.store.tas_max_resets) {
+            if (store.tas_reset(tid, key)) {
+              ++resets_done[static_cast<size_t>(s)];
+            }
+          }
+          store.tas(tid, key);
+          break;
+        }
+        case OpKind::kTasRead:
+          store.tas_read(key);
+          break;
+        case OpKind::kGlobalMax:
+          store.global_max();
+          break;
+        case OpKind::kGlobalMaxScan:
+          store.global_max_scan();
+          break;
+        case OpKind::kCounterSum:
+          store.counter_sum();
+          break;
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      my_lat.push_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+      ++my_counts[static_cast<size_t>(kind)];
+    }
+  };
+
+  auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& th : pool) th.join();
+  auto wall1 = std::chrono::steady_clock::now();
+
+  result.seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  std::vector<int64_t> all;
+  for (auto& v : lat) {
+    result.total_ops += v.size();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  result.throughput_ops_s =
+      result.seconds > 0 ? static_cast<double>(result.total_ops) / result.seconds : 0;
+  result.latency = summarize_latencies(all);
+  for (const auto& per_thread : counts) {
+    for (int k = 0; k < kOpKindCount; ++k) result.per_kind[k] += per_thread[static_cast<size_t>(k)];
+  }
+  result.initialized_shards = store.initialized_shards();
+  result.final_global_max = store.global_max();
+  result.final_counter_sum = store.counter_sum();
+  return result;
+}
+
+void append_result_entry(JsonWriter& w, const std::string& bench,
+                         const WorkloadResult& r) {
+  w.begin_object();
+  w.field("bench", bench);
+  w.key("config").begin_object();
+  w.field("threads", r.cfg.threads);
+  w.field("shards", r.cfg.store.shards);
+  w.field("ops_per_thread", r.cfg.ops_per_thread);
+  w.field("key_space", r.cfg.key_space);
+  w.field("dist", r.cfg.dist);
+  w.field("mix", r.cfg.mix.name);
+  w.field("seed", r.cfg.seed);
+  w.end_object();
+  w.key("metrics").begin_object();
+  w.field("ops", r.total_ops);
+  w.field("seconds", r.seconds);
+  w.field("throughput_ops_per_s", r.throughput_ops_s);
+  w.key("latency_ns").begin_object();
+  w.field("mean", r.latency.mean_ns);
+  w.field("min", r.latency.min_ns);
+  w.field("p50", r.latency.p50_ns);
+  w.field("p90", r.latency.p90_ns);
+  w.field("p99", r.latency.p99_ns);
+  w.field("p999", r.latency.p999_ns);
+  w.field("max", r.latency.max_ns);
+  w.end_object();
+  w.key("op_counts").begin_object();
+  for (int k = 0; k < kOpKindCount; ++k) {
+    if (r.per_kind[k] > 0) w.field(to_string(static_cast<OpKind>(k)), r.per_kind[k]);
+  }
+  w.end_object();
+  w.key("final_state").begin_object();
+  w.field("initialized_shards", r.initialized_shards);
+  w.field("global_max", r.final_global_max);
+  w.field("counter_sum", r.final_counter_sum);
+  w.end_object();
+  w.end_object();  // metrics
+  w.end_object();  // entry
+}
+
+std::string result_to_json(const std::string& suite, const std::string& bench,
+                           const WorkloadResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "c2sl-bench-v1");
+  w.field("suite", suite);
+  w.key("results").begin_array();
+  append_result_entry(w, bench, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace c2sl::wl

@@ -1,0 +1,65 @@
+// Multi-threaded workload driver for C2Store.
+//
+// Spawns `threads` real threads behind a start barrier; each thread runs
+// `ops_per_thread` operations drawn from an OpMix, with keys drawn from a
+// KeyDist, against one shared C2Store. Every operation's latency is recorded
+// (two steady_clock reads per op) into a thread-local buffer; the driver
+// merges the buffers, computes exact percentiles, re-reads the aggregate
+// paths after quiescence, and can serialise everything as one entry of the
+// repo-wide "c2sl-bench-v1" JSON schema (README.md documents the schema).
+//
+// Determinism: all randomness flows through per-thread SplitMix64 streams
+// derived from (seed, thread id), so op/key sequences are reproducible from
+// the seed alone; only timings vary between runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/c2store.h"
+#include "workload/distributions.h"
+#include "workload/json_writer.h"
+#include "workload/latency.h"
+#include "workload/op_mix.h"
+
+namespace c2sl::wl {
+
+struct WorkloadConfig {
+  int threads = 4;
+  uint64_t ops_per_thread = 5000;
+  uint64_t key_space = 1024;
+  std::string dist = "uniform";  ///< uniform | zipfian | hotburst
+  double zipf_theta = 0.99;
+  OpMix mix = OpMix::mixed();
+  uint64_t seed = 1;
+  /// Shard layout etc. The engine clamps max_threads / max_value /
+  /// tas_max_resets / capacities so any (threads, ops_per_thread) fits.
+  svc::C2StoreConfig store;
+};
+
+struct WorkloadResult {
+  WorkloadConfig cfg;
+  uint64_t total_ops = 0;
+  double seconds = 0.0;
+  double throughput_ops_s = 0.0;
+  LatencyStats latency;
+  uint64_t per_kind[kOpKindCount] = {0};
+  int initialized_shards = 0;
+  int64_t final_global_max = 0;
+  int64_t final_counter_sum = 0;
+};
+
+/// Runs one workload to completion. Builds its own C2Store from cfg.store.
+WorkloadResult run_workload(const WorkloadConfig& cfg);
+
+/// Appends one "c2sl-bench-v1" result entry {bench, config, metrics} to `w`
+/// (callers wrap entries in a suite document; see write_suite_* in
+/// bench/bench_c2store.cpp and bench/json_reporter.h).
+void append_result_entry(JsonWriter& w, const std::string& bench,
+                         const WorkloadResult& r);
+
+/// One-entry suite document for quick dumps.
+std::string result_to_json(const std::string& suite, const std::string& bench,
+                           const WorkloadResult& r);
+
+}  // namespace c2sl::wl

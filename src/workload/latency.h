@@ -1,0 +1,46 @@
+// Latency aggregation for the workload engine: exact percentiles over the
+// full recorded sample set. Workers record one int64 (nanoseconds) per
+// operation into thread-local vectors; the driver merges and summarises once
+// at the end, so the hot path pays two clock reads and one push_back.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace c2sl::wl {
+
+struct LatencyStats {
+  uint64_t count = 0;
+  double mean_ns = 0.0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+  int64_t p50_ns = 0;
+  int64_t p90_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t p999_ns = 0;
+};
+
+/// Destructive (sorts `samples_ns` in place).
+inline LatencyStats summarize_latencies(std::vector<int64_t>& samples_ns) {
+  LatencyStats s;
+  if (samples_ns.empty()) return s;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  s.count = samples_ns.size();
+  double sum = 0.0;
+  for (int64_t v : samples_ns) sum += static_cast<double>(v);
+  s.mean_ns = sum / static_cast<double>(s.count);
+  s.min_ns = samples_ns.front();
+  s.max_ns = samples_ns.back();
+  auto pct = [&](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(s.count - 1) + 0.5);
+    return samples_ns[std::min(idx, samples_ns.size() - 1)];
+  };
+  s.p50_ns = pct(0.50);
+  s.p90_ns = pct(0.90);
+  s.p99_ns = pct(0.99);
+  s.p999_ns = pct(0.999);
+  return s;
+}
+
+}  // namespace c2sl::wl

@@ -1,0 +1,108 @@
+#include "workload/op_mix.h"
+
+#include "util/assert.h"
+
+namespace c2sl::wl {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kMaxWrite:
+      return "MaxWrite";
+    case OpKind::kMaxRead:
+      return "MaxRead";
+    case OpKind::kCounterInc:
+      return "CounterInc";
+    case OpKind::kCounterRead:
+      return "CounterRead";
+    case OpKind::kSetPut:
+      return "SetPut";
+    case OpKind::kSetTake:
+      return "SetTake";
+    case OpKind::kTas:
+      return "Tas";
+    case OpKind::kTasRead:
+      return "TasRead";
+    case OpKind::kGlobalMax:
+      return "GlobalMax";
+    case OpKind::kGlobalMaxScan:
+      return "GlobalMaxScan";
+    case OpKind::kCounterSum:
+      return "CounterSum";
+  }
+  return "?";
+}
+
+OpMix::OpMix(std::string mix_name, std::vector<std::pair<OpKind, double>> mix_weights)
+    : name(std::move(mix_name)), weights(std::move(mix_weights)) {
+  for (const auto& [kind, w] : weights) {
+    (void)kind;
+    total_ += w;
+  }
+}
+
+OpKind OpMix::pick(Rng& rng) const {
+  C2SL_CHECK(!weights.empty(), "op mix has no operations");
+  double u = rng.next_unit() * total_;
+  double acc = 0.0;
+  for (const auto& [kind, w] : weights) {
+    acc += w;
+    if (u < acc) return kind;
+  }
+  return weights.back().first;  // floating-point edge: u == total
+}
+
+OpMix OpMix::read_heavy() {
+  return {"read_heavy",
+          {{OpKind::kMaxRead, 0.45},
+           {OpKind::kCounterRead, 0.25},
+           {OpKind::kTasRead, 0.20},
+           {OpKind::kMaxWrite, 0.04},
+           {OpKind::kCounterInc, 0.03},
+           {OpKind::kSetPut, 0.015},
+           {OpKind::kSetTake, 0.015}}};
+}
+
+OpMix OpMix::write_heavy() {
+  return {"write_heavy",
+          {{OpKind::kMaxWrite, 0.30},
+           {OpKind::kCounterInc, 0.30},
+           {OpKind::kSetPut, 0.15},
+           {OpKind::kSetTake, 0.10},
+           {OpKind::kTas, 0.05},
+           {OpKind::kMaxRead, 0.05},
+           {OpKind::kCounterRead, 0.05}}};
+}
+
+OpMix OpMix::mixed() {
+  return {"mixed",
+          {{OpKind::kMaxWrite, 0.125},
+           {OpKind::kMaxRead, 0.125},
+           {OpKind::kCounterInc, 0.125},
+           {OpKind::kCounterRead, 0.125},
+           {OpKind::kSetPut, 0.125},
+           {OpKind::kSetTake, 0.125},
+           {OpKind::kTas, 0.125},
+           {OpKind::kTasRead, 0.125}}};
+}
+
+OpMix OpMix::aggregate_scan() {
+  return {"aggregate_scan",
+          {{OpKind::kGlobalMax, 0.05},
+           {OpKind::kGlobalMaxScan, 0.05},
+           {OpKind::kCounterSum, 0.10},
+           {OpKind::kMaxWrite, 0.20},
+           {OpKind::kCounterInc, 0.20},
+           {OpKind::kMaxRead, 0.20},
+           {OpKind::kCounterRead, 0.20}}};
+}
+
+OpMix OpMix::by_name(const std::string& name) {
+  if (name == "read_heavy") return read_heavy();
+  if (name == "write_heavy") return write_heavy();
+  if (name == "mixed") return mixed();
+  if (name == "aggregate_scan") return aggregate_scan();
+  C2SL_CHECK(false, "unknown op mix: " + name);
+  return mixed();
+}
+
+}  // namespace c2sl::wl

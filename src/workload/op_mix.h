@@ -1,0 +1,58 @@
+// Operation mixes for the workload engine.
+//
+// An OpMix is a named discrete distribution over the C2Store operation kinds.
+// The canonical mixes mirror the usual service workload archetypes:
+// read-heavy (cache-like), write-heavy (ingest-like), mixed, and
+// aggregate-scan (analytics queries riding on an operational store).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace c2sl::wl {
+
+enum class OpKind : int {
+  kMaxWrite = 0,
+  kMaxRead,
+  kCounterInc,
+  kCounterRead,
+  kSetPut,
+  kSetTake,
+  kTas,
+  kTasRead,
+  kGlobalMax,
+  kGlobalMaxScan,
+  kCounterSum,
+};
+inline constexpr int kOpKindCount = 11;
+
+const char* to_string(OpKind k);
+
+struct OpMix {
+  OpMix() = default;
+  /// Weights need not sum to 1 (pick normalises); the total is cached here so
+  /// the per-operation hot path never re-sums the vector.
+  OpMix(std::string mix_name, std::vector<std::pair<OpKind, double>> mix_weights);
+
+  std::string name;
+  std::vector<std::pair<OpKind, double>> weights;
+
+  OpKind pick(Rng& rng) const;
+  double total_weight() const { return total_; }
+
+  static OpMix read_heavy();
+  static OpMix write_heavy();
+  static OpMix mixed();
+  static OpMix aggregate_scan();
+  /// "read_heavy" | "write_heavy" | "mixed" | "aggregate_scan".
+  static OpMix by_name(const std::string& name);
+
+ private:
+  double total_ = 0.0;
+};
+
+}  // namespace c2sl::wl

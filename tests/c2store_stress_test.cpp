@@ -1,0 +1,260 @@
+// Multi-threaded stress tests (TSAN targets) for the C2Store service layer
+// and its native-runtime foundations: lazy-init races, routing under
+// contention, NativeSet put/take, and NativeFetchIncrement. All seeds are
+// deterministic; volumes are sized to stay fast under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "runtime/native_tas_family.h"
+#include "runtime/stress.h"
+#include "service/c2store.h"
+#include "util/rng.h"
+
+namespace c2sl {
+namespace {
+
+svc::C2StoreConfig stress_config(int threads) {
+  svc::C2StoreConfig cfg;
+  cfg.shards = 8;
+  cfg.max_threads = threads;
+  cfg.max_value = 63 / threads;
+  cfg.tas_max_resets = 63 / threads - 1;
+  cfg.counter_capacity = 1 << 14;
+  cfg.set_capacity = 1 << 14;
+  return cfg;
+}
+
+// All threads race to initialise the SAME fresh shard on their very first
+// operation; the readable-TAS guard must produce exactly one object (checked
+// indirectly: fetch&increment results are globally distinct and dense).
+TEST(C2StoreStress, LazyInitRaceOnOneShard) {
+  const int threads = 4;
+  const int per_thread = 50;
+  for (int round = 0; round < 20; ++round) {
+    svc::C2Store store(stress_config(threads));
+    const uint64_t hot_key = static_cast<uint64_t>(round);
+    std::vector<std::vector<int64_t>> got(static_cast<size_t>(threads));
+    rt::run_stress(threads, per_thread, [&](int t, int) {
+      rt::TimedOp op;
+      got[static_cast<size_t>(t)].push_back(store.counter_inc(hot_key));
+      return op;
+    });
+    std::set<int64_t> all;
+    for (const auto& v : got) {
+      for (int64_t x : v) {
+        EXPECT_TRUE(all.insert(x).second) << "duplicate counter value " << x;
+      }
+    }
+    ASSERT_EQ(all.size(), static_cast<size_t>(threads * per_thread));
+    EXPECT_EQ(*all.rbegin(), threads * per_thread - 1) << "values must be dense";
+    EXPECT_EQ(store.counter_read(hot_key), threads * per_thread);
+  }
+}
+
+// Threads hammer distinct fresh keys concurrently — many shards initialise in
+// parallel while others are already serving.
+TEST(C2StoreStress, ConcurrentInitAcrossShards) {
+  const int threads = 4;
+  const int per_thread = 100;
+  svc::C2Store store(stress_config(threads));
+  rt::run_stress(threads, per_thread, [&](int t, int j) {
+    rt::TimedOp op;
+    uint64_t key = static_cast<uint64_t>(t * per_thread + j);
+    store.counter_inc(key);
+    store.max_write(t, key, (t + j) % (63 / threads));
+    return op;
+  });
+  EXPECT_EQ(store.counter_sum(), threads * per_thread);
+  EXPECT_EQ(store.initialized_shards(), store.shard_count());
+}
+
+TEST(C2StoreStress, CounterSumConservation) {
+  const int threads = 4;
+  const int per_thread = 250;
+  svc::C2Store store(stress_config(threads));
+  std::vector<Rng> rngs;
+  for (int t = 0; t < threads; ++t) rngs.emplace_back(900 + t);
+  rt::run_stress(threads, per_thread, [&](int t, int) {
+    rt::TimedOp op;
+    store.counter_inc(rngs[static_cast<size_t>(t)].next_below(64));
+    return op;
+  });
+  EXPECT_EQ(store.counter_sum(), threads * per_thread);
+}
+
+// global_max read concurrently with writes must never exceed the largest value
+// written so far and must be monotone per observer thread.
+TEST(C2StoreStress, GlobalMaxBoundedAndMonotone) {
+  const int threads = 4;
+  const int per_thread = 200;
+  svc::C2Store store(stress_config(threads));
+  const int64_t bound = 63 / threads;
+  std::atomic<bool> ok{true};
+  std::vector<Rng> rngs;
+  for (int t = 0; t < threads; ++t) rngs.emplace_back(1700 + t);
+  std::vector<int64_t> last_seen(static_cast<size_t>(threads), 0);
+  rt::run_stress(threads, per_thread, [&](int t, int j) {
+    rt::TimedOp op;
+    auto& rng = rngs[static_cast<size_t>(t)];
+    if (j % 3 == 0) {
+      store.max_write(t, rng.next_below(64), rng.next_in(0, bound));
+    } else {
+      int64_t m = store.global_max();
+      if (m < last_seen[static_cast<size_t>(t)] || m > bound) ok.store(false);
+      last_seen[static_cast<size_t>(t)] = m;
+    }
+    return op;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+// Set operations through the routing layer: items are never taken twice, and
+// after a full drain everything put was either taken or still drainable.
+TEST(C2StoreStress, SetConservationThroughRouting) {
+  const int threads = 4;
+  const int per_thread = 150;
+  svc::C2Store store(stress_config(threads));
+  std::vector<Rng> rngs;
+  for (int t = 0; t < threads; ++t) rngs.emplace_back(7100 + t);
+  std::vector<std::vector<int64_t>> put(static_cast<size_t>(threads));
+  std::vector<std::vector<int64_t>> taken(static_cast<size_t>(threads));
+  rt::run_stress(threads, per_thread, [&](int t, int j) {
+    rt::TimedOp op;
+    auto& rng = rngs[static_cast<size_t>(t)];
+    uint64_t key = rng.next_below(16);
+    if (j % 2 == 0) {
+      int64_t item = static_cast<int64_t>(t) * 1000000 + j;
+      store.set_put(key, item);
+      put[static_cast<size_t>(t)].push_back(item);
+    } else {
+      int64_t got = store.set_take(key);
+      if (got != svc::C2Store::kEmpty) taken[static_cast<size_t>(t)].push_back(got);
+    }
+    return op;
+  });
+  std::set<int64_t> all_put, all_taken;
+  for (const auto& v : put) all_put.insert(v.begin(), v.end());
+  for (const auto& v : taken) {
+    for (int64_t x : v) {
+      EXPECT_TRUE(all_taken.insert(x).second) << "item taken twice: " << x;
+      EXPECT_TRUE(all_put.count(x)) << "item " << x << " never put";
+    }
+  }
+  // Drain: everything not yet taken must still be reachable via its key.
+  for (uint64_t key = 0; key < 16; ++key) {
+    for (;;) {
+      int64_t got = store.set_take(key);
+      if (got == svc::C2Store::kEmpty) break;
+      EXPECT_TRUE(all_taken.insert(got).second) << "item taken twice in drain";
+      EXPECT_TRUE(all_put.count(got));
+    }
+  }
+  EXPECT_EQ(all_taken, all_put);
+}
+
+// TAS through routing: per key, at most one winner per generation; resets
+// are issued by a single thread (the budget gate is advisory under races).
+TEST(C2StoreStress, TasSingleWinnerPerKey) {
+  const int threads = 4;
+  for (int round = 0; round < 20; ++round) {
+    svc::C2Store store(stress_config(threads));
+    const uint64_t key = static_cast<uint64_t>(round);
+    std::atomic<int> winners{0};
+    rt::run_stress(threads, 1, [&](int t, int) {
+      rt::TimedOp op;
+      if (store.tas(t, key) == 0) winners.fetch_add(1);
+      return op;
+    });
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+    EXPECT_EQ(store.tas_read(key), 1);
+  }
+}
+
+// --- native-runtime foundations at higher contention -----------------------
+
+TEST(NativeSetStress, InterleavedPutTakeNoDuplicates) {
+  const int threads = 4;
+  const int per_thread = 300;
+  for (int round = 0; round < 4; ++round) {
+    rt::NativeSet set(static_cast<size_t>(threads * per_thread) + 1);
+    std::vector<std::vector<int64_t>> put(static_cast<size_t>(threads));
+    std::vector<std::vector<int64_t>> taken(static_cast<size_t>(threads));
+    rt::run_stress(threads, per_thread, [&](int t, int j) {
+      rt::TimedOp op;
+      if (j % 3 != 2) {
+        int64_t item = (static_cast<int64_t>(round) << 40) + t * 1000000 + j;
+        set.put(item);
+        put[static_cast<size_t>(t)].push_back(item);
+      } else {
+        int64_t got = set.take();
+        if (got != rt::NativeSet::kEmpty) taken[static_cast<size_t>(t)].push_back(got);
+      }
+      return op;
+    });
+    std::set<int64_t> all_put, all_taken;
+    for (const auto& v : put) all_put.insert(v.begin(), v.end());
+    for (const auto& v : taken) {
+      for (int64_t x : v) {
+        ASSERT_TRUE(all_taken.insert(x).second) << "taken twice: " << x;
+        ASSERT_TRUE(all_put.count(x));
+      }
+    }
+    for (;;) {
+      int64_t got = set.take();
+      if (got == rt::NativeSet::kEmpty) break;
+      ASSERT_TRUE(all_taken.insert(got).second);
+    }
+    EXPECT_EQ(all_taken, all_put) << "set must conserve items";
+  }
+}
+
+TEST(NativeFetchIncrementStress, DenseUnderMaximumContention) {
+  const int threads = 4;
+  const int per_thread = 400;
+  rt::NativeFetchIncrement fai(static_cast<size_t>(threads * per_thread) + 1);
+  std::vector<std::vector<int64_t>> got(static_cast<size_t>(threads));
+  rt::run_stress(threads, per_thread, [&](int t, int) {
+    rt::TimedOp op;
+    got[static_cast<size_t>(t)].push_back(fai.fetch_and_increment());
+    return op;
+  });
+  std::set<int64_t> all;
+  for (const auto& v : got) {
+    for (int64_t x : v) ASSERT_TRUE(all.insert(x).second) << "duplicate " << x;
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(threads * per_thread));
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), threads * per_thread - 1);
+  EXPECT_EQ(fai.read(), threads * per_thread);
+}
+
+// Readable F&I: interleaved reads must be monotone and never exceed the number
+// of increments started.
+TEST(NativeFetchIncrementStress, ReadsMonotoneAndBounded) {
+  const int threads = 4;
+  const int per_thread = 200;
+  rt::NativeFetchIncrement fai(static_cast<size_t>(threads * per_thread) + 1);
+  std::atomic<bool> ok{true};
+  std::vector<int64_t> last(static_cast<size_t>(threads), 0);
+  rt::run_stress(threads, per_thread, [&](int t, int j) {
+    rt::TimedOp op;
+    if (j % 2 == 0) {
+      fai.fetch_and_increment();
+    } else {
+      int64_t v = fai.read();
+      if (v < last[static_cast<size_t>(t)] ||
+          v > static_cast<int64_t>(threads) * per_thread) {
+        ok.store(false);
+      }
+      last[static_cast<size_t>(t)] = v;
+    }
+    return op;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace c2sl

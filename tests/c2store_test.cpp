@@ -1,0 +1,197 @@
+// Functional tests for the C2Store service layer: routing, lazy shard
+// initialisation, per-type operations, aggregate scans, and the grep-enforced
+// "no CAS anywhere in service plumbing" guarantee.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/c2store.h"
+#include "service/shard_router.h"
+
+namespace c2sl {
+namespace {
+
+TEST(ShardRouter, DeterministicAndInRange) {
+  svc::ShardRouter router(16);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    int s = router.shard_of(k);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 16);
+    EXPECT_EQ(s, router.shard_of(k)) << "routing must be stable";
+  }
+  EXPECT_EQ(router.shard_of(std::string_view("user:1")),
+            router.shard_of(std::string_view("user:1")));
+}
+
+TEST(ShardRouter, SpreadsKeysAcrossShards) {
+  svc::ShardRouter router(16);
+  std::set<int> hit;
+  for (uint64_t k = 0; k < 256; ++k) hit.insert(router.shard_of(k));
+  // 256 hashed keys over 16 shards: every shard should be touched.
+  EXPECT_EQ(hit.size(), 16u);
+}
+
+TEST(ShardRouter, StringAndIntKeysShareTheSpace) {
+  svc::ShardRouter router(8);
+  std::set<int> hit;
+  for (int i = 0; i < 64; ++i) hit.insert(router.shard_of("key:" + std::to_string(i)));
+  EXPECT_GT(hit.size(), 4u);  // string hashing also spreads
+}
+
+svc::C2StoreConfig small_config() {
+  svc::C2StoreConfig cfg;
+  cfg.shards = 8;
+  cfg.max_threads = 4;
+  cfg.max_value = 10;  // 4 * 10 <= 63
+  cfg.tas_max_resets = 6;
+  cfg.counter_capacity = 1 << 10;
+  cfg.set_capacity = 1 << 10;
+  return cfg;
+}
+
+// Config errors must surface at construction with service-level messages —
+// never from inside a lazy-init winner (where a throw would poison the shard).
+TEST(C2Store, InvalidConfigsRejectedUpFront) {
+  auto bad = [](auto mutate) {
+    svc::C2StoreConfig cfg = small_config();
+    mutate(cfg);
+    EXPECT_THROW(svc::C2Store store(cfg), PreconditionError);
+  };
+  bad([](svc::C2StoreConfig& c) { c.tas_max_resets = -1; });
+  bad([](svc::C2StoreConfig& c) { c.max_value = 0; });
+  bad([](svc::C2StoreConfig& c) { c.max_threads = 0; });
+  bad([](svc::C2StoreConfig& c) { c.counter_capacity = 0; });
+  bad([](svc::C2StoreConfig& c) { c.shards = 12; });  // not a power of two
+  bad([](svc::C2StoreConfig& c) {
+    c.max_threads = 8;
+    c.max_value = 8;  // 64 bits > 63
+  });
+}
+
+TEST(C2Store, LazyInitializationIsOnDemand) {
+  svc::C2Store store(small_config());
+  EXPECT_EQ(store.initialized_shards(), 0);
+  store.counter_inc(uint64_t{42});
+  EXPECT_EQ(store.initialized_shards(), 1);
+  // Reads of untouched keys do not materialise shards.
+  EXPECT_EQ(store.max_read(uint64_t{7}), 0);
+  EXPECT_EQ(store.counter_read(uint64_t{9}), 0);
+  EXPECT_EQ(store.set_take(uint64_t{11}), svc::C2Store::kEmpty);
+  EXPECT_EQ(store.initialized_shards(), 1);
+}
+
+TEST(C2Store, MaxRegisterPerKeySemantics) {
+  svc::C2Store store(small_config());
+  store.max_write(0, uint64_t{1}, 3);
+  store.max_write(1, uint64_t{1}, 7);
+  store.max_write(2, uint64_t{1}, 5);
+  EXPECT_EQ(store.max_read(uint64_t{1}), 7);
+  EXPECT_EQ(store.global_max(), 7);
+}
+
+TEST(C2Store, CounterIncrementAndSum) {
+  svc::C2Store store(small_config());
+  uint64_t a = 100, b = 101;
+  while (store.shard_of(b) == store.shard_of(a)) ++b;  // two distinct shards
+  for (int i = 0; i < 10; ++i) store.counter_inc(a);
+  for (int i = 0; i < 5; ++i) store.counter_inc(b);
+  EXPECT_EQ(store.counter_read(a), 10);
+  EXPECT_EQ(store.counter_read(b), 5);
+  EXPECT_EQ(store.counter_sum(), 15);
+}
+
+TEST(C2Store, TasWinnerResetAndBudget) {
+  svc::C2Store store(small_config());
+  EXPECT_EQ(store.tas_read(uint64_t{5}), 0);
+  EXPECT_EQ(store.tas(0, uint64_t{5}), 0);  // first caller wins
+  EXPECT_EQ(store.tas(1, uint64_t{5}), 1);
+  EXPECT_EQ(store.tas_read(uint64_t{5}), 1);
+  int resets = 0;
+  while (store.tas_reset(0, uint64_t{5})) {
+    EXPECT_EQ(store.tas_read(uint64_t{5}), 0);
+    EXPECT_EQ(store.tas(0, uint64_t{5}), 0);  // winnable again after reset
+    ++resets;
+  }
+  EXPECT_EQ(resets, static_cast<int>(small_config().tas_max_resets));
+}
+
+TEST(C2Store, SetPutTakeRoundtrip) {
+  svc::C2Store store(small_config());
+  store.set_put(uint64_t{3}, 111);
+  store.set_put(uint64_t{3}, 222);
+  std::set<int64_t> taken;
+  taken.insert(store.set_take(uint64_t{3}));
+  taken.insert(store.set_take(uint64_t{3}));
+  EXPECT_EQ(taken, (std::set<int64_t>{111, 222}));
+  EXPECT_EQ(store.set_take(uint64_t{3}), svc::C2Store::kEmpty);
+}
+
+TEST(C2Store, CollidingKeysShareTheSlotObjects) {
+  svc::C2Store store(small_config());
+  // Find two distinct integer keys that route to the same shard.
+  uint64_t a = 0, b = 1;
+  while (store.shard_of(b) != store.shard_of(a)) ++b;
+  store.counter_inc(a);
+  EXPECT_EQ(store.counter_read(b), 1)
+      << "colliding keys name the same striped instance by design";
+}
+
+TEST(C2Store, StringKeysRouteLikeIntKeys) {
+  svc::C2Store store(small_config());
+  store.max_write(0, "alpha", 4);
+  EXPECT_EQ(store.max_read("alpha"), 4);
+  store.set_put("box", 9);
+  EXPECT_EQ(store.set_take("box"), 9);
+}
+
+TEST(C2Store, GlobalMaxAcrossManyShards) {
+  svc::C2Store store(small_config());
+  for (uint64_t k = 0; k < 32; ++k) {
+    store.max_write(0, k, static_cast<int64_t>(k % 10));
+  }
+  EXPECT_EQ(store.global_max(), 9);
+  EXPECT_GT(store.initialized_shards(), 1);
+}
+
+// The service, workload and native-runtime layers must never use CAS — the
+// whole point of the paper (and the ROADMAP north star) is that consensus
+// number 2 suffices. std::atomic exchange and fetch_add are the only RMW
+// primitives allowed. Baselines (src/baselines) and the simulated consensus
+// hierarchy (src/primitives, src/agreement) intentionally contain CAS and are
+// excluded.
+TEST(C2Store, NoCasInServiceWorkloadOrRuntimeSources) {
+  namespace fs = std::filesystem;
+  const std::vector<std::string> dirs = {
+      std::string(C2SL_SOURCE_DIR) + "/src/service",
+      std::string(C2SL_SOURCE_DIR) + "/src/workload",
+      std::string(C2SL_SOURCE_DIR) + "/src/runtime",
+  };
+  const std::vector<std::string> forbidden = {
+      "compare_exchange", "compare_and_swap", "__sync_val_compare",
+      "__sync_bool_compare", "cmpxchg", "atomic_compare"};
+  int files_scanned = 0;
+  for (const auto& dir : dirs) {
+    ASSERT_TRUE(fs::exists(dir)) << dir;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string text = ss.str();
+      ++files_scanned;
+      for (const auto& token : forbidden) {
+        EXPECT_EQ(text.find(token), std::string::npos)
+            << "forbidden primitive `" << token << "` in " << entry.path();
+      }
+    }
+  }
+  EXPECT_GE(files_scanned, 10);
+}
+
+}  // namespace
+}  // namespace c2sl

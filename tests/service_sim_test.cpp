@@ -1,0 +1,273 @@
+// Sim-mode verification of the C2Store service algorithms (service/sim_bridge)
+// on full execution trees. The story, mechanically checked:
+//
+//  1. The keyed service path — routing through the real ShardRouter onto
+//     per-shard paper constructions — IS strongly linearizable: strong
+//     linearizability is local, and every shard facet verifies on the shared
+//     tree. (The acceptance configuration.)
+//  2. The digest design behind C2Store::global_max() (writes also land on one
+//     digest register; the global read is a single-word read) IS strongly
+//     linearizable.
+//  3. The double-collect aggregate SCAN is linearizable (sweeps pass, and the
+//     concrete schedule that kills the naive scan produces a linearizable
+//     history) but NOT strongly linearizable: its linearization point — the
+//     stable collect pair — is decided by future schedule steps, so no
+//     prefix-closed assignment exists. PINNED refutation.
+//  4. The naive one-pass scan is not even linearizable. PINNED refutation,
+//     with the witness history checked directly against the spec.
+//
+// (3) and (4) are the experimental record of WHY global_max reads a digest
+// word — the same reason the paper packs its snapshot into one fetch&add
+// register instead of collecting per-process registers.
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "service/sim_bridge.h"
+#include "verify/lin_checker.h"
+#include "verify/specs.h"
+
+namespace c2sl {
+namespace {
+
+using verify::Invocation;
+
+verify::StrongLinResult check_tree(const sim::ExecTree& tree, const verify::Spec& spec,
+                                   const std::string& object) {
+  verify::StrongLinOptions slopts;
+  slopts.object = object;
+  return verify::check_strong_linearizability(tree, spec, slopts);
+}
+
+verify::StrongLinResult check(const sim::ScenarioFn& scenario, int n,
+                              const verify::Spec& spec, const std::string& object,
+                              int max_depth = 32, size_t max_nodes = 400000) {
+  sim::ExploreOptions opts;
+  opts.max_depth = max_depth;
+  opts.max_nodes = max_nodes;
+  sim::ExecTree tree = sim::explore(n, scenario, opts);
+  EXPECT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  return check_tree(tree, spec, object);
+}
+
+/// Two keys guaranteed to live on different shards of a 2-shard router.
+std::pair<uint64_t, uint64_t> keys_on_distinct_shards() {
+  svc::ShardRouter router(2);
+  uint64_t a = 0;
+  uint64_t b = 1;
+  while (router.shard_of(b) == router.shard_of(a)) ++b;
+  return {a, b};
+}
+
+// --- 1. the keyed service path (acceptance configuration) -------------------
+
+TEST(C2StoreSim, KeyedStorePerShardMaxStronglyLinearizable) {
+  auto [ka, kb] = keys_on_distinct_shards();
+  std::shared_ptr<svc::SimKeyedStore> store;
+  auto scenario = [ka = ka, kb = kb, &store](sim::SimRun& run) {
+    store = std::make_shared<svc::SimKeyedStore>(run.world, "c2", run.n(), 2);
+    run.sched.spawn(0, [store, ka](sim::Ctx& ctx) { store->max_write(ctx, ka, 2); });
+    run.sched.spawn(1, [store, ka, kb](sim::Ctx& ctx) {
+      store->max_write(ctx, kb, 1);
+      store->max_read(ctx, ka);
+    });
+    run.sched.spawn(2, [store, kb](sim::Ctx& ctx) { store->max_read(ctx, kb); });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(3, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::MaxRegisterSpec spec;
+  // Strong linearizability is local: certify each shard facet on the SAME tree.
+  for (int s = 0; s < 2; ++s) {
+    auto res = check_tree(tree, spec, store->max_object(s));
+    ASSERT_TRUE(res.decided);
+    EXPECT_TRUE(res.strongly_linearizable)
+        << "shard facet " << s << ":\n" << res.report;
+  }
+}
+
+TEST(C2StoreSim, KeyedStorePerShardCounterStronglyLinearizable) {
+  auto [ka, kb] = keys_on_distinct_shards();
+  std::shared_ptr<svc::SimKeyedStore> store;
+  auto scenario = [ka = ka, kb = kb, &store](sim::SimRun& run) {
+    store = std::make_shared<svc::SimKeyedStore>(run.world, "c2", run.n(), 2);
+    run.sched.spawn(0, [store, ka](sim::Ctx& ctx) { store->counter_inc(ctx, ka); });
+    run.sched.spawn(1, [store, ka, kb](sim::Ctx& ctx) {
+      store->counter_inc(ctx, kb);
+      store->counter_read(ctx, ka);
+    });
+    run.sched.spawn(2, [store, ka](sim::Ctx& ctx) { store->counter_inc(ctx, ka); });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(3, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::FaiSpec spec;
+  for (int s = 0; s < 2; ++s) {
+    auto res = check_tree(tree, spec, store->ctr_object(s));
+    ASSERT_TRUE(res.decided);
+    EXPECT_TRUE(res.strongly_linearizable)
+        << "shard facet " << s << ":\n" << res.report;
+  }
+}
+
+// --- 2. the digest global max ----------------------------------------------
+
+TEST(C2StoreSim, GlobalMaxDigestStronglyLinearizable) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimGlobalMax>(w, "gmax", n, /*shards=*/2);
+  };
+  // The schedule family that kills the scans: one process writes 2 then 1
+  // (routed to different shards) while another reads the global value.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"ReadMax", unit(), 0}},
+                {{"WriteMax", num(2), 1}, {"WriteMax", num(1), 1}}});
+  verify::MaxRegisterSpec spec;
+  auto res = check(scenario, 2, spec, "gmax");
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+TEST(C2StoreSim, GlobalMaxDigestConcurrentWritersStronglyLinearizable) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimGlobalMax>(w, "gmax", n, /*shards=*/2);
+  };
+  auto scenario = testing::fixed_scenario(factory, {{{"WriteMax", num(2), 0}},
+                                                    {{"WriteMax", num(1), 1}},
+                                                    {{"ReadMax", unit(), 2}}});
+  verify::MaxRegisterSpec spec;
+  auto res = check(scenario, 3, spec, "gmax");
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+// --- 3. double-collect scans: linearizable, NOT strongly linearizable -------
+
+TEST(C2StoreSim, DoubleCollectScanLinSweep) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimShardedMaxRegister>(w, "smax", n, /*shards=*/4);
+  };
+  auto gen = [](int, int, Rng& rng) {
+    if (rng.next_bool(0.5)) return Invocation{"WriteMax", num(rng.next_in(0, 6)), 0};
+    return Invocation{"ReadMax", unit(), 0};
+  };
+  verify::MaxRegisterSpec spec;
+  testing::WorkloadOptions opts;
+  opts.n = 3;
+  opts.ops_per_proc = 3;
+  EXPECT_TRUE(testing::lin_sweep(factory, gen, spec, opts, /*num_seeds=*/25, "smax"));
+}
+
+TEST(C2StoreSim, DoubleCollectCounterLinSweep) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<svc::SimShardedCounter>(w, "sctr", /*shards=*/2);
+  };
+  auto gen = [](int, int, Rng& rng) {
+    if (rng.next_bool(0.6)) return Invocation{"Inc", unit(), 0};
+    return Invocation{"Read", unit(), 0};
+  };
+  verify::CounterSpec spec;
+  testing::WorkloadOptions opts;
+  opts.n = 3;
+  opts.ops_per_proc = 3;
+  EXPECT_TRUE(testing::lin_sweep(factory, gen, spec, opts, /*num_seeds=*/25, "sctr"));
+}
+
+// PINNED: the double-collect read is not prefix-closed — at the node where a
+// completed write has landed on a shard the reader's in-flight collect already
+// passed, one extension lets the collect stabilise to the OLD value while
+// another forces a rescan to the new one; no single early linearization choice
+// survives both. If this starts passing, the checker (or the bridge) broke.
+TEST(C2StoreSim, DoubleCollectScanNotStronglyLinearizable) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimShardedMaxRegister>(w, "smax", n, /*shards=*/2);
+  };
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"ReadMax", unit(), 0}},
+                {{"WriteMax", num(2), 1}, {"WriteMax", num(1), 1}}});
+  verify::MaxRegisterSpec spec;
+  auto res = check(scenario, 2, spec, "smax");
+  ASSERT_TRUE(res.decided);
+  EXPECT_FALSE(res.strongly_linearizable)
+      << "collect-based aggregate reads must NOT verify as strongly "
+         "linearizable — this refutation is why global_max reads a digest";
+}
+
+TEST(C2StoreSim, DoubleCollectCounterNotStronglyLinearizable) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<svc::SimShardedCounter>(w, "sctr", /*shards=*/2);
+  };
+  auto scenario = testing::fixed_scenario(
+      factory,
+      {{{"Inc", unit(), 0}}, {{"Inc", unit(), 1}}, {{"Read", unit(), 2}}});
+  verify::CounterSpec spec;
+  auto res = check(scenario, 3, spec, "sctr");
+  ASSERT_TRUE(res.decided);
+  EXPECT_FALSE(res.strongly_linearizable);
+}
+
+// --- 4. the naive one-pass scan is not even linearizable --------------------
+
+TEST(C2StoreSim, NaiveOnePassScanNotEvenStronglyLinearizable) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimShardedMaxRegister>(w, "smax", n, /*shards=*/2,
+                                                        /*double_collect=*/false);
+  };
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"ReadMax", unit(), 0}},
+                {{"WriteMax", num(2), 1}, {"WriteMax", num(1), 1}}});
+  verify::MaxRegisterSpec spec;
+  auto res = check(scenario, 2, spec, "smax");
+  ASSERT_TRUE(res.decided);
+  EXPECT_FALSE(res.strongly_linearizable);
+}
+
+// The witness history, checked directly: the reader passes shard 0, the writer
+// lands 2 on shard 0 and then 1 on shard 1, the reader sees the 1 and returns
+// it — but 2 was fully written before 1, so NO point of the read's interval
+// has max value 1. Returning 2 from the same interval is fine.
+TEST(C2StoreSim, NaiveScanWitnessHistoryIsNotLinearizable) {
+  auto make_history = [](int64_t read_resp) {
+    std::vector<sim::OpRecord> ops(3);
+    ops[0].id = 0;
+    ops[0].proc = 0;
+    ops[0].object = "smax";
+    ops[0].name = "ReadMax";
+    ops[0].args = unit();
+    ops[0].resp = num(read_resp);
+    ops[0].complete = true;
+    ops[0].inv_seq = 0;
+    ops[0].resp_seq = 7;
+    ops[1].id = 1;
+    ops[1].proc = 1;
+    ops[1].object = "smax";
+    ops[1].name = "WriteMax";
+    ops[1].args = num(2);
+    ops[1].resp = unit();
+    ops[1].complete = true;
+    ops[1].inv_seq = 1;
+    ops[1].resp_seq = 2;
+    ops[2].id = 2;
+    ops[2].proc = 1;
+    ops[2].object = "smax";
+    ops[2].name = "WriteMax";
+    ops[2].args = num(1);
+    ops[2].resp = unit();
+    ops[2].complete = true;
+    ops[2].inv_seq = 3;
+    ops[2].resp_seq = 4;
+    return ops;
+  };
+  verify::MaxRegisterSpec spec;
+  auto bad = verify::check_linearizability(make_history(1), spec);
+  ASSERT_TRUE(bad.decided);
+  EXPECT_FALSE(bad.linearizable) << "ReadMax -> 1 has no linearization point";
+  auto good = verify::check_linearizability(make_history(2), spec);
+  ASSERT_TRUE(good.decided);
+  EXPECT_TRUE(good.linearizable) << good.explanation;
+}
+
+}  // namespace
+}  // namespace c2sl

@@ -1,0 +1,243 @@
+// Tests for the workload layer: key distributions (determinism, skew, burst
+// phases), op mixes, latency summarisation, the JSON writer, and an
+// end-to-end engine smoke run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/distributions.h"
+#include "workload/engine.h"
+#include "workload/json_writer.h"
+#include "workload/latency.h"
+#include "workload/op_mix.h"
+
+namespace c2sl {
+namespace {
+
+TEST(Distributions, UniformBoundsAndDeterminism) {
+  wl::UniformKeys dist(100);
+  Rng a(42), b(42);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uint64_t k = dist.next(a, i);
+    EXPECT_LT(k, 100u);
+    EXPECT_EQ(k, dist.next(b, i)) << "same seed must give same keys";
+  }
+}
+
+TEST(Distributions, ZipfianCdfIsAProperDistribution) {
+  wl::ZipfianKeys dist(1000, 0.99, /*scramble=*/false);
+  double acc = 0.0;
+  for (uint64_t r = 0; r < 1000; ++r) {
+    double m = dist.mass(r);
+    EXPECT_GT(m, 0.0);
+    if (r > 0) {
+      EXPECT_LE(m, dist.mass(r - 1) + 1e-12) << "mass must be non-increasing";
+    }
+    acc += m;
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-9);
+}
+
+TEST(Distributions, ZipfianIsSkewed) {
+  const uint64_t space = 1000;
+  wl::ZipfianKeys dist(space, 0.99, /*scramble=*/false);
+  Rng rng(7);
+  std::map<uint64_t, int> freq;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++freq[dist.next(rng, static_cast<uint64_t>(i))];
+  // Rank 0 is the hottest; it should dwarf the uniform share of draws/space.
+  EXPECT_GT(freq[0], 10 * draws / static_cast<int>(space));
+  // And the top-10 ranks should hold a large constant fraction of all draws.
+  int top10 = 0;
+  for (uint64_t r = 0; r < 10; ++r) top10 += freq[r];
+  EXPECT_GT(top10, draws / 5);
+}
+
+TEST(Distributions, ZipfianScrambleScattersButKeepsSkew) {
+  const uint64_t space = 1000;
+  wl::ZipfianKeys dist(space, 0.99, /*scramble=*/true);
+  Rng rng(7);
+  std::map<uint64_t, int> freq;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    uint64_t k = dist.next(rng, static_cast<uint64_t>(i));
+    ASSERT_LT(k, space);
+    ++freq[k];
+  }
+  int hottest = 0;
+  for (const auto& [k, n] : freq) {
+    (void)k;
+    hottest = std::max(hottest, n);
+  }
+  EXPECT_GT(hottest, 10 * draws / static_cast<int>(space)) << "skew must survive scatter";
+}
+
+TEST(Distributions, HotKeyBurstPhases) {
+  const uint64_t space = 10000, hot_set = 10, period = 100;
+  wl::HotKeyBurstKeys dist(space, hot_set, 0.9, period);
+  Rng rng(3);
+  int hot_phase_hits = 0, cold_phase_hits = 0;
+  const int per_phase = 5000;
+  for (int i = 0; i < per_phase; ++i) {
+    // op indices 0..period-1 modulo 2*period are the hot phase
+    uint64_t hot_op = (static_cast<uint64_t>(i) / period) * 2 * period +
+                      static_cast<uint64_t>(i) % period;
+    uint64_t cold_op = hot_op + period;
+    ASSERT_TRUE(dist.in_hot_phase(hot_op));
+    ASSERT_FALSE(dist.in_hot_phase(cold_op));
+    if (dist.next(rng, hot_op) < hot_set) ++hot_phase_hits;
+    if (dist.next(rng, cold_op) < hot_set) ++cold_phase_hits;
+  }
+  EXPECT_GT(hot_phase_hits, per_phase / 2) << "hot phase must hit the hot set often";
+  EXPECT_LT(cold_phase_hits, per_phase / 10) << "cold phase must be ~uniform";
+}
+
+TEST(Distributions, FactoryByName) {
+  EXPECT_EQ(wl::make_dist("uniform", 10)->name(), "uniform");
+  EXPECT_EQ(wl::make_dist("zipfian", 10)->name(), "zipfian");
+  EXPECT_EQ(wl::make_dist("hotburst", 10)->name(), "hotburst");
+  EXPECT_THROW(wl::make_dist("nope", 10), PreconditionError);
+}
+
+TEST(OpMix, NamedMixesAreNormalisedAndPickable) {
+  for (const char* name : {"read_heavy", "write_heavy", "mixed", "aggregate_scan"}) {
+    wl::OpMix mix = wl::OpMix::by_name(name);
+    EXPECT_EQ(mix.name, name);
+    EXPECT_NEAR(mix.total_weight(), 1.0, 1e-9);
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+      int k = static_cast<int>(mix.pick(rng));
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, wl::kOpKindCount);
+    }
+  }
+}
+
+TEST(OpMix, PickTracksWeights) {
+  wl::OpMix mix{"test", {{wl::OpKind::kMaxRead, 0.9}, {wl::OpKind::kMaxWrite, 0.1}}};
+  Rng rng(5);
+  int reads = 0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    if (mix.pick(rng) == wl::OpKind::kMaxRead) ++reads;
+  }
+  EXPECT_GT(reads, draws * 85 / 100);
+  EXPECT_LT(reads, draws * 95 / 100);
+}
+
+TEST(Latency, ExactPercentilesOnKnownData) {
+  std::vector<int64_t> samples;
+  for (int64_t i = 1; i <= 1000; ++i) samples.push_back(i);  // 1..1000 ns
+  wl::LatencyStats s = wl::summarize_latencies(samples);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.min_ns, 1);
+  EXPECT_EQ(s.max_ns, 1000);
+  EXPECT_NEAR(static_cast<double>(s.p50_ns), 500.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(s.p90_ns), 900.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(s.p99_ns), 990.0, 2.0);
+  EXPECT_NEAR(s.mean_ns, 500.5, 0.01);
+}
+
+TEST(Latency, EmptyIsZeroed) {
+  std::vector<int64_t> none;
+  wl::LatencyStats s = wl::summarize_latencies(none);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99_ns, 0);
+}
+
+TEST(JsonWriter, NestedDocumentsAndEscaping) {
+  wl::JsonWriter w;
+  w.begin_object();
+  w.field("name", "a\"b\\c\n");
+  w.field("n", int64_t{-3});
+  w.field("ok", true);
+  w.key("arr").begin_array().value(int64_t{1}).value(int64_t{2}).end_array();
+  w.key("inner").begin_object().field("x", 1.5).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"n\":-3,\"ok\":true,"
+            "\"arr\":[1,2],\"inner\":{\"x\":1.5}}");
+}
+
+TEST(JsonWriter, ArraysOfObjects) {
+  wl::JsonWriter w;
+  w.begin_array();
+  w.begin_object().field("a", int64_t{1}).end_object();
+  w.begin_object().field("b", int64_t{2}).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), "[{\"a\":1},{\"b\":2}]");
+}
+
+TEST(Engine, SmokeRunAccountsForEveryOperation) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 300;
+  cfg.key_space = 64;
+  cfg.dist = "uniform";
+  cfg.mix = wl::OpMix::mixed();
+  cfg.seed = 9;
+  cfg.store.shards = 4;
+  wl::WorkloadResult r = wl::run_workload(cfg);
+  EXPECT_EQ(r.total_ops, 600u);
+  EXPECT_EQ(r.latency.count, 600u);
+  uint64_t counted = 0;
+  for (int k = 0; k < wl::kOpKindCount; ++k) counted += r.per_kind[k];
+  EXPECT_EQ(counted, 600u);
+  EXPECT_GT(r.throughput_ops_s, 0.0);
+  EXPECT_GE(r.final_counter_sum, 0);
+  EXPECT_EQ(r.final_counter_sum, static_cast<int64_t>(r.per_kind[static_cast<int>(
+                                     wl::OpKind::kCounterInc)]));
+}
+
+TEST(Engine, AggregateScanMixExercisesGlobalPaths) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 200;
+  cfg.key_space = 64;
+  cfg.dist = "zipfian";
+  cfg.mix = wl::OpMix::aggregate_scan();
+  cfg.seed = 4;
+  cfg.store.shards = 8;
+  wl::WorkloadResult r = wl::run_workload(cfg);
+  EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kGlobalMax)], 0u);
+  EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kCounterSum)], 0u);
+  EXPECT_LE(r.final_global_max, r.cfg.store.max_value);
+}
+
+TEST(Engine, JsonEntryCarriesTheSchema) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 1;
+  cfg.ops_per_thread = 100;
+  cfg.key_space = 16;
+  cfg.store.shards = 2;
+  wl::WorkloadResult r = wl::run_workload(cfg);
+  std::string doc = wl::result_to_json("test_suite", "unit/smoke", r);
+  for (const char* needle :
+       {"\"schema\":\"c2sl-bench-v1\"", "\"suite\":\"test_suite\"",
+        "\"bench\":\"unit/smoke\"", "\"throughput_ops_per_s\"", "\"latency_ns\"",
+        "\"p99\"", "\"op_counts\"", "\"initialized_shards\""}) {
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle << "\nin: " << doc;
+  }
+}
+
+TEST(Engine, DeterministicOpSequencesAcrossRuns) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 400;
+  cfg.key_space = 32;
+  cfg.dist = "zipfian";
+  cfg.mix = wl::OpMix::write_heavy();
+  cfg.seed = 77;
+  cfg.store.shards = 4;
+  wl::WorkloadResult a = wl::run_workload(cfg);
+  wl::WorkloadResult b = wl::run_workload(cfg);
+  for (int k = 0; k < wl::kOpKindCount; ++k) {
+    EXPECT_EQ(a.per_kind[k], b.per_kind[k]) << "op mix must replay from the seed";
+  }
+  EXPECT_EQ(a.final_counter_sum, b.final_counter_sum);
+}
+
+}  // namespace
+}  // namespace c2sl
