@@ -4,8 +4,23 @@
 // by default) and a human-readable summary on stdout.
 //
 //   $ ./bench_c2store [--quick] [--out FILE] [--ops N] [--threads-max N]
+//                     [--bind cached|per_op] [--keys int|string] [--key-space N]
 //
-// --quick shrinks op counts for CI smoke runs.
+// --quick shrinks op counts for CI smoke runs. --bind selects the ref binding
+// mode for every entry (bench names stay identical across modes), so two runs
+// give the key-bound-refs vs per-op-routing comparison that tools/bench_diff
+// gates in CI:
+//
+//   $ ./bench_c2store --keys string --bind per_op --out BENCH_perop.json
+//   $ ./bench_c2store --keys string --bind cached --out BENCH_refs.json
+//   $ tools/bench_diff.py BENCH_perop.json BENCH_refs.json
+//
+// --keys string is where bind-time caching earns its keep (FNV over every key
+// byte per op otherwise); int keys route through one ~free SplitMix64 mix, so
+// per-op routing is already competitive there. For the A/B gate use a
+// --key-space that keeps the per-thread ref tables cache-resident (e.g. 512):
+// at the default 4096, a timesliced many-thread run measures ref-TABLE
+// eviction, not routing cost — real clients bind handles for their hot keys.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +42,9 @@ struct Args {
   uint64_t ops = 5000;
   bool ops_explicit = false;  // --quick only lowers ops when --ops is absent
   int threads_max = 0;        // 0 == hardware_concurrency
+  std::string bind = "cached";
+  std::string keys = "int";
+  uint64_t key_space = 4096;
 };
 
 Args parse(int argc, char** argv) {
@@ -42,9 +60,16 @@ Args parse(int argc, char** argv) {
       a.ops_explicit = true;
     } else if (arg == "--threads-max" && i + 1 < argc) {
       a.threads_max = std::atoi(argv[++i]);
+    } else if (arg == "--bind" && i + 1 < argc) {
+      a.bind = argv[++i];
+    } else if (arg == "--keys" && i + 1 < argc) {
+      a.keys = argv[++i];
+    } else if (arg == "--key-space" && i + 1 < argc) {
+      a.key_space = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]\n",
+                   "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]"
+                   " [--bind cached|per_op] [--keys int|string] [--key-space N]\n",
                    argv[0]);
       std::exit(1);
     }
@@ -77,6 +102,9 @@ int main(int argc, char** argv) {
   w.field("suite", "bench_c2store");
   w.key("host").begin_object();
   w.field("hardware_concurrency", hw);
+  w.field("bind", args.bind);
+  w.field("keys", args.keys);
+  w.field("key_space", args.key_space);
   w.end_object();
   w.key("results").begin_array();
 
@@ -85,9 +113,11 @@ int main(int argc, char** argv) {
     wl::WorkloadConfig cfg;
     cfg.threads = t;
     cfg.ops_per_thread = args.ops;
-    cfg.key_space = 4096;
+    cfg.key_space = args.key_space;
     cfg.dist = "zipfian";
     cfg.mix = wl::OpMix::mixed();
+    cfg.bind = args.bind;
+    cfg.keys = args.keys;
     cfg.store.shards = 16;
     run_one(w, "sweep/threads=" + std::to_string(t), cfg);
   }
@@ -97,9 +127,11 @@ int main(int argc, char** argv) {
     wl::WorkloadConfig cfg;
     cfg.threads = max_threads;
     cfg.ops_per_thread = args.ops;
-    cfg.key_space = 4096;
+    cfg.key_space = args.key_space;
     cfg.dist = "zipfian";
     cfg.mix = wl::OpMix::mixed();
+    cfg.bind = args.bind;
+    cfg.keys = args.keys;
     cfg.store.shards = shards;
     run_one(w, "ablation/shards=" + std::to_string(shards), cfg);
   }
@@ -109,9 +141,11 @@ int main(int argc, char** argv) {
     wl::WorkloadConfig cfg;
     cfg.threads = max_threads;
     cfg.ops_per_thread = args.ops;
-    cfg.key_space = 4096;
+    cfg.key_space = args.key_space;
     cfg.dist = "zipfian";
     cfg.mix = wl::OpMix::by_name(mix);
+    cfg.bind = args.bind;
+    cfg.keys = args.keys;
     cfg.store.shards = 16;
     run_one(w, std::string("mix/") + mix, cfg);
   }
@@ -119,9 +153,11 @@ int main(int argc, char** argv) {
     wl::WorkloadConfig cfg;
     cfg.threads = max_threads;
     cfg.ops_per_thread = args.ops;
-    cfg.key_space = 4096;
+    cfg.key_space = args.key_space;
     cfg.dist = dist;
     cfg.mix = wl::OpMix::mixed();
+    cfg.bind = args.bind;
+    cfg.keys = args.keys;
     cfg.store.shards = 16;
     run_one(w, std::string("dist/") + dist, cfg);
   }

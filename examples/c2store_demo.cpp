@@ -20,15 +20,22 @@ int main(int argc, char** argv) try {
   cfg.mix = wl::OpMix::mixed();
   cfg.store.shards = 16;
 
-  // Direct API taste: string keys route through the same FNV+mix hash path.
+  // Direct API taste: open a session (RAII lane), bind typed key-bound refs
+  // once, then operate through the cached handles. String keys route through
+  // the same FNV+mix hash path — but only at bind time.
   svc::C2Store store(cfg.store);
-  store.max_write(0, "user:1042/score", 5);
-  store.counter_inc("page:/index/hits");
-  store.set_put("queue:emails", 7001);
-  std::printf("direct: score=%lld hits=%lld email=%lld\n",
-              static_cast<long long>(store.max_read("user:1042/score")),
-              static_cast<long long>(store.counter_read("page:/index/hits")),
-              static_cast<long long>(store.set_take("queue:emails")));
+  svc::C2Session session = store.open_session();
+  svc::MaxRef score = session.max("user:1042/score");
+  svc::CounterRef hits = session.counter("page:/index/hits");
+  svc::SetRef emails = session.set("queue:emails");
+  score.write(5);
+  hits.inc();
+  emails.put(7001);
+  std::printf("direct: score=%lld hits=%lld email=%lld (lane=%d)\n",
+              static_cast<long long>(score.read()),
+              static_cast<long long>(hits.read()),
+              static_cast<long long>(emails.take()), session.lane());
+  session.close();
 
   wl::WorkloadResult r = wl::run_workload(cfg);
   std::printf(

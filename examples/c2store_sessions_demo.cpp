@@ -1,0 +1,110 @@
+// Sessions demo: dynamic join/leave of worker threads against one C2Store.
+//
+// The store is configured with only 4 session lanes, but 3 waves x 4 workers
+// (12 worker threads in total) serve traffic over its lifetime: each worker
+// joins (open_session — RAII lane from the consensus-2 LaneRegistry), binds
+// typed key-bound refs once, hammers them, and leaves (lane recycled for the
+// next wave). A 5th concurrent open fails cleanly and succeeds after a leave.
+//
+// Exits non-zero on any inconsistency, so CI can run it as a smoke test.
+//
+//   $ ./example_c2store_sessions_demo [workers_per_wave] [waves] [ops]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "service/c2store.h"
+
+using namespace c2sl;
+
+namespace {
+
+int failures = 0;
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (workers < 1) workers = 1;
+  if (workers > 31) workers = 31;  // 63-bit lane packing budget
+  const int waves = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int ops = argc > 3 ? std::atoi(argv[3]) : 2000;
+
+  svc::C2StoreConfig cfg;
+  cfg.shards = 16;
+  cfg.max_threads = workers;  // lanes for ONE wave; later waves recycle them
+  cfg.max_value = 63 / workers;
+  cfg.tas_max_resets = 63 / workers - 1;  // lane-packing budget scales down too
+  cfg.counter_capacity = static_cast<size_t>(waves) * workers * ops + 1;
+  svc::C2Store store(cfg);
+
+  for (int wave = 0; wave < waves; ++wave) {
+    std::vector<std::thread> pool;
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&store, &cfg, wave, w, ops] {
+        // Join: this thread did not exist when the store was built.
+        svc::C2Session session = store.open_session();
+        svc::CounterRef requests = session.counter("svc:requests");
+        svc::MaxRef high_water = session.max("svc:high_water");
+        svc::TasRef leader = session.tas("svc:leader");
+        const bool won = leader.test_and_set() == 0;
+        for (int i = 0; i < ops; ++i) {
+          requests.inc();
+          if (i % 64 == w) high_water.write((i + w) % (cfg.max_value + 1));
+        }
+        if (won) {
+          // This wave's leader recycles the flag for the next wave (sole
+          // resetter, so the advisory budget gate is race-free).
+          session.tas_reset("svc:leader");
+        }
+        // Leave: the session destructor releases the lane for the next wave.
+        std::printf("wave %d worker %d served %d ops on lane %d%s\n", wave, w, ops,
+                    session.lane(), won ? " (leader)" : "");
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  // Lanes were recycled, never grown: waves*workers workers joined over the
+  // store's lifetime, but the dispenser never issued more than `workers`
+  // fresh tickets. (It may issue fewer — a worker that finishes before the
+  // next one starts hands its lane straight to the recycler.)
+  expect(store.lane_tickets_issued() <= cfg.max_threads,
+         "later waves must recycle lanes, not draw fresh tickets");
+
+  // Oversubscription: hold every lane, watch the next join fail cleanly.
+  {
+    std::vector<svc::C2Session> held;
+    for (int i = 0; i < cfg.max_threads; ++i) held.push_back(store.open_session());
+    svc::C2Session extra = store.try_open_session();
+    expect(!extra.valid(), "try_open_session must report no free lane");
+    held.pop_back();  // one worker leaves...
+    extra = store.try_open_session();
+    expect(extra.valid(), "...and the freed lane is immediately joinable");
+  }
+
+  svc::C2Session audit = store.open_session();
+  const int64_t served = audit.counter("svc:requests").read();
+  const int64_t expected = static_cast<int64_t>(waves) * workers * ops;
+  std::printf("total requests: %lld (expected %lld), global_max=%lld, tickets=%lld\n",
+              static_cast<long long>(served), static_cast<long long>(expected),
+              static_cast<long long>(store.global_max()),
+              static_cast<long long>(store.lane_tickets_issued()));
+  expect(served == expected, "every op from every wave must be counted exactly once");
+
+  if (failures > 0) return 1;
+  std::printf("ok: %d workers joined/left across %d waves on %d lanes\n",
+              waves * workers, waves, cfg.max_threads);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -7,28 +7,16 @@
 
 namespace c2sl::svc {
 
-struct C2Store::ShardObjects {
-  rt::NativeMaxRegister64 max;
-  rt::NativeFetchIncrement counter;
-  rt::NativeMultishotTAS tas;
-  rt::NativeSet set;
-
-  explicit ShardObjects(const C2StoreConfig& c)
-      : max(c.max_threads, c.max_value),
-        counter(c.counter_capacity),
-        tas(c.max_threads, c.tas_max_resets),
-        set(c.set_capacity) {}
-};
-
 // Runs in the init list, before any member construction: every config error
 // surfaces here with a service-level message, and ShardObjects construction
 // below can no longer throw for config reasons (only bad_alloc remains).
 const C2StoreConfig& C2Store::validate(const C2StoreConfig& cfg) {
-  C2SL_CHECK(cfg.max_threads >= 1, "need at least one thread lane");
+  C2SL_CHECK(cfg.max_threads >= 1, "need at least one session lane");
   C2SL_CHECK(cfg.max_value >= 1, "max_value must be at least 1");
   C2SL_CHECK(cfg.tas_max_resets >= 0, "tas_max_resets must be non-negative");
   C2SL_CHECK(cfg.counter_capacity >= 1 && cfg.set_capacity >= 1,
              "per-shard capacities must be non-zero");
+  C2SL_CHECK(cfg.lane_recycle_capacity >= 1, "lane recycle capacity must be non-zero");
   C2SL_CHECK(static_cast<int64_t>(cfg.max_threads) * cfg.max_value <= 63,
              "max_threads * max_value must fit in 63 bits");
   C2SL_CHECK(static_cast<int64_t>(cfg.max_threads) * (cfg.tas_max_resets + 1) <= 63,
@@ -40,6 +28,7 @@ C2Store::C2Store(const C2StoreConfig& cfg)
     : cfg_(validate(cfg)),
       router_(cfg.shards),
       slots_(std::make_unique<ShardSlot[]>(static_cast<size_t>(cfg.shards))),
+      lanes_(cfg.max_threads, cfg.lane_recycle_capacity),
       digest_(cfg.max_threads, cfg.max_value) {}
 
 C2Store::~C2Store() {
@@ -48,7 +37,21 @@ C2Store::~C2Store() {
   }
 }
 
-C2Store::ShardObjects& C2Store::shard(int s) {
+C2Session C2Store::open_session() {
+  int lane = lanes_.try_acquire();
+  C2SL_CHECK(lane != LaneRegistry::kNone,
+             "all session lanes held (cfg.max_threads concurrent sessions); "
+             "close a session or raise max_threads");
+  return C2Session(this, lane);
+}
+
+C2Session C2Store::try_open_session() {
+  int lane = lanes_.try_acquire();
+  if (lane == LaneRegistry::kNone) return C2Session();
+  return C2Session(this, lane);
+}
+
+ShardObjects& C2Store::shard(int s) {
   ShardSlot& slot = slots_[static_cast<size_t>(s)];
   ShardObjects* p = slot.objs.load(std::memory_order_seq_cst);
   if (p) return *p;
@@ -74,48 +77,6 @@ C2Store::ShardObjects& C2Store::shard(int s) {
                "shard initialization failed in another thread");
   }
   return *p;
-}
-
-C2Store::ShardObjects* C2Store::peek(int s) const {
-  return slots_[static_cast<size_t>(s)].objs.load(std::memory_order_seq_cst);
-}
-
-void C2Store::max_write_shard(int tid, int s, int64_t v) {
-  shard(s).max.write_max(tid, v);
-  digest_.write_max(tid, v);  // keeps global_max() a single-word read
-}
-
-int64_t C2Store::max_read_shard(int s) {
-  ShardObjects* p = peek(s);
-  return p ? p->max.read_max() : 0;
-}
-
-int64_t C2Store::counter_inc_shard(int s) { return shard(s).counter.fetch_and_increment(); }
-
-int64_t C2Store::counter_read_shard(int s) {
-  ShardObjects* p = peek(s);
-  return p ? p->counter.read() : 0;
-}
-
-int64_t C2Store::tas_shard(int tid, int s) { return shard(s).tas.test_and_set(tid); }
-
-int64_t C2Store::tas_read_shard(int s) {
-  ShardObjects* p = peek(s);
-  return p ? p->tas.read() : 0;
-}
-
-bool C2Store::tas_reset_shard(int tid, int s) {
-  ShardObjects& o = shard(s);
-  if (o.tas.generation() >= o.tas.max_resets()) return false;
-  o.tas.reset(tid);
-  return true;
-}
-
-void C2Store::set_put_shard(int s, int64_t item) { shard(s).set.put(item); }
-
-int64_t C2Store::set_take_shard(int s) {
-  ShardObjects* p = peek(s);
-  return p ? p->set.take() : kEmpty;
 }
 
 // Double-collect over a monotone per-shard read. Uninitialised shards read as

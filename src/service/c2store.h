@@ -4,30 +4,57 @@
 // no compare&swap anywhere in the service plumbing either (grep-enforced by
 // tests/c2store_test.cpp).
 //
+// Public surface (the session redesign):
+//
+//   C2Store store(cfg);
+//   C2Session s = store.open_session();      // RAII lane acquisition
+//   MaxRef score = s.max("user:1042/score"); // hash-route ONCE, cache the slot
+//   score.write(5);                          // cached-pointer op from here on
+//   s.counter("hits").inc();
+//
+// All lane-indexed constructions (max-register unary lanes, TAS reset
+// writers) need a caller lane below cfg.max_threads. That lane is no longer a
+// raw `int tid` parameter on every call — a C2Session acquires one from the
+// LaneRegistry (F&I ticket for first-acquire, NativeSet put/take to recycle
+// freed lanes; see service/lane_registry.h) and releases it on destruction,
+// so dynamically joining and leaving threads share a bounded lane space
+// without any call-site bookkeeping.
+//
+// Typed key-bound refs — MaxRef / CounterRef / TasRef / SetRef — are the
+// per-key surface. Binding hashes the key onto a shard once and caches the
+// slot, turning the hot path from hash+route+dispatch per op into one cached
+// pointer indirection (the win is largest for string keys, whose FNV pass is
+// the routing cost). One-shot conveniences (session.max_write(key, v), ...)
+// bind-and-op in one call: that is exactly the old per-op routing cost, kept
+// as the comparison baseline for bench_c2store's bind-mode ablation.
+//
 // Shape: `shards` cache-line-padded slots; a key (int or string) is hashed
 // onto a slot (lock-striping style — keys that collide share the slot's
 // objects, which is the documented semantics: the store serves `shards`
 // independent instances of each object type and keys *name* them through
 // hashing). Each slot lazily materialises one instance of each shardable
 // object type on first touch:
-//   * NativeMaxRegister64  (Thm 1)  — max_write / max_read
-//   * NativeFetchIncrement (Thm 9)  — counter_inc / counter_read
-//   * NativeMultishotTAS   (Thm 6)  — tas / tas_read / tas_reset
-//   * NativeSet            (Thm 10) — set_put / set_take
+//   * NativeMaxRegister64  (Thm 1)  — MaxRef
+//   * NativeFetchIncrement (Thm 9)  — CounterRef
+//   * NativeMultishotTAS   (Thm 6)  — TasRef
+//   * NativeSet            (Thm 10) — SetRef
 //
 // Lazy initialisation is guarded by the paper's own readable test&set (Thm 5):
 // the winner of the slot's test&set constructs the objects and publishes them
 // through an atomic pointer store (a plain register write — consensus number
-// 1); losers spin on the publication. No CAS, no mutex.
+// 1); losers spin on the publication. No CAS, no mutex. Binding a ref does
+// NOT materialise the shard — reads through an unmaterialised ref return the
+// initial values; the first mutating op claims the slot.
 //
 // Per-key operations are strongly linearizable by locality: each key's ops run
 // on one strongly-linearizable shard instance, and strong linearizability
 // composes (tests/service_sim_test.cpp checks per-shard facets through the
-// real routing layer on full execution trees).
+// real routing layer on full execution trees). Lane acquire/release is itself
+// strongly linearizable (tests/lane_registry_test.cpp, checker-verified).
 //
 // Aggregates come in two provably different flavours:
 //   * global_max() reads a store-level DIGEST — one extra NativeMaxRegister64
-//     that every max_write also updates — so the global read is a single
+//     that every MaxRef::write also updates — so the global read is a single
 //     fetch&add(0): wait-free and strongly linearizable, exactly the paper's
 //     "pack it into one FAA word" move (§3.1/§3.2).
 //   * global_max_scan() / counter_sum() scan the per-shard read paths with a
@@ -50,13 +77,14 @@
 #include <string_view>
 
 #include "runtime/native_tas_family.h"
+#include "service/lane_registry.h"
 #include "service/shard_router.h"
 
 namespace c2sl::svc {
 
 struct C2StoreConfig {
   int shards = 16;      ///< power of two
-  int max_threads = 8;  ///< lane owners for the per-shard max registers / TAS
+  int max_threads = 8;  ///< maximum CONCURRENT sessions (lane owners)
 
   /// Per-shard max register bound; max_threads * max_value must fit in 63 bits.
   int64_t max_value = 7;
@@ -65,6 +93,198 @@ struct C2StoreConfig {
   int64_t tas_max_resets = 6;
   size_t counter_capacity = size_t{1} << 14;  ///< max increments per shard
   size_t set_capacity = size_t{1} << 14;      ///< max puts per shard
+  /// Lifetime bound on session closes (lane releases ride on a bounded
+  /// NativeSet; see service/lane_registry.h).
+  size_t lane_recycle_capacity = size_t{1} << 14;
+};
+
+/// Typed outcome of TasRef::reset(). The budget gate is advisory under
+/// concurrency: callers that might consume the LAST reset generation
+/// concurrently must serialize resets externally.
+enum class ResetResult {
+  kOk,          ///< the TAS was recycled (a reset generation was consumed)
+  kBudgetSpent  ///< the shard's reset budget is exhausted; nothing was done
+};
+
+class C2Store;
+class C2Session;
+
+/// One shard slot's lazily-materialised objects. Internal layout — public at
+/// namespace scope only so the typed refs can inline their cached-pointer hot
+/// paths; never construct or hold one directly.
+struct ShardObjects {
+  rt::NativeMaxRegister64 max;
+  rt::NativeFetchIncrement counter;
+  rt::NativeMultishotTAS tas;
+  rt::NativeSet set;
+
+  explicit ShardObjects(const C2StoreConfig& c)
+      : max(c.max_threads, c.max_value),
+        counter(c.counter_capacity),
+        tas(c.max_threads, c.tas_max_resets),
+        set(c.set_capacity) {}
+};
+
+namespace detail {
+/// Common state of the typed key-bound refs: the routing decision (shard
+/// index) is made ONCE at bind time and the shard's object pointer is cached
+/// on first resolution, so steady-state per-op cost is a null check plus the
+/// object operation — no re-hash, no re-route. A ref is a borrowed view: it
+/// must not outlive its session (the lane it carries is recycled when the
+/// session closes) or the store.
+class ShardRef {
+ public:
+  int shard() const { return shard_; }
+
+ protected:
+  ShardRef(C2Store* store, int lane, int shard)
+      : store_(store), lane_(lane), shard_(shard) {}
+
+  /// Cached objects, or nullptr while the shard is unmaterialised.
+  inline ShardObjects* resolved();
+  /// Cached objects, materialising the shard (readable-TAS claim) on demand.
+  inline ShardObjects& ensure();
+
+  C2Store* store_;
+  ShardObjects* objs_ = nullptr;
+  int lane_;
+  int shard_;
+};
+}  // namespace detail
+
+/// Key-bound max register (Thm 1 lanes under the hood).
+class MaxRef : public detail::ShardRef {
+ public:
+  inline void write(int64_t v);
+  inline int64_t read();
+
+ private:
+  friend class C2Session;
+  using ShardRef::ShardRef;
+};
+
+/// Key-bound readable fetch&increment counter (Thm 9).
+class CounterRef : public detail::ShardRef {
+ public:
+  inline int64_t inc();  ///< returns the pre-increment value
+  inline int64_t read();
+
+ private:
+  friend class C2Session;
+  using ShardRef::ShardRef;
+};
+
+/// Key-bound multi-shot readable test&set (Thm 6).
+class TasRef : public detail::ShardRef {
+ public:
+  inline int64_t test_and_set();  ///< 0 to the generation's winner, else 1
+  inline int64_t read();
+  inline ResetResult reset();
+
+ private:
+  friend class C2Session;
+  using ShardRef::ShardRef;
+};
+
+/// Key-bound unordered set (Thm 10, Algorithm 2).
+class SetRef : public detail::ShardRef {
+ public:
+  inline void put(int64_t item);
+  inline int64_t take();  ///< taken item or C2Store::kEmpty
+
+ private:
+  friend class C2Session;
+  using ShardRef::ShardRef;
+};
+
+/// RAII lane handle and the store's entire per-key surface. Obtained from
+/// C2Store::open_session(); the lane is released back to the registry on
+/// destruction (or close()). Move-only. A session is a single-client handle:
+/// one session must not be used from two threads at once (its lane indexes
+/// per-thread state in the underlying constructions) — open one per worker.
+class C2Session {
+ public:
+  C2Session() = default;  ///< invalid (valid() == false) until move-assigned
+  C2Session(C2Session&& o) noexcept : store_(o.store_), lane_(o.lane_) {
+    o.store_ = nullptr;
+    o.lane_ = -1;
+  }
+  C2Session& operator=(C2Session&& o) noexcept {
+    if (this != &o) {
+      // Destruction semantics for the overwritten session: like ~C2Session,
+      // swallow recycle-capacity exhaustion rather than throw from noexcept.
+      try {
+        close();
+      } catch (...) {
+      }
+      store_ = o.store_;
+      lane_ = o.lane_;
+      o.store_ = nullptr;
+      o.lane_ = -1;
+    }
+    return *this;
+  }
+  C2Session(const C2Session&) = delete;
+  C2Session& operator=(const C2Session&) = delete;
+  ~C2Session() {
+    // A destructor must not throw: if the registry's recycle set is out of
+    // capacity the lane is dropped silently here. Call close() explicitly to
+    // observe that exhaustion as a PreconditionError instead.
+    try {
+      close();
+    } catch (...) {
+    }
+  }
+
+  /// Releases the lane early; idempotent. Invalidates every ref bound here.
+  /// Throws PreconditionError when the lane registry's recycle capacity
+  /// (cfg.lane_recycle_capacity total session closes) is exhausted.
+  inline void close();
+  bool valid() const { return store_ != nullptr; }
+  /// The acquired lane (< cfg.max_threads); exposed for diagnostics only.
+  int lane() const { return lane_; }
+
+  // --- typed key-bound refs: hash-route once, then cached-pointer ops ---
+  inline MaxRef max(uint64_t key);
+  inline MaxRef max(std::string_view key);
+  inline CounterRef counter(uint64_t key);
+  inline CounterRef counter(std::string_view key);
+  inline TasRef tas(uint64_t key);
+  inline TasRef tas(std::string_view key);
+  inline SetRef set(uint64_t key);
+  inline SetRef set(std::string_view key);
+
+  // --- one-shot conveniences: bind + op per call (per-op routing cost) ---
+  void max_write(uint64_t key, int64_t v) { max(key).write(v); }
+  void max_write(std::string_view key, int64_t v) { max(key).write(v); }
+  int64_t max_read(uint64_t key) { return max(key).read(); }
+  int64_t max_read(std::string_view key) { return max(key).read(); }
+  int64_t counter_inc(uint64_t key) { return counter(key).inc(); }
+  int64_t counter_inc(std::string_view key) { return counter(key).inc(); }
+  int64_t counter_read(uint64_t key) { return counter(key).read(); }
+  int64_t counter_read(std::string_view key) { return counter(key).read(); }
+  int64_t test_and_set(uint64_t key) { return tas(key).test_and_set(); }
+  int64_t test_and_set(std::string_view key) { return tas(key).test_and_set(); }
+  int64_t tas_read(uint64_t key) { return tas(key).read(); }
+  int64_t tas_read(std::string_view key) { return tas(key).read(); }
+  ResetResult tas_reset(uint64_t key) { return tas(key).reset(); }
+  ResetResult tas_reset(std::string_view key) { return tas(key).reset(); }
+  void set_put(uint64_t key, int64_t item) { set(key).put(item); }
+  void set_put(std::string_view key, int64_t item) { set(key).put(item); }
+  int64_t set_take(uint64_t key) { return set(key).take(); }
+  int64_t set_take(std::string_view key) { return set(key).take(); }
+
+  // --- aggregates, forwarded to the store ---
+  inline int64_t global_max();
+  inline int64_t global_max_scan();
+  inline int64_t counter_sum();
+
+ private:
+  friend class C2Store;
+  C2Session(C2Store* store, int lane) : store_(store), lane_(lane) {}
+
+  C2Store* store_ = nullptr;
+  int lane_ = -1;
 };
 
 class C2Store {
@@ -76,40 +296,21 @@ class C2Store {
   C2Store(const C2Store&) = delete;
   C2Store& operator=(const C2Store&) = delete;
 
-  // --- per-key operations (tid: calling thread's lane, < cfg.max_threads) ---
-  void max_write(int tid, uint64_t key, int64_t v) { max_write_shard(tid, route(key), v); }
-  void max_write(int tid, std::string_view key, int64_t v) {
-    max_write_shard(tid, route(key), v);
-  }
-  int64_t max_read(uint64_t key) { return max_read_shard(route(key)); }
-  int64_t max_read(std::string_view key) { return max_read_shard(route(key)); }
-
-  int64_t counter_inc(uint64_t key) { return counter_inc_shard(route(key)); }
-  int64_t counter_inc(std::string_view key) { return counter_inc_shard(route(key)); }
-  int64_t counter_read(uint64_t key) { return counter_read_shard(route(key)); }
-  int64_t counter_read(std::string_view key) { return counter_read_shard(route(key)); }
-
-  int64_t tas(int tid, uint64_t key) { return tas_shard(tid, route(key)); }
-  int64_t tas(int tid, std::string_view key) { return tas_shard(tid, route(key)); }
-  int64_t tas_read(uint64_t key) { return tas_read_shard(route(key)); }
-  int64_t tas_read(std::string_view key) { return tas_read_shard(route(key)); }
-  /// Returns false (and does nothing) once the shard's reset budget is spent.
-  /// The budget gate is advisory under concurrency: callers that might consume
-  /// the LAST generation concurrently must serialize resets externally.
-  bool tas_reset(int tid, uint64_t key) { return tas_reset_shard(tid, route(key)); }
-  bool tas_reset(int tid, std::string_view key) { return tas_reset_shard(tid, route(key)); }
-
-  void set_put(uint64_t key, int64_t item) { set_put_shard(route(key), item); }
-  void set_put(std::string_view key, int64_t item) { set_put_shard(route(key), item); }
-  int64_t set_take(uint64_t key) { return set_take_shard(route(key)); }
-  int64_t set_take(std::string_view key) { return set_take_shard(route(key)); }
+  // --- sessions (the only door to the per-key surface) ---
+  /// Acquires a lane; throws PreconditionError when all cfg.max_threads lanes
+  /// are concurrently held. Use try_open_session() to poll instead.
+  C2Session open_session();
+  /// Like open_session() but returns an invalid session when no lane is free.
+  C2Session try_open_session();
 
   // --- aggregates ---
   /// Digest read: one fetch&add(0); wait-free, strongly linearizable as its
-  /// own facet. Cross-facet caveat: max_write updates the shard register
-  /// BEFORE the digest, so a client that reads a value via max_read(key) can
+  /// own facet. Cross-facet caveat: MaxRef::write updates the shard register
+  /// BEFORE the digest, so a client that reads a value via MaxRef::read can
   /// briefly observe global_max() lagging behind it while the writer is
-  /// between its two updates; each facet is individually consistent.
+  /// between its two updates; each facet is individually consistent. The
+  /// write order (shard first, digest never ahead of any shard) is pinned by
+  /// tests/service_sim_test.cpp — reordering it fails loudly there.
   int64_t global_max();
   /// Double-collect scans over per-shard read paths: linearizable, lock-free,
   /// NOT strongly linearizable (pinned refutation in tests/service_sim_test).
@@ -122,9 +323,14 @@ class C2Store {
   const C2StoreConfig& config() const { return cfg_; }
   int shard_of(uint64_t key) const { return router_.shard_of(key); }
   int shard_of(std::string_view key) const { return router_.shard_of(key); }
+  /// Fresh lane tickets issued so far (diagnostics).
+  int64_t lane_tickets_issued() const { return lanes_.tickets_issued(); }
 
  private:
-  struct ShardObjects;
+  friend class C2Session;
+  friend class detail::ShardRef;
+  friend class MaxRef;
+
   struct alignas(128) ShardSlot {
     rt::NativeReadableTAS claim;           // Thm 5 readable test&set: init winner
     std::atomic<ShardObjects*> objs{nullptr};
@@ -139,24 +345,119 @@ class C2Store {
   /// Get-or-lazily-initialize the slot's objects (readable-TAS guarded).
   ShardObjects& shard(int s);
   /// Initialized objects or nullptr; never initializes.
-  ShardObjects* peek(int s) const;
-
-  void max_write_shard(int tid, int s, int64_t v);
-  int64_t max_read_shard(int s);
-  int64_t counter_inc_shard(int s);
-  int64_t counter_read_shard(int s);
-  int64_t tas_shard(int tid, int s);
-  int64_t tas_read_shard(int s);
-  bool tas_reset_shard(int tid, int s);
-  void set_put_shard(int s, int64_t item);
-  int64_t set_take_shard(int s);
+  ShardObjects* peek(int s) const {
+    return slots_[static_cast<size_t>(s)].objs.load(std::memory_order_seq_cst);
+  }
 
   C2StoreConfig cfg_;
   ShardRouter router_;
   std::unique_ptr<ShardSlot[]> slots_;
-  /// Store-level max digest; max_write updates it after the shard write so
+  LaneRegistry lanes_;
+  /// Store-level max digest; MaxRef::write updates it after the shard write so
   /// global_max() is a single-word read.
   rt::NativeMaxRegister64 digest_;
 };
+
+// --- inline hot paths -------------------------------------------------------
+
+namespace detail {
+inline ShardObjects* ShardRef::resolved() {
+  if (!objs_) objs_ = store_->peek(shard_);
+  return objs_;
+}
+inline ShardObjects& ShardRef::ensure() {
+  if (!objs_) objs_ = &store_->shard(shard_);
+  return *objs_;
+}
+}  // namespace detail
+
+inline void MaxRef::write(int64_t v) {
+  // Shard register FIRST, digest second: the digest must never run ahead of
+  // every shard register (pinned cross-facet invariant; see global_max()).
+  ensure().max.write_max(lane_, v);
+  store_->digest_.write_max(lane_, v);
+}
+inline int64_t MaxRef::read() {
+  ShardObjects* p = resolved();
+  return p ? p->max.read_max() : 0;
+}
+
+inline int64_t CounterRef::inc() { return ensure().counter.fetch_and_increment(); }
+inline int64_t CounterRef::read() {
+  ShardObjects* p = resolved();
+  return p ? p->counter.read() : 0;
+}
+
+inline int64_t TasRef::test_and_set() { return ensure().tas.test_and_set(lane_); }
+inline int64_t TasRef::read() {
+  ShardObjects* p = resolved();
+  return p ? p->tas.read() : 0;
+}
+inline ResetResult TasRef::reset() {
+  ShardObjects& o = ensure();
+  if (o.tas.generation() >= o.tas.max_resets()) return ResetResult::kBudgetSpent;
+  o.tas.reset(lane_);
+  return ResetResult::kOk;
+}
+
+inline void SetRef::put(int64_t item) { ensure().set.put(item); }
+inline int64_t SetRef::take() {
+  ShardObjects* p = resolved();
+  return p ? p->set.take() : C2Store::kEmpty;
+}
+
+inline void C2Session::close() {
+  if (store_) {
+    store_->lanes_.release(lane_);
+    store_ = nullptr;
+    lane_ = -1;
+  }
+}
+
+inline MaxRef C2Session::max(uint64_t key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return MaxRef(store_, lane_, store_->route(key));
+}
+inline MaxRef C2Session::max(std::string_view key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return MaxRef(store_, lane_, store_->route(key));
+}
+inline CounterRef C2Session::counter(uint64_t key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return CounterRef(store_, lane_, store_->route(key));
+}
+inline CounterRef C2Session::counter(std::string_view key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return CounterRef(store_, lane_, store_->route(key));
+}
+inline TasRef C2Session::tas(uint64_t key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return TasRef(store_, lane_, store_->route(key));
+}
+inline TasRef C2Session::tas(std::string_view key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return TasRef(store_, lane_, store_->route(key));
+}
+inline SetRef C2Session::set(uint64_t key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return SetRef(store_, lane_, store_->route(key));
+}
+inline SetRef C2Session::set(std::string_view key) {
+  C2SL_CHECK(valid(), "session is closed");
+  return SetRef(store_, lane_, store_->route(key));
+}
+
+inline int64_t C2Session::global_max() {
+  C2SL_CHECK(valid(), "session is closed");
+  return store_->global_max();
+}
+inline int64_t C2Session::global_max_scan() {
+  C2SL_CHECK(valid(), "session is closed");
+  return store_->global_max_scan();
+}
+inline int64_t C2Session::counter_sum() {
+  C2SL_CHECK(valid(), "session is closed");
+  return store_->counter_sum();
+}
 
 }  // namespace c2sl::svc

@@ -1,0 +1,32 @@
+#include "service/lane_registry.h"
+
+#include "util/assert.h"
+
+namespace c2sl::svc {
+
+int LaneRegistry::try_acquire() {
+  // 1. Recycle a freed lane if one is waiting.
+  int64_t recycled = free_.take();
+  if (recycled != rt::NativeSet::kEmpty) return static_cast<int>(recycled);
+
+  // 2. Fresh ticket. The pre-read keeps the dispenser from drifting when the
+  // registry is already exhausted (every failed try_acquire would otherwise
+  // burn a ticket); the fetch_add itself is still the linearization point of
+  // a successful fresh acquire — the pre-read is an optimisation, not a gate.
+  if (next_.load(std::memory_order_seq_cst) < max_lanes_) {
+    int64_t t = next_.fetch_add(1, std::memory_order_seq_cst);
+    if (t < max_lanes_) return static_cast<int>(t);
+  }
+
+  // 3. Tickets are spent; a release may have landed since step 1.
+  recycled = free_.take();
+  if (recycled != rt::NativeSet::kEmpty) return static_cast<int>(recycled);
+  return kNone;
+}
+
+void LaneRegistry::release(int lane) {
+  C2SL_CHECK(lane >= 0 && lane < max_lanes_, "lane out of range");
+  free_.put(lane);
+}
+
+}  // namespace c2sl::svc

@@ -1,0 +1,86 @@
+// LaneRegistry — consensus-number-2 lane lifecycle for the C2Store service.
+//
+// Every lane-indexed construction in this repo (NativeMaxRegister64's unary
+// lanes, NativeMultishotTAS's reset writers) needs its caller to present a
+// lane id below max_lanes, and before this registry existed that obligation
+// leaked out of the store as a raw `int tid` parameter on half the public
+// surface. The registry moves the whole lifecycle inside the service:
+//
+//   acquire():  1. try to recycle a freed lane: NativeSet::take() — Algorithm 2
+//                  (Thm 10), whose successful Take linearizes at its winning
+//                  test&set exchange;
+//               2. else draw a fresh ticket from a fetch&increment dispenser
+//                  (one std::atomic fetch_add — the Thm 9 object collapses to a
+//                  single hardware F&A word here because tickets are dense and
+//                  never read back); tickets below max_lanes are fresh lanes;
+//               3. on ticket exhaustion, probe the recycle set once more (a
+//                  release may have landed meanwhile) and otherwise report
+//                  "no lane free" (kNone).
+//   release(l): NativeSet::put(l) — linearizes at its Items write.
+//
+// Exchange and fetch&add only; no CAS anywhere (grep-enforced along with the
+// rest of src/service by tests/c2store_test.cpp). Every operation linearizes
+// at a fixed step of its own — the winning exchange inside take(), the
+// fetch_add of a fresh ticket, the Items write inside put(), or (for a kNone
+// acquire) the final stabilised Max read of the failing take() — so the
+// induced linearization is prefix-closed: the registry is strongly
+// linearizable. tests/lane_registry_test.cpp verifies exactly this with the
+// bounded model checker on the simulated twin (svc::SimLaneRegistry), and
+// stress-tests the native implementation for uniqueness under contention.
+//
+// Khanchandani–Wattenhofer's CAS-from-consensus-2 reduction is the conceptual
+// licence: lane assignment is itself a consensus-2 problem, so it belongs
+// inside the store rather than on every call site.
+//
+// Capacity note: recycling rides on a bounded NativeSet, so a registry
+// supports at most `recycle_capacity` release() calls over its lifetime
+// (capacity exhaustion is a checked error). The segmented-array ROADMAP item
+// lifts this the same way it lifts the other native capacities.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/native_tas_family.h"
+
+namespace c2sl::svc {
+
+class LaneRegistry {
+ public:
+  /// acquire() result when every lane is concurrently held.
+  static constexpr int kNone = -1;
+
+  LaneRegistry(int max_lanes, size_t recycle_capacity)
+      : max_lanes_(max_lanes), free_(recycle_capacity) {
+    C2SL_CHECK(max_lanes >= 1, "need at least one lane");
+    C2SL_CHECK(recycle_capacity >= 1, "recycle capacity must be non-zero");
+  }
+  LaneRegistry(const LaneRegistry&) = delete;
+  LaneRegistry& operator=(const LaneRegistry&) = delete;
+
+  /// Returns a lane in [0, max_lanes) owned exclusively by the caller until
+  /// it is release()d, or kNone when every lane is currently held. Lock-free:
+  /// the only loop is inside NativeSet::take's Algorithm 2 stabilisation.
+  int try_acquire();
+
+  /// Returns `lane` to the registry. The caller must own it (acquired and not
+  /// yet released) — a double release would let two sessions share a lane and
+  /// silently corrupt each other's unary lanes, which is precisely the bug
+  /// class the registry exists to remove.
+  void release(int lane);
+
+  int max_lanes() const { return max_lanes_; }
+  /// Fresh tickets drawn so far (introspection; >= lanes ever acquired fresh).
+  int64_t tickets_issued() const { return next_.load(std::memory_order_seq_cst); }
+
+ private:
+  int max_lanes_;
+  /// F&I ticket dispenser for first-acquires. Plain fetch_add — consensus
+  /// number 2 — is all this needs: tickets are handed out densely and only
+  /// their order matters, never a readable intermediate value.
+  std::atomic<int64_t> next_{0};
+  /// Freed lanes awaiting recycling (Thm 10 set: put/take, no CAS).
+  rt::NativeSet free_;
+};
+
+}  // namespace c2sl::svc

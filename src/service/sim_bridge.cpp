@@ -81,14 +81,62 @@ void SimGlobalMax::write_max(sim::Ctx& ctx, int64_t v) {
 
 int64_t SimGlobalMax::read_max(sim::Ctx& ctx) { return digest_->read_max(ctx); }
 
+int64_t SimGlobalMax::read_shard_max(sim::Ctx& ctx, int s) {
+  C2SL_CHECK(s >= 0 && s < shards_, "shard index out of range");
+  return regs_[static_cast<size_t>(s)]->read_max(ctx);
+}
+
 Val SimGlobalMax::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
   if (inv.name == "WriteMax") {
     write_max(ctx, as_num(inv.args));
     return unit();
   }
   if (inv.name == "ReadMax") return num(read_max(ctx));
+  if (inv.name == "ReadShard") {
+    return num(read_shard_max(ctx, static_cast<int>(as_num(inv.args))));
+  }
   C2SL_CHECK(false, "unknown operation on global max digest: " + inv.name);
   return unit();
+}
+
+// --- SimLaneRegistry --------------------------------------------------------
+
+SimLaneRegistry::SimLaneRegistry(sim::World& world, std::string name, int max_lanes)
+    : name_(std::move(name)), max_lanes_(max_lanes) {
+  C2SL_CHECK(max_lanes >= 1, "need at least one lane");
+  ticket_ts_ = std::make_unique<core::AtomicReadableTasArray>(world, name_ + ".tM");
+  tickets_ = std::make_unique<core::FetchIncrement>(name_ + ".tickets", *ticket_ts_);
+  free_ts_ = std::make_unique<core::AtomicReadableTasArray>(world, name_ + ".fM");
+  free_max_ = std::make_unique<core::FetchIncrement>(name_ + ".fmax", *free_ts_);
+  free_ = std::make_unique<core::SLSet>(world, name_ + ".free", *free_max_);
+}
+
+int64_t SimLaneRegistry::acquire(sim::Ctx& ctx) {
+  Val r = sim::record_op(ctx, name_, "Acquire", unit(), [&]() -> Val {
+    // 1. Recycle a freed lane (successful Take linearizes at its winning
+    //    test&set — a fixed own-step).
+    Val recycled = free_->take(ctx);
+    if (!std::holds_alternative<std::string>(recycled)) return recycled;
+    // 2. Fresh F&I ticket (linearizes at the winning test&set inside the
+    //    Thm 9 ascending scan).
+    int64_t t = tickets_->fetch_and_increment(ctx);
+    if (t < max_lanes_) return num(t);
+    // 3. Tickets spent; one more recycle probe. A kNone response linearizes
+    //    at this Take's stabilised EMPTY point, where the free set is empty
+    //    and (tickets being monotone) every lane is held.
+    recycled = free_->take(ctx);
+    if (!std::holds_alternative<std::string>(recycled)) return recycled;
+    return num(kNone);
+  });
+  return as_num(r);
+}
+
+void SimLaneRegistry::release(sim::Ctx& ctx, int64_t lane) {
+  C2SL_CHECK(lane >= 0 && lane < max_lanes_, "lane out of range");
+  sim::record_op(ctx, name_, "Release", num(lane), [&] {
+    free_->put(ctx, lane);
+    return unit();
+  });
 }
 
 // --- SimShardedMaxRegister (aggregate-scan experiment) ----------------------

@@ -27,6 +27,13 @@
 //     the read is not even linearizable. Both refutations are pinned tests —
 //     they are exactly why C2Store serves global_max from a digest word, the
 //     same reason the paper packs its snapshot into one fetch&add register.
+//   * SimLaneRegistry — the lane lifecycle behind C2Store::open_session()
+//     (service/lane_registry.h) rebuilt over the simulated constructions:
+//     Acquire tries SLSet::Take (recycle), falls back to a Thm 9
+//     fetch&increment ticket, and reports -1 only when tickets are spent and
+//     the free set stabilises empty; Release is SLSet::Put. The checker
+//     verifies acquire/release strongly linearizable against
+//     verify::LaneRegistrySpec (tests/lane_registry_test.cpp).
 #pragma once
 
 #include <memory>
@@ -37,6 +44,7 @@
 #include "core/max_register_faa.h"
 #include "core/object_api.h"
 #include "core/readable_tas.h"
+#include "core/sl_set.h"
 #include "service/shard_router.h"
 
 namespace c2sl::svc {
@@ -69,6 +77,12 @@ class SimGlobalMax : public core::ConcurrentObject {
 
   void write_max(sim::Ctx& ctx, int64_t v);  ///< shard write, then digest write
   int64_t read_max(sim::Ctx& ctx);           ///< digest read only
+  /// Direct read of one shard register ("ReadShard" under apply). Not part of
+  /// the service surface — exposed so tests/service_sim_test.cpp can pin the
+  /// cross-facet write order (shard first, digest second): the digest must
+  /// never run ahead of every shard register, and the shard register may
+  /// briefly run ahead of the digest.
+  int64_t read_shard_max(sim::Ctx& ctx, int s);
 
   std::string object_name() const override { return name_; }
   Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
@@ -78,6 +92,33 @@ class SimGlobalMax : public core::ConcurrentObject {
   int shards_;
   std::vector<std::unique_ptr<core::MaxRegisterFAA>> regs_;
   std::unique_ptr<core::MaxRegisterFAA> digest_;
+};
+
+/// Sim twin of svc::LaneRegistry (see header comment above). Methods record
+/// themselves as high-level ops, SimKeyedStore-style: spawn fibers that call
+/// acquire/release directly.
+class SimLaneRegistry {
+ public:
+  static constexpr int64_t kNone = -1;
+
+  SimLaneRegistry(sim::World& world, std::string name, int max_lanes);
+
+  /// Recorded as "Acquire" -> lane | -1 on object `name`.
+  int64_t acquire(sim::Ctx& ctx);
+  /// Recorded as "Release"(lane) -> () on object `name`.
+  void release(sim::Ctx& ctx, int64_t lane);
+
+  std::string object_name() const { return name_; }
+  int max_lanes() const { return max_lanes_; }
+
+ private:
+  std::string name_;
+  int max_lanes_;
+  std::unique_ptr<core::AtomicReadableTasArray> ticket_ts_;
+  std::unique_ptr<core::FetchIncrement> tickets_;  ///< Thm 9 F&I dispenser
+  std::unique_ptr<core::AtomicReadableTasArray> free_ts_;
+  std::unique_ptr<core::FetchIncrement> free_max_;
+  std::unique_ptr<core::SLSet> free_;              ///< Thm 10 recycle set
 };
 
 class SimShardedMaxRegister : public core::ConcurrentObject {

@@ -224,6 +224,38 @@ std::vector<Transition> SetSpec::next(const std::string& state,
   return {};
 }
 
+// --------------------------------------------------------------- lane registry
+
+std::string LaneRegistrySpec::initial() const { return ""; }
+
+std::vector<Transition> LaneRegistrySpec::next(const std::string& state,
+                                               const Invocation& inv) const {
+  std::vector<int64_t> held = parse_list(state);
+  if (inv.name == "Acquire") {
+    std::vector<Transition> out;
+    for (int64_t l = 0; l < max_lanes_; ++l) {
+      if (std::find(held.begin(), held.end(), l) == held.end()) {
+        std::vector<int64_t> now = held;
+        now.push_back(l);
+        std::sort(now.begin(), now.end());
+        out.push_back({render_list(now), num(l)});
+      }
+    }
+    if (static_cast<int64_t>(held.size()) == max_lanes_) {
+      out.push_back({state, num(-1)});  // every lane held: "none free" allowed
+    }
+    return out;
+  }
+  if (inv.name == "Release") {
+    int64_t l = as_num(inv.args);
+    auto it = std::find(held.begin(), held.end(), l);
+    if (it == held.end()) return {};  // releasing an unheld lane is illegal
+    held.erase(it);
+    return {{render_list(held), unit()}};
+  }
+  return {};
+}
+
 // ----------------------------------------------------------------------- queue
 
 std::string QueueSpec::initial() const { return ""; }

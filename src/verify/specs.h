@@ -99,6 +99,23 @@ class SetSpec : public Spec {
                                const Invocation& inv) const override;
 };
 
+/// Bounded lane registry (service/lane_registry.h): Acquire() hands out a
+/// lane in [0, max_lanes) that no one currently holds — any free lane, so the
+/// fresh-ticket/recycled distinction stays an implementation detail — or -1,
+/// allowed ONLY when every lane is held; Release(l) requires l held. State:
+/// the sorted list of held lanes.
+class LaneRegistrySpec : public Spec {
+ public:
+  explicit LaneRegistrySpec(int max_lanes) : max_lanes_(max_lanes) {}
+  std::string name() const override { return "lane_registry"; }
+  std::string initial() const override;
+  std::vector<Transition> next(const std::string& state,
+                               const Invocation& inv) const override;
+
+ private:
+  int max_lanes_;
+};
+
 /// FIFO queue; `k_out_of_order > 1` relaxes Deq to return one of the k oldest
 /// items (§5, k-out-of-order queues; k == 1 is the exact queue).
 class QueueSpec : public Spec {

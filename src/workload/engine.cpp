@@ -24,6 +24,11 @@ svc::C2StoreConfig clamp_store(const WorkloadConfig& cfg) {
   uint64_t worst = static_cast<uint64_t>(cfg.threads) * cfg.ops_per_thread + 1;
   s.counter_capacity = std::max<size_t>(s.counter_capacity, worst);
   s.set_capacity = std::max<size_t>(s.set_capacity, worst);
+  // Every worker closes one session; releases past capacity are swallowed by
+  // the session destructor (silent lane drop), so the clamp must cover them
+  // for the run's accounting to stay honest.
+  s.lane_recycle_capacity =
+      std::max<size_t>(s.lane_recycle_capacity, static_cast<size_t>(cfg.threads) + 1);
   return s;
 }
 
@@ -31,6 +36,14 @@ svc::C2StoreConfig clamp_store(const WorkloadConfig& cfg) {
 
 WorkloadResult run_workload(const WorkloadConfig& cfg) {
   C2SL_CHECK(cfg.threads >= 1, "need at least one worker thread");
+  const bool cached = cfg.bind == "cached";
+  C2SL_CHECK(cached || cfg.bind == "per_op",
+             "bind mode must be \"cached\" or \"per_op\"");
+  const bool string_keys = cfg.keys == "string";
+  C2SL_CHECK(string_keys || cfg.keys == "int",
+             "key shape must be \"int\" or \"string\"");
+  C2SL_CHECK((!cached && !string_keys) || cfg.key_space <= (uint64_t{1} << 20),
+             "cached refs / string keys are pre-built per key; key_space too large");
   WorkloadResult result;
   result.cfg = cfg;
   result.cfg.store = clamp_store(cfg);
@@ -40,65 +53,148 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
 
   const int threads = cfg.threads;
   const uint64_t ops = cfg.ops_per_thread;
+  // String-key shape: the key STRINGS exist up front in both bind modes (apps
+  // hold their key names either way); only the per-op ROUTING cost differs
+  // between the modes. Shared read-only across workers — names depend only on
+  // the key space, and building key_space strings per thread would not.
+  std::vector<std::string> names;
+  if (string_keys) {
+    names.reserve(cfg.key_space);
+    for (uint64_t k = 0; k < cfg.key_space; ++k) {
+      names.push_back("user:" + std::to_string(1000000 + k) + "/profile");
+    }
+  }
   std::vector<std::vector<int64_t>> lat(static_cast<size_t>(threads));
   std::vector<std::vector<uint64_t>> counts(
       static_cast<size_t>(threads), std::vector<uint64_t>(kOpKindCount, 0));
   std::atomic<int> start_gate{0};
+  // Workers timestamp their own timed region (after the barrier, after setup
+  // like session open and ref pre-binding): wall time is max(end)-min(start),
+  // so neither setup cost nor main-thread scheduling skews throughput.
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> t_start(static_cast<size_t>(threads));
+  std::vector<Clock::time_point> t_end(static_cast<size_t>(threads));
 
-  auto worker = [&](int tid) {
-    Rng rng(cfg.seed * 1000003 + static_cast<uint64_t>(tid));
-    auto& my_lat = lat[static_cast<size_t>(tid)];
-    auto& my_counts = counts[static_cast<size_t>(tid)];
+  // `wid` is the worker index (deterministic seeds, sole-resetter election);
+  // the session's lane is an internal detail the registry hands out.
+  auto worker = [&](int wid) {
+    Rng rng(cfg.seed * 1000003 + static_cast<uint64_t>(wid));
+    auto& my_lat = lat[static_cast<size_t>(wid)];
+    auto& my_counts = counts[static_cast<size_t>(wid)];
     my_lat.reserve(ops);
     // Resets of the per-shard multi-shot TAS have a finite generation budget;
-    // thread 0 is the sole resetter so the budget gate is race-free.
+    // worker 0 is the sole resetter so the budget gate is race-free.
     std::vector<int64_t> resets_done(
         static_cast<size_t>(store.shard_count()), 0);
+
+    svc::C2Session session = store.open_session();
+    // Cached bind mode: hash-route every key ONCE, before the timed loop; the
+    // loop then runs entirely on cached slot pointers.
+    std::vector<svc::MaxRef> max_refs;
+    std::vector<svc::CounterRef> ctr_refs;
+    std::vector<svc::TasRef> tas_refs;
+    std::vector<svc::SetRef> set_refs;
+    if (cached) {
+      max_refs.reserve(cfg.key_space);
+      ctr_refs.reserve(cfg.key_space);
+      tas_refs.reserve(cfg.key_space);
+      set_refs.reserve(cfg.key_space);
+      for (uint64_t k = 0; k < cfg.key_space; ++k) {
+        if (string_keys) {
+          std::string_view name = names[k];
+          max_refs.push_back(session.max(name));
+          ctr_refs.push_back(session.counter(name));
+          tas_refs.push_back(session.tas(name));
+          set_refs.push_back(session.set(name));
+        } else {
+          max_refs.push_back(session.max(k));
+          ctr_refs.push_back(session.counter(k));
+          tas_refs.push_back(session.tas(k));
+          set_refs.push_back(session.set(k));
+        }
+      }
+    }
 
     start_gate.fetch_add(1);
     while (start_gate.load() < threads) {
     }
+    t_start[static_cast<size_t>(wid)] = Clock::now();
 
+    // Key-name view for per_op routing under the string shape.
+    auto sv = [&names](uint64_t k) {
+      return std::string_view(names[static_cast<size_t>(k)]);
+    };
     for (uint64_t i = 0; i < ops; ++i) {
       OpKind kind = cfg.mix.pick(rng);
       uint64_t key = dist->next(rng, i);
       auto t0 = std::chrono::steady_clock::now();
       switch (kind) {
-        case OpKind::kMaxWrite:
-          store.max_write(tid, key,
-                          rng.next_in(0, result.cfg.store.max_value));
+        case OpKind::kMaxWrite: {
+          int64_t v = rng.next_in(0, result.cfg.store.max_value);
+          if (cached) {
+            max_refs[key].write(v);
+          } else if (string_keys) {
+            session.max_write(sv(key), v);
+          } else {
+            session.max_write(key, v);
+          }
           break;
+        }
         case OpKind::kMaxRead:
-          store.max_read(key);
+          cached ? max_refs[key].read()
+                 : string_keys ? session.max_read(sv(key)) : session.max_read(key);
           break;
         case OpKind::kCounterInc:
-          store.counter_inc(key);
+          cached ? ctr_refs[key].inc()
+                 : string_keys ? session.counter_inc(sv(key)) : session.counter_inc(key);
           break;
         case OpKind::kCounterRead:
-          store.counter_read(key);
+          cached ? ctr_refs[key].read()
+                 : string_keys ? session.counter_read(sv(key))
+                               : session.counter_read(key);
           break;
-        case OpKind::kSetPut:
-          store.set_put(key, static_cast<int64_t>(tid) * (1 << 30) +
-                                 static_cast<int64_t>(i));
+        case OpKind::kSetPut: {
+          int64_t item = static_cast<int64_t>(wid) * (1 << 30) +
+                         static_cast<int64_t>(i);
+          if (cached) {
+            set_refs[key].put(item);
+          } else if (string_keys) {
+            session.set_put(sv(key), item);
+          } else {
+            session.set_put(key, item);
+          }
           break;
+        }
         case OpKind::kSetTake:
-          store.set_take(key);
+          cached ? set_refs[key].take()
+                 : string_keys ? session.set_take(sv(key)) : session.set_take(key);
           break;
         case OpKind::kTas: {
-          // Thread 0 occasionally recycles the TAS within the shard budget.
-          int s = store.shard_of(key);
-          if (tid == 0 && store.tas_read(key) == 1 &&
-              resets_done[static_cast<size_t>(s)] <
-                  result.cfg.store.tas_max_resets) {
-            if (store.tas_reset(tid, key)) {
-              ++resets_done[static_cast<size_t>(s)];
+          // Worker 0 occasionally recycles the TAS within the shard budget.
+          auto run_tas = [&](svc::TasRef& tas) {
+            int s = tas.shard();
+            if (wid == 0 && tas.read() == 1 &&
+                resets_done[static_cast<size_t>(s)] <
+                    result.cfg.store.tas_max_resets) {
+              if (tas.reset() == svc::ResetResult::kOk) {
+                ++resets_done[static_cast<size_t>(s)];
+              }
             }
+            tas.test_and_set();
+          };
+          if (cached) {
+            // Operate on the vector element itself so its slot pointer warms
+            // up (a copy would re-resolve every op).
+            run_tas(tas_refs[key]);
+          } else {
+            svc::TasRef tas = string_keys ? session.tas(sv(key)) : session.tas(key);
+            run_tas(tas);
           }
-          store.tas(tid, key);
           break;
         }
         case OpKind::kTasRead:
-          store.tas_read(key);
+          cached ? tas_refs[key].read()
+                 : string_keys ? session.tas_read(sv(key)) : session.tas_read(key);
           break;
         case OpKind::kGlobalMax:
           store.global_max();
@@ -115,16 +211,18 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
           std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
       ++my_counts[static_cast<size_t>(kind)];
     }
+    t_end[static_cast<size_t>(wid)] = Clock::now();
   };
 
-  auto wall0 = std::chrono::steady_clock::now();
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (auto& th : pool) th.join();
-  auto wall1 = std::chrono::steady_clock::now();
 
-  result.seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  result.seconds = std::chrono::duration<double>(
+                       *std::max_element(t_end.begin(), t_end.end()) -
+                       *std::min_element(t_start.begin(), t_start.end()))
+                       .count();
   std::vector<int64_t> all;
   for (auto& v : lat) {
     result.total_ops += v.size();
@@ -153,6 +251,8 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
   w.field("key_space", r.cfg.key_space);
   w.field("dist", r.cfg.dist);
   w.field("mix", r.cfg.mix.name);
+  w.field("bind", r.cfg.bind);
+  w.field("keys", r.cfg.keys);
   w.field("seed", r.cfg.seed);
   w.end_object();
   w.key("metrics").begin_object();

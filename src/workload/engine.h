@@ -1,8 +1,9 @@
 // Multi-threaded workload driver for C2Store.
 //
-// Spawns `threads` real threads behind a start barrier; each thread runs
-// `ops_per_thread` operations drawn from an OpMix, with keys drawn from a
-// KeyDist, against one shared C2Store. Every operation's latency is recorded
+// Spawns `threads` real threads behind a start barrier; each thread opens its
+// own C2Session (RAII lane) and runs `ops_per_thread` operations drawn from an
+// OpMix, with keys drawn from a KeyDist, against one shared C2Store. Every
+// operation's latency is recorded
 // (two steady_clock reads per op) into a thread-local buffer; the driver
 // merges the buffers, computes exact percentiles, re-reads the aggregate
 // paths after quiescence, and can serialise everything as one entry of the
@@ -32,6 +33,17 @@ struct WorkloadConfig {
   double zipf_theta = 0.99;
   OpMix mix = OpMix::mixed();
   uint64_t seed = 1;
+  /// Ref binding mode: "cached" binds one typed ref per key up front and runs
+  /// every op through the cached slot pointer; "per_op" re-routes on every op
+  /// through the session's one-shot conveniences — the old flat-surface cost,
+  /// kept as the ablation baseline (bench_c2store emits both; tools/bench_diff
+  /// gates that cached is no slower).
+  std::string bind = "cached";
+  /// Key shape: "int" routes raw uint64 keys (a SplitMix64 finalizer — nearly
+  /// free, so per-op routing is competitive there); "string" formats each key
+  /// as "user:NNNNNNN/profile" once up front and routes the string (FNV over
+  /// ~20 bytes per op in per_op mode — the case bind-time caching removes).
+  std::string keys = "int";
   /// Shard layout etc. The engine clamps max_threads / max_value /
   /// tas_max_resets / capacities so any (threads, ops_per_thread) fits.
   svc::C2StoreConfig store;

@@ -1,7 +1,11 @@
 // Multi-threaded stress tests (TSAN targets) for the C2Store service layer
-// and its native-runtime foundations: lazy-init races, routing under
-// contention, NativeSet put/take, and NativeFetchIncrement. All seeds are
-// deterministic; volumes are sized to stay fast under ThreadSanitizer.
+// and its native-runtime foundations: lazy-init races, session/ref routing
+// under contention, NativeSet put/take, and NativeFetchIncrement. All seeds
+// are deterministic; volumes are sized to stay fast under ThreadSanitizer.
+//
+// Worker threads address the store through per-thread C2Sessions (opened up
+// front, one lane each) and typed key-bound refs, mirroring how a real client
+// would hold handles across ops.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -27,6 +31,14 @@ svc::C2StoreConfig stress_config(int threads) {
   return cfg;
 }
 
+/// One session per worker thread, opened before the threads start.
+std::vector<svc::C2Session> open_sessions(svc::C2Store& store, int threads) {
+  std::vector<svc::C2Session> out;
+  out.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) out.push_back(store.open_session());
+  return out;
+}
+
 // All threads race to initialise the SAME fresh shard on their very first
 // operation; the readable-TAS guard must produce exactly one object (checked
 // indirectly: fetch&increment results are globally distinct and dense).
@@ -36,10 +48,14 @@ TEST(C2StoreStress, LazyInitRaceOnOneShard) {
   for (int round = 0; round < 20; ++round) {
     svc::C2Store store(stress_config(threads));
     const uint64_t hot_key = static_cast<uint64_t>(round);
+    auto sessions = open_sessions(store, threads);
+    // One bound ref per thread: all refs race to materialise the same shard.
+    std::vector<svc::CounterRef> ctr;
+    for (int t = 0; t < threads; ++t) ctr.push_back(sessions[static_cast<size_t>(t)].counter(hot_key));
     std::vector<std::vector<int64_t>> got(static_cast<size_t>(threads));
     rt::run_stress(threads, per_thread, [&](int t, int) {
       rt::TimedOp op;
-      got[static_cast<size_t>(t)].push_back(store.counter_inc(hot_key));
+      got[static_cast<size_t>(t)].push_back(ctr[static_cast<size_t>(t)].inc());
       return op;
     });
     std::set<int64_t> all;
@@ -50,7 +66,7 @@ TEST(C2StoreStress, LazyInitRaceOnOneShard) {
     }
     ASSERT_EQ(all.size(), static_cast<size_t>(threads * per_thread));
     EXPECT_EQ(*all.rbegin(), threads * per_thread - 1) << "values must be dense";
-    EXPECT_EQ(store.counter_read(hot_key), threads * per_thread);
+    EXPECT_EQ(sessions[0].counter_read(hot_key), threads * per_thread);
   }
 }
 
@@ -60,11 +76,13 @@ TEST(C2StoreStress, ConcurrentInitAcrossShards) {
   const int threads = 4;
   const int per_thread = 100;
   svc::C2Store store(stress_config(threads));
+  auto sessions = open_sessions(store, threads);
   rt::run_stress(threads, per_thread, [&](int t, int j) {
     rt::TimedOp op;
+    auto& session = sessions[static_cast<size_t>(t)];
     uint64_t key = static_cast<uint64_t>(t * per_thread + j);
-    store.counter_inc(key);
-    store.max_write(t, key, (t + j) % (63 / threads));
+    session.counter_inc(key);
+    session.max_write(key, (t + j) % (63 / threads));
     return op;
   });
   EXPECT_EQ(store.counter_sum(), threads * per_thread);
@@ -75,11 +93,12 @@ TEST(C2StoreStress, CounterSumConservation) {
   const int threads = 4;
   const int per_thread = 250;
   svc::C2Store store(stress_config(threads));
+  auto sessions = open_sessions(store, threads);
   std::vector<Rng> rngs;
   for (int t = 0; t < threads; ++t) rngs.emplace_back(900 + t);
   rt::run_stress(threads, per_thread, [&](int t, int) {
     rt::TimedOp op;
-    store.counter_inc(rngs[static_cast<size_t>(t)].next_below(64));
+    sessions[static_cast<size_t>(t)].counter_inc(rngs[static_cast<size_t>(t)].next_below(64));
     return op;
   });
   EXPECT_EQ(store.counter_sum(), threads * per_thread);
@@ -91,6 +110,7 @@ TEST(C2StoreStress, GlobalMaxBoundedAndMonotone) {
   const int threads = 4;
   const int per_thread = 200;
   svc::C2Store store(stress_config(threads));
+  auto sessions = open_sessions(store, threads);
   const int64_t bound = 63 / threads;
   std::atomic<bool> ok{true};
   std::vector<Rng> rngs;
@@ -100,7 +120,7 @@ TEST(C2StoreStress, GlobalMaxBoundedAndMonotone) {
     rt::TimedOp op;
     auto& rng = rngs[static_cast<size_t>(t)];
     if (j % 3 == 0) {
-      store.max_write(t, rng.next_below(64), rng.next_in(0, bound));
+      sessions[static_cast<size_t>(t)].max_write(rng.next_below(64), rng.next_in(0, bound));
     } else {
       int64_t m = store.global_max();
       if (m < last_seen[static_cast<size_t>(t)] || m > bound) ok.store(false);
@@ -117,6 +137,7 @@ TEST(C2StoreStress, SetConservationThroughRouting) {
   const int threads = 4;
   const int per_thread = 150;
   svc::C2Store store(stress_config(threads));
+  auto sessions = open_sessions(store, threads);
   std::vector<Rng> rngs;
   for (int t = 0; t < threads; ++t) rngs.emplace_back(7100 + t);
   std::vector<std::vector<int64_t>> put(static_cast<size_t>(threads));
@@ -127,10 +148,10 @@ TEST(C2StoreStress, SetConservationThroughRouting) {
     uint64_t key = rng.next_below(16);
     if (j % 2 == 0) {
       int64_t item = static_cast<int64_t>(t) * 1000000 + j;
-      store.set_put(key, item);
+      sessions[static_cast<size_t>(t)].set_put(key, item);
       put[static_cast<size_t>(t)].push_back(item);
     } else {
-      int64_t got = store.set_take(key);
+      int64_t got = sessions[static_cast<size_t>(t)].set_take(key);
       if (got != svc::C2Store::kEmpty) taken[static_cast<size_t>(t)].push_back(got);
     }
     return op;
@@ -146,7 +167,7 @@ TEST(C2StoreStress, SetConservationThroughRouting) {
   // Drain: everything not yet taken must still be reachable via its key.
   for (uint64_t key = 0; key < 16; ++key) {
     for (;;) {
-      int64_t got = store.set_take(key);
+      int64_t got = sessions[0].set_take(key);
       if (got == svc::C2Store::kEmpty) break;
       EXPECT_TRUE(all_taken.insert(got).second) << "item taken twice in drain";
       EXPECT_TRUE(all_put.count(got));
@@ -162,15 +183,49 @@ TEST(C2StoreStress, TasSingleWinnerPerKey) {
   for (int round = 0; round < 20; ++round) {
     svc::C2Store store(stress_config(threads));
     const uint64_t key = static_cast<uint64_t>(round);
+    auto sessions = open_sessions(store, threads);
+    std::vector<svc::TasRef> tas;
+    for (int t = 0; t < threads; ++t) tas.push_back(sessions[static_cast<size_t>(t)].tas(key));
     std::atomic<int> winners{0};
     rt::run_stress(threads, 1, [&](int t, int) {
       rt::TimedOp op;
-      if (store.tas(t, key) == 0) winners.fetch_add(1);
+      if (tas[static_cast<size_t>(t)].test_and_set() == 0) winners.fetch_add(1);
       return op;
     });
     EXPECT_EQ(winners.load(), 1) << "round " << round;
-    EXPECT_EQ(store.tas_read(key), 1);
+    EXPECT_EQ(sessions[0].tas_read(key), 1);
   }
+}
+
+// Session churn: threads open/close sessions mid-stream (dynamic join/leave).
+// Lanes must stay exclusive — two live sessions never share one — and every
+// open must succeed because at most `threads` <= max_threads sessions are
+// ever live at once.
+TEST(C2StoreStress, SessionChurnKeepsLanesExclusive) {
+  const int threads = 4;
+  const int per_thread = 200;
+  svc::C2StoreConfig cfg = stress_config(threads);
+  cfg.lane_recycle_capacity = 1 << 14;
+  svc::C2Store store(cfg);
+  std::vector<svc::C2Session> sessions(static_cast<size_t>(threads));
+  std::vector<std::vector<int64_t>> got(static_cast<size_t>(threads));
+  rt::run_stress(threads, per_thread, [&](int t, int j) {
+    rt::TimedOp op;
+    auto& session = sessions[static_cast<size_t>(t)];
+    if (!session.valid()) session = store.open_session();
+    got[static_cast<size_t>(t)].push_back(session.counter_inc(uint64_t{77}));
+    if (j % 17 == t) session.close();  // leave; rejoin on the next op
+    return op;
+  });
+  // Counter values are handed out by a shared F&I: if two sessions ever
+  // shared state illegally we'd see duplicates.
+  std::set<int64_t> all;
+  for (const auto& v : got) {
+    for (int64_t x : v) {
+      EXPECT_TRUE(all.insert(x).second) << "duplicate counter value " << x;
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(threads * per_thread));
 }
 
 // --- native-runtime foundations at higher contention -----------------------

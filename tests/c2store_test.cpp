@@ -1,6 +1,6 @@
 // Functional tests for the C2Store service layer: routing, lazy shard
-// initialisation, per-type operations, aggregate scans, and the grep-enforced
-// "no CAS anywhere in service plumbing" guarantee.
+// initialisation, sessions and typed key-bound refs, aggregate scans, and the
+// grep-enforced "no CAS anywhere in service plumbing" guarantee.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -43,6 +43,25 @@ TEST(ShardRouter, StringAndIntKeysShareTheSpace) {
   EXPECT_GT(hit.size(), 4u);  // string hashing also spreads
 }
 
+// String-key routing must be close to uniform: hash 16k distinct keys of a
+// realistic shape onto 16 shards and require every shard's share within 25%
+// of the mean. (FNV-1a alone has weak low bits — the mix64 finalizer is what
+// this test actually guards.)
+TEST(ShardRouter, StringKeyDistributionIsUniform) {
+  const int shards = 16;
+  const int keys = 16384;
+  svc::ShardRouter router(shards);
+  std::vector<int> count(shards, 0);
+  for (int i = 0; i < keys; ++i) {
+    ++count[static_cast<size_t>(router.shard_of("user:" + std::to_string(i) + "/score"))];
+  }
+  const double mean = static_cast<double>(keys) / shards;
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_GT(count[static_cast<size_t>(s)], mean * 0.75) << "shard " << s << " starved";
+    EXPECT_LT(count[static_cast<size_t>(s)], mean * 1.25) << "shard " << s << " overloaded";
+  }
+}
+
 svc::C2StoreConfig small_config() {
   svc::C2StoreConfig cfg;
   cfg.shards = 8;
@@ -66,6 +85,7 @@ TEST(C2Store, InvalidConfigsRejectedUpFront) {
   bad([](svc::C2StoreConfig& c) { c.max_value = 0; });
   bad([](svc::C2StoreConfig& c) { c.max_threads = 0; });
   bad([](svc::C2StoreConfig& c) { c.counter_capacity = 0; });
+  bad([](svc::C2StoreConfig& c) { c.lane_recycle_capacity = 0; });
   bad([](svc::C2StoreConfig& c) { c.shards = 12; });  // not a power of two
   bad([](svc::C2StoreConfig& c) {
     c.max_threads = 8;
@@ -73,86 +93,211 @@ TEST(C2Store, InvalidConfigsRejectedUpFront) {
   });
 }
 
+// --- sessions ---------------------------------------------------------------
+
+TEST(C2Session, OpenUseCloseLifecycle) {
+  svc::C2Store store(small_config());
+  svc::C2Session s = store.open_session();
+  EXPECT_TRUE(s.valid());
+  EXPECT_GE(s.lane(), 0);
+  EXPECT_LT(s.lane(), store.config().max_threads);
+  s.max_write(uint64_t{1}, 3);
+  EXPECT_EQ(s.max_read(uint64_t{1}), 3);
+  s.close();
+  EXPECT_FALSE(s.valid());
+  s.close();  // idempotent
+  EXPECT_THROW(s.max(uint64_t{1}), PreconditionError) << "closed session must not bind";
+}
+
+TEST(C2Session, MoveTransfersTheLane) {
+  svc::C2Store store(small_config());
+  svc::C2Session a = store.open_session();
+  int lane = a.lane();
+  svc::C2Session b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.lane(), lane);
+  svc::C2Session c;
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.lane(), lane);
+}
+
+TEST(C2Session, ConcurrentSessionsGetDistinctLanes) {
+  svc::C2Store store(small_config());
+  std::vector<svc::C2Session> open;
+  std::set<int> lanes;
+  for (int i = 0; i < store.config().max_threads; ++i) {
+    open.push_back(store.open_session());
+    EXPECT_TRUE(lanes.insert(open.back().lane()).second) << "lane handed out twice";
+  }
+  // All lanes held: open_session throws, try_open_session reports invalid.
+  EXPECT_THROW(store.open_session(), PreconditionError);
+  EXPECT_FALSE(store.try_open_session().valid());
+}
+
+TEST(C2Session, ClosedLanesAreRecycled) {
+  svc::C2Store store(small_config());
+  const int n = store.config().max_threads;
+  {
+    std::vector<svc::C2Session> wave;
+    for (int i = 0; i < n; ++i) wave.push_back(store.open_session());
+  }  // RAII: all lanes released
+  // A second full wave must succeed entirely from recycled lanes: the fresh
+  // ticket dispenser was spent by the first wave.
+  std::vector<svc::C2Session> wave2;
+  std::set<int> lanes;
+  for (int i = 0; i < n; ++i) {
+    wave2.push_back(store.open_session());
+    EXPECT_TRUE(lanes.insert(wave2.back().lane()).second);
+  }
+  EXPECT_EQ(store.lane_tickets_issued(), n) << "second wave must recycle, not re-ticket";
+}
+
+// --- typed key-bound refs ---------------------------------------------------
+
 TEST(C2Store, LazyInitializationIsOnDemand) {
   svc::C2Store store(small_config());
+  svc::C2Session s = store.open_session();
   EXPECT_EQ(store.initialized_shards(), 0);
-  store.counter_inc(uint64_t{42});
+  // Binding a ref routes but does NOT materialise the shard.
+  svc::MaxRef m = s.max(uint64_t{7});
+  svc::CounterRef c = s.counter(uint64_t{42});
+  EXPECT_EQ(store.initialized_shards(), 0);
+  c.inc();
   EXPECT_EQ(store.initialized_shards(), 1);
   // Reads of untouched keys do not materialise shards.
-  EXPECT_EQ(store.max_read(uint64_t{7}), 0);
-  EXPECT_EQ(store.counter_read(uint64_t{9}), 0);
-  EXPECT_EQ(store.set_take(uint64_t{11}), svc::C2Store::kEmpty);
+  EXPECT_EQ(m.read(), 0);
+  EXPECT_EQ(s.counter_read(uint64_t{9}), 0);
+  EXPECT_EQ(s.set_take(uint64_t{11}), svc::C2Store::kEmpty);
   EXPECT_EQ(store.initialized_shards(), 1);
 }
 
 TEST(C2Store, MaxRegisterPerKeySemantics) {
   svc::C2Store store(small_config());
-  store.max_write(0, uint64_t{1}, 3);
-  store.max_write(1, uint64_t{1}, 7);
-  store.max_write(2, uint64_t{1}, 5);
-  EXPECT_EQ(store.max_read(uint64_t{1}), 7);
+  svc::C2Session s0 = store.open_session();
+  svc::C2Session s1 = store.open_session();
+  svc::C2Session s2 = store.open_session();
+  s0.max_write(uint64_t{1}, 3);
+  s1.max_write(uint64_t{1}, 7);
+  s2.max_write(uint64_t{1}, 5);
+  EXPECT_EQ(s0.max_read(uint64_t{1}), 7);
   EXPECT_EQ(store.global_max(), 7);
 }
 
 TEST(C2Store, CounterIncrementAndSum) {
   svc::C2Store store(small_config());
+  svc::C2Session s = store.open_session();
   uint64_t a = 100, b = 101;
   while (store.shard_of(b) == store.shard_of(a)) ++b;  // two distinct shards
-  for (int i = 0; i < 10; ++i) store.counter_inc(a);
-  for (int i = 0; i < 5; ++i) store.counter_inc(b);
-  EXPECT_EQ(store.counter_read(a), 10);
-  EXPECT_EQ(store.counter_read(b), 5);
+  svc::CounterRef ca = s.counter(a);
+  svc::CounterRef cb = s.counter(b);
+  for (int i = 0; i < 10; ++i) ca.inc();
+  for (int i = 0; i < 5; ++i) cb.inc();
+  EXPECT_EQ(ca.read(), 10);
+  EXPECT_EQ(cb.read(), 5);
   EXPECT_EQ(store.counter_sum(), 15);
 }
 
 TEST(C2Store, TasWinnerResetAndBudget) {
   svc::C2Store store(small_config());
-  EXPECT_EQ(store.tas_read(uint64_t{5}), 0);
-  EXPECT_EQ(store.tas(0, uint64_t{5}), 0);  // first caller wins
-  EXPECT_EQ(store.tas(1, uint64_t{5}), 1);
-  EXPECT_EQ(store.tas_read(uint64_t{5}), 1);
+  svc::C2Session s0 = store.open_session();
+  svc::C2Session s1 = store.open_session();
+  svc::TasRef t0 = s0.tas(uint64_t{5});
+  svc::TasRef t1 = s1.tas(uint64_t{5});
+  EXPECT_EQ(t0.read(), 0);
+  EXPECT_EQ(t0.test_and_set(), 0);  // first caller wins
+  EXPECT_EQ(t1.test_and_set(), 1);
+  EXPECT_EQ(t1.read(), 1);
   int resets = 0;
-  while (store.tas_reset(0, uint64_t{5})) {
-    EXPECT_EQ(store.tas_read(uint64_t{5}), 0);
-    EXPECT_EQ(store.tas(0, uint64_t{5}), 0);  // winnable again after reset
+  while (t0.reset() == svc::ResetResult::kOk) {
+    EXPECT_EQ(t0.read(), 0);
+    EXPECT_EQ(t0.test_and_set(), 0);  // winnable again after reset
     ++resets;
   }
   EXPECT_EQ(resets, static_cast<int>(small_config().tas_max_resets));
 }
 
+// The typed ResetResult must report budget exhaustion (not just refuse): after
+// the budget is spent every further reset is kBudgetSpent and a no-op.
+TEST(C2Store, TasResetBudgetExhaustionIsTyped) {
+  svc::C2StoreConfig cfg = small_config();
+  cfg.tas_max_resets = 2;
+  cfg.max_value = 10;  // 4 * (2+1) <= 63 and 4 * 10 <= 63 both hold
+  svc::C2Store store(cfg);
+  svc::C2Session s = store.open_session();
+  svc::TasRef t = s.tas(uint64_t{9});
+  for (int g = 0; g < 2; ++g) {
+    EXPECT_EQ(t.test_and_set(), 0);
+    EXPECT_EQ(t.reset(), svc::ResetResult::kOk) << "generation " << g;
+  }
+  EXPECT_EQ(t.test_and_set(), 0);
+  EXPECT_EQ(t.reset(), svc::ResetResult::kBudgetSpent);
+  EXPECT_EQ(t.read(), 1) << "a kBudgetSpent reset must not recycle the TAS";
+  EXPECT_EQ(s.tas_reset(uint64_t{9}), svc::ResetResult::kBudgetSpent)
+      << "one-shot convenience must agree with the ref";
+}
+
 TEST(C2Store, SetPutTakeRoundtrip) {
   svc::C2Store store(small_config());
-  store.set_put(uint64_t{3}, 111);
-  store.set_put(uint64_t{3}, 222);
+  svc::C2Session s = store.open_session();
+  svc::SetRef box = s.set(uint64_t{3});
+  box.put(111);
+  box.put(222);
   std::set<int64_t> taken;
-  taken.insert(store.set_take(uint64_t{3}));
-  taken.insert(store.set_take(uint64_t{3}));
+  taken.insert(box.take());
+  taken.insert(box.take());
   EXPECT_EQ(taken, (std::set<int64_t>{111, 222}));
-  EXPECT_EQ(store.set_take(uint64_t{3}), svc::C2Store::kEmpty);
+  EXPECT_EQ(box.take(), svc::C2Store::kEmpty);
 }
 
 TEST(C2Store, CollidingKeysShareTheSlotObjects) {
   svc::C2Store store(small_config());
+  svc::C2Session s = store.open_session();
   // Find two distinct integer keys that route to the same shard.
   uint64_t a = 0, b = 1;
   while (store.shard_of(b) != store.shard_of(a)) ++b;
-  store.counter_inc(a);
-  EXPECT_EQ(store.counter_read(b), 1)
+  s.counter(a).inc();
+  EXPECT_EQ(s.counter(b).read(), 1)
       << "colliding keys name the same striped instance by design";
 }
 
 TEST(C2Store, StringKeysRouteLikeIntKeys) {
   svc::C2Store store(small_config());
-  store.max_write(0, "alpha", 4);
-  EXPECT_EQ(store.max_read("alpha"), 4);
-  store.set_put("box", 9);
-  EXPECT_EQ(store.set_take("box"), 9);
+  svc::C2Session s = store.open_session();
+  s.max("alpha").write(4);
+  EXPECT_EQ(s.max("alpha").read(), 4);
+  s.set_put("box", 9);
+  EXPECT_EQ(s.set_take("box"), 9);
+}
+
+// Rebinding the same key — from the same or another session — must route to
+// the same shard and reach the same underlying object instance.
+TEST(C2Store, RefRebindingIsStable) {
+  svc::C2Store store(small_config());
+  svc::C2Session s1 = store.open_session();
+  svc::C2Session s2 = store.open_session();
+  const std::string key = "user:1042/score";
+  svc::MaxRef a = s1.max(key);
+  svc::MaxRef b = s1.max(key);   // rebind, same session
+  svc::MaxRef c = s2.max(key);   // rebind, different session
+  EXPECT_EQ(a.shard(), b.shard());
+  EXPECT_EQ(a.shard(), c.shard());
+  EXPECT_EQ(a.shard(), store.shard_of(std::string_view(key)));
+  a.write(6);
+  EXPECT_EQ(b.read(), 6) << "rebound ref must see the same object";
+  EXPECT_EQ(c.read(), 6) << "other sessions bind the same object";
+  // Counters agree too: increments through one binding are visible in all.
+  s1.counter(key).inc();
+  s2.counter(key).inc();
+  EXPECT_EQ(s1.counter(key).read(), 2);
 }
 
 TEST(C2Store, GlobalMaxAcrossManyShards) {
   svc::C2Store store(small_config());
+  svc::C2Session s = store.open_session();
   for (uint64_t k = 0; k < 32; ++k) {
-    store.max_write(0, k, static_cast<int64_t>(k % 10));
+    s.max(k).write(static_cast<int64_t>(k % 10));
   }
   EXPECT_EQ(store.global_max(), 9);
   EXPECT_GT(store.initialized_shards(), 1);

@@ -143,6 +143,85 @@ TEST(C2StoreSim, GlobalMaxDigestConcurrentWritersStronglyLinearizable) {
   EXPECT_TRUE(res.strongly_linearizable) << res.report;
 }
 
+// --- 2b. the cross-facet digest write order, pinned --------------------------
+//
+// MaxRef::write updates the SHARD register first and the digest second. Each
+// facet is individually strongly linearizable (above), but the order between
+// the two writes is a documented cross-facet contract:
+//   (i)  the digest may briefly LAG a shard register (a client can read v via
+//        its key and then see global_max() < v while the writer sits between
+//        its two updates) — that lag is real, witnessed below;
+//   (ii) the digest must NEVER LEAD the shard registers (global_max() never
+//        reports a value no shard register holds yet).
+// A future "optimisation" that swaps the two writes would silently flip (ii)
+// into a real anomaly — global_max() announcing values that no keyed read can
+// confirm. These two tests make that reorder fail loudly instead of only
+// contradicting a header comment.
+
+/// P1's two read responses (program order), one pair per completed execution.
+std::vector<std::pair<int64_t, int64_t>> observer_read_pairs(const sim::ExecTree& tree) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (const auto& node : tree.nodes) {
+    if (!node.all_done) continue;
+    auto ops = verify::operations_from_events(tree.history_at(node.id));
+    std::vector<int64_t> resp;
+    for (const auto& r : ops) {
+      if (r.proc == 1 && r.complete && r.name != "WriteMax") resp.push_back(as_num(r.resp));
+    }
+    if (resp.size() == 2) out.emplace_back(resp[0], resp[1]);
+  }
+  return out;
+}
+
+TEST(C2StoreSim, DigestNeverLeadsTheShardRegisters) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimGlobalMax>(w, "gmax", n, /*shards=*/2);
+  };
+  // Writer lands 2 (routed to shard 0); observer reads digest THEN the shard.
+  // Shard registers are monotone, so if the digest ever led, some execution
+  // would show digest=2 while the (later!) shard read still returns 0.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"WriteMax", num(2), 0}},
+                {{"ReadMax", unit(), 1}, {"ReadShard", num(0), 1}}});
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  auto pairs = observer_read_pairs(tree);
+  ASSERT_FALSE(pairs.empty());
+  for (auto [digest, shard] : pairs) {
+    EXPECT_LE(digest, shard)
+        << "digest ran ahead of the shard register: the shard-first write "
+           "order in MaxRef::write was reordered";
+  }
+}
+
+TEST(C2StoreSim, ShardRegisterMayLeadTheDigest) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimGlobalMax>(w, "gmax", n, /*shards=*/2);
+  };
+  // Observer reads the shard THEN the digest: some execution must catch the
+  // writer between its two updates (shard=2, digest still 0). If this witness
+  // disappears, the write order changed — the documented lag is load-bearing
+  // documentation, so its existence is pinned too.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"WriteMax", num(2), 0}},
+                {{"ReadShard", num(0), 1}, {"ReadMax", unit(), 1}}});
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  auto pairs = observer_read_pairs(tree);
+  bool lag_witnessed = false;
+  for (auto [shard, digest] : pairs) {
+    if (shard == 2 && digest == 0) lag_witnessed = true;
+  }
+  EXPECT_TRUE(lag_witnessed)
+      << "no execution shows the documented shard-ahead-of-digest lag window";
+}
+
 // --- 3. double-collect scans: linearizable, NOT strongly linearizable -------
 
 TEST(C2StoreSim, DoubleCollectScanLinSweep) {

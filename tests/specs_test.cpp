@@ -120,6 +120,39 @@ TEST(SetSpec, NondeterministicTake) {
   EXPECT_EQ(spec.next("2", {"Put", num(2), 0})[0].resp, str("OK"));
 }
 
+TEST(LaneRegistrySpec, AcquireHandsOutFreeLanesOnly) {
+  verify::LaneRegistrySpec spec(3);
+  EXPECT_EQ(spec.initial(), "");
+  // Empty registry: any of the 3 lanes may be granted; -1 is NOT allowed.
+  auto acq = spec.next("", {"Acquire", unit(), 0});
+  ASSERT_EQ(acq.size(), 3u);
+  std::vector<Val> resps = responses(acq);
+  for (int64_t l = 0; l < 3; ++l) {
+    EXPECT_NE(std::find(resps.begin(), resps.end(), num(l)), resps.end());
+  }
+  // Lane 1 held: only 0 and 2 remain grantable.
+  auto acq2 = spec.next("1", {"Acquire", unit(), 0});
+  std::vector<Val> resps2 = responses(acq2);
+  ASSERT_EQ(acq2.size(), 2u);
+  EXPECT_EQ(std::find(resps2.begin(), resps2.end(), num(1)), resps2.end());
+  // Full registry: ONLY -1 is allowed, and the state is unchanged.
+  auto full = spec.next("0,1,2", {"Acquire", unit(), 0});
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].resp, num(-1));
+  EXPECT_EQ(full[0].state, "0,1,2");
+}
+
+TEST(LaneRegistrySpec, ReleaseRequiresOwnership) {
+  verify::LaneRegistrySpec spec(3);
+  auto rel = spec.next("0,2", {"Release", num(2), 0});
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel[0].state, "0");
+  EXPECT_TRUE(is_unit(rel[0].resp));
+  EXPECT_TRUE(spec.next("0", {"Release", num(2), 0}).empty())
+      << "releasing an unheld lane must be illegal";
+  EXPECT_TRUE(spec.next("0", {"Bogus", unit(), 0}).empty());
+}
+
 TEST(QueueSpec, ExactFifo) {
   verify::QueueSpec spec;
   auto e = spec.next("", {"Enq", num(7), 0});

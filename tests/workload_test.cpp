@@ -239,5 +239,41 @@ TEST(Engine, DeterministicOpSequencesAcrossRuns) {
   EXPECT_EQ(a.final_counter_sum, b.final_counter_sum);
 }
 
+// Both ref binding modes must run the SAME deterministic op/key sequences
+// (the mode changes routing cost, not semantics) and conserve counters.
+TEST(Engine, BindModesAgreeOnSemantics) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 300;
+  cfg.key_space = 64;
+  cfg.dist = "zipfian";
+  cfg.mix = wl::OpMix::mixed();
+  cfg.seed = 21;
+  cfg.store.shards = 4;
+  cfg.bind = "cached";
+  wl::WorkloadResult cached = wl::run_workload(cfg);
+  cfg.bind = "per_op";
+  wl::WorkloadResult per_op = wl::run_workload(cfg);
+  for (int k = 0; k < wl::kOpKindCount; ++k) {
+    EXPECT_EQ(cached.per_kind[k], per_op.per_kind[k]) << "bind mode changed the op mix";
+  }
+  EXPECT_EQ(cached.final_counter_sum, per_op.final_counter_sum);
+  EXPECT_EQ(cached.final_counter_sum,
+            static_cast<int64_t>(
+                cached.per_kind[static_cast<int>(wl::OpKind::kCounterInc)]));
+  // The JSON config records which mode produced an artifact (bench_diff keys
+  // its comparison on this).
+  std::string doc = wl::result_to_json("t", "b", cached);
+  EXPECT_NE(doc.find("\"bind\":\"cached\""), std::string::npos) << doc;
+}
+
+TEST(Engine, RejectsUnknownBindMode) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 1;
+  cfg.ops_per_thread = 10;
+  cfg.bind = "telepathic";
+  EXPECT_THROW(wl::run_workload(cfg), PreconditionError);
+}
+
 }  // namespace
 }  // namespace c2sl

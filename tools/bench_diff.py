@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two c2sl-bench-v1 artifacts and fail on regressions.
+
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.15]
+                        [--metrics throughput_ops_per_s,latency_ns.p50,...]
+
+Entries are matched by their "bench" name. For every matched entry the tool
+compares (by default):
+  * metrics.throughput_ops_per_s  — regression if current < baseline*(1-t)
+  * metrics.latency_ns.p50 / p99  — regression if current > baseline*(1+t)
+
+--metrics restricts which of those gate the exit code (the others are still
+printed). On oversubscribed machines p99 of high-contention entries measures
+preemption quanta, not code — gate on throughput_ops_per_s,latency_ns.p50
+there.
+
+Exit status: 0 when no matched metric regresses beyond the threshold, 1
+otherwise (2 on malformed input). Entries present in only one artifact are
+reported but do not fail the comparison (thread sweeps legitimately differ
+across hosts with different core counts).
+
+This is the ROADMAP "bench trajectory tracking" comparator; CI uses it to
+gate that the key-bound-ref path (bind=cached) is no slower than the per-op
+routing path (bind=per_op) in the same run, and to diff against a checked-in
+baseline informationally (cross-machine variance makes that advisory).
+
+No dependencies beyond the standard library.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "c2sl-bench-v1":
+        raise ValueError(f"{path}: schema is {doc.get('schema')!r}, want 'c2sl-bench-v1'")
+    entries = {}
+    for entry in doc.get("results", []):
+        entries[entry["bench"]] = entry.get("metrics", {})
+    if not entries:
+        raise ValueError(f"{path}: no results")
+    return entries
+
+
+def metric(metrics, dotted):
+    node = metrics
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+# (dotted path, direction): +1 means higher-is-better, -1 lower-is-better.
+CHECKS = [
+    ("throughput_ops_per_s", +1),
+    ("latency_ns.p50", -1),
+    ("latency_ns.p99", -1),
+]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed relative regression (default 0.15 = 15%%)")
+    ap.add_argument("--metrics", default=None,
+                    help="comma-separated subset of metrics that gate the exit "
+                         "code (default: all known metrics)")
+    args = ap.parse_args()
+    gating = (set(m.strip() for m in args.metrics.split(","))
+              if args.metrics else {path for path, _ in CHECKS})
+    unknown = gating - {path for path, _ in CHECKS}
+    if unknown:
+        print(f"bench_diff: unknown --metrics {sorted(unknown)}; "
+              f"known: {[p for p, _ in CHECKS]}", file=sys.stderr)
+        return 2
+
+    try:
+        base = load(args.baseline)
+        curr = load(args.current)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+    matched = sorted(set(base) & set(curr))
+    if not matched:
+        print("bench_diff: no common bench entries to compare", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'bench':<34} {'metric':<22} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in matched:
+        for path, direction in CHECKS:
+            b = metric(base[name], path)
+            c = metric(curr[name], path)
+            if b is None or c is None:
+                continue
+            if b <= 0:
+                continue  # can't compute a ratio; zero latencies happen on coarse clocks
+            delta = (c - b) / b
+            # A regression is slower throughput or higher latency.
+            regressed = path in gating and (
+                (direction > 0 and delta < -args.threshold) or
+                (direction < 0 and delta > args.threshold))
+            flag = "  REGRESSION" if regressed else ""
+            print(f"{name:<34} {path:<22} {b:>12.0f} {c:>12.0f} {delta:>+7.1%}{flag}")
+            if regressed:
+                regressions.append((name, path, delta))
+
+    for name in only_base:
+        print(f"note: '{name}' only in baseline (skipped)")
+    for name in only_curr:
+        print(f"note: '{name}' only in current (skipped)")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} threshold", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: ok ({len(matched)} entries within {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
