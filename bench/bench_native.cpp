@@ -64,7 +64,7 @@ void NAT_FetchIncrement(benchmark::State& state) {
   const int per_thread = 300;
   uint64_t ops = 0;
   for (auto _ : state) {
-    rt::NativeFetchIncrement fai(static_cast<size_t>(threads * per_thread) + 1);
+    rt::NativeFetchIncrement fai;
     rt::run_stress(threads, per_thread, [&](int, int) {
       rt::TimedOp op;
       benchmark::DoNotOptimize(fai.fetch_and_increment());
@@ -81,7 +81,7 @@ void NAT_Set(benchmark::State& state) {
   const int per_thread = 200;
   uint64_t ops = 0;
   for (auto _ : state) {
-    rt::NativeSet set(static_cast<size_t>(threads * per_thread) + 1);
+    rt::NativeSet set;
     rt::run_stress(threads, per_thread, [&](int t, int j) {
       rt::TimedOp op;
       if (j % 2 == 0) {

@@ -53,6 +53,15 @@ class C2SchemaReporter : public benchmark::BenchmarkReporter {
       writer_.field("seconds", run.real_accumulated_time);
       writer_.field("seconds_per_iter", run.real_accumulated_time / iters);
       writer_.field("cpu_seconds_per_iter", run.cpu_accumulated_time / iters);
+      // Benchmarks that publish a "throughput_ops_per_s" rate counter get it
+      // hoisted to a top-level metric — the key tools/bench_diff.py gates on —
+      // so google-benchmark suites can participate in the same A/B gates as
+      // the workload engine's artifacts (e.g. the flat-vs-segmented F&I
+      // ablation in bench_tas_family).
+      auto thr = run.counters.find("throughput_ops_per_s");
+      if (thr != run.counters.end()) {
+        writer_.field("throughput_ops_per_s", static_cast<double>(thr->second));
+      }
       if (!run.counters.empty()) {
         writer_.key("counters").begin_object();
         for (const auto& [name, counter] : run.counters) {
@@ -80,11 +89,35 @@ class C2SchemaReporter : public benchmark::BenchmarkReporter {
   benchmark::ConsoleReporter console_;
 };
 
+/// Consumes every `--<prefix>value` occurrence of one suite-private flag from
+/// argv (compacting argv so google-benchmark never sees it) and returns the
+/// last value, or `fallback`. Serves `--out=` below and suite-specific flags
+/// like bench_tas_family's `--impl=`.
+inline std::string consume_flag(int* argc, char** argv, const char* prefix,
+                                const char* fallback) {
+  std::string value = fallback;
+  const size_t len = std::string(prefix).size();
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(len);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return value;
+}
+
 inline int run_with_schema_reporter(int argc, char** argv, const char* suite,
                                     const char* path) {
+  // `--out=PATH` lets one binary emit several artifacts for A/B gating (same
+  // bench names, different runs — bench_diff matches entries by name).
+  std::string out = consume_flag(&argc, argv, "--out=", path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  C2SchemaReporter display(path, suite);
+  C2SchemaReporter display(out, suite);
   benchmark::RunSpecifiedBenchmarks(&display);
   benchmark::Shutdown();
   return 0;

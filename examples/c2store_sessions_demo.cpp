@@ -43,7 +43,6 @@ int main(int argc, char** argv) try {
   cfg.max_threads = workers;  // lanes for ONE wave; later waves recycle them
   cfg.max_value = 63 / workers;
   cfg.tas_max_resets = 63 / workers - 1;  // lane-packing budget scales down too
-  cfg.counter_capacity = static_cast<size_t>(waves) * workers * ops + 1;
   svc::C2Store store(cfg);
 
   for (int wave = 0; wave < waves; ++wave) {

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   int ops = argc > 2 ? std::atoi(argv[2]) : 2000;
 
   // --- fetch&increment from test&set (Thm 9), full volume ------------------
-  rt::NativeFetchIncrement fai(static_cast<size_t>(threads * ops) + 1);
+  rt::NativeFetchIncrement fai;
   auto t0 = std::chrono::steady_clock::now();
   auto history = rt::run_stress(threads, ops, [&](int, int) {
     rt::TimedOp op;

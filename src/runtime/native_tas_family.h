@@ -1,21 +1,49 @@
 // Native (std::atomic) variants of the §4 constructions:
 //   * NativeReadableTAS     (Thm 5):  exchange-based test&set + a state word;
 //   * NativeMultishotTAS    (Thm 6):  max register + readable test&set array;
-//   * NativeFetchIncrement  (Thm 9):  ascending scan over readable test&set;
+//   * NativeFetchIncrement  (Thm 9):  least-unset search over readable test&set;
 //   * NativeSet             (Thm 10): Algorithm 2 over the above.
 //
 // std::atomic provides the exact consensus-number-2 primitives the paper
 // assumes: exchange (test&set / swap) and fetch_add. CAS is never used.
-// Arrays are bounded (capacity fixed at construction) — in any finite run only
-// finitely many entries are touched; capacity exhaustion is a checked error.
+//
+// Arrays are UNBOUNDED: every construction stores its cells in a
+// SegmentedArray (runtime/segmented_array.h) of lazily-published doubling
+// segments, matching the paper's "infinite array" model with no capacity
+// configuration. The only remaining bounds are the 63-bit lane-packing limits
+// of NativeMaxRegister64 (a WIDTH constraint, §6 — see the ROADMAP item), not
+// array capacities.
+//
+// Two native-only refinements ride on the segmented layout; both preserve
+// strong linearizability and both are argued in docs/PROOFS.md:
+//
+//   * O(log value) fetch&increment reads. In the Thm 9 usage the set cells
+//     always form a PREFIX [0, value): a test&set win at index i requires the
+//     winner to have lost (hence observed set) every cell below i, and
+//     NativeReadableTAS writes the state word on the losing path too, so a
+//     single observation of state 1 at index i certifies every index <= i.
+//     The read therefore hops doubling segment boundaries and binary-searches
+//     the straddling segment instead of scanning cell by cell, then makes one
+//     CONFIRMING read of the candidate: a 0 observed at index v AFTER a 1 was
+//     observed at v-1 pins the value at exactly v at that read — a fixed own
+//     step, so the linearization stays prefix-closed.
+//
+//   * A verified-taken-prefix skip hint in NativeSet::take. A taken flag never
+//     clears, so "every cell below h was taken" is a stable fact; take()
+//     records the longest such prefix it verified in a plain register and
+//     later sweeps start there. The hint is advisory (racy plain stores may
+//     publish a stale smaller value) but every published value WAS verified,
+//     so skipping [0, h) can never change a response — it only removes
+//     re-exchanges of permanently dead cells. This is what makes unbounded
+//     lane recycling (service/lane_registry.h) O(1) amortized per
+//     acquire/release cycle instead of O(total releases ever).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "runtime/native_max_register.h"
+#include "runtime/segmented_array.h"
 #include "util/assert.h"
 
 namespace c2sl::rt {
@@ -36,33 +64,41 @@ class NativeReadableTAS {
   std::atomic<int64_t> state_{0};  // the readable register
 };
 
+/// The issue-facing name for the family's backing store: readable test&set
+/// cells over lazily-published doubling segments.
+using SegmentedTasArray = SegmentedArray<NativeReadableTAS>;
+
+/// Thm 5 applied index-wise over an infinite array. Reads of cells in
+/// unpublished segments return 0 without allocating (the cell is untouched by
+/// definition — mutators publish the segment before exchanging any cell).
 class NativeReadableTasArray {
  public:
-  explicit NativeReadableTasArray(size_t capacity)
-      : cells_(std::make_unique<NativeReadableTAS[]>(capacity)), capacity_(capacity) {}
+  NativeReadableTasArray() = default;
 
-  int64_t test_and_set(size_t idx) {
-    C2SL_CHECK(idx < capacity_, "test&set array capacity exhausted");
-    return cells_[idx].test_and_set();
-  }
+  int64_t test_and_set(size_t idx) { return cells_.cell(idx).test_and_set(); }
   int64_t read(size_t idx) const {
-    C2SL_CHECK(idx < capacity_, "test&set array capacity exhausted");
-    return cells_[idx].read();
+    const NativeReadableTAS* c = cells_.peek(idx);
+    return c ? c->read() : 0;
   }
-  size_t capacity() const { return capacity_; }
+
+  /// Cell state if published, 0 otherwise, plus segment math passthroughs —
+  /// the fetch&increment search loops below drive these directly.
+  const NativeReadableTAS* peek(size_t idx) const { return cells_.peek(idx); }
+  static int segment_of(size_t idx) { return SegmentedTasArray::segment_of(idx); }
+  static size_t segment_last(int s) { return SegmentedTasArray::segment_last(s); }
+  static constexpr int kMaxSegments = SegmentedTasArray::kMaxSegments;
 
  private:
-  std::unique_ptr<NativeReadableTAS[]> cells_;
-  size_t capacity_;
+  SegmentedTasArray cells_;
 };
 
 class NativeMultishotTAS {
  public:
-  /// Supports up to max_resets reset generations.
+  /// `max_resets` bounds reset GENERATIONS, and comes from the 63-bit packing
+  /// of the generation max register (n * (max_resets + 1) lane bits), not from
+  /// array capacity — the test&set cells themselves are unbounded.
   NativeMultishotTAS(int n, int64_t max_resets)
-      : max_resets_(max_resets),
-        curr_(n, max_resets + 1),
-        ts_(static_cast<size_t>(max_resets) + 2) {}
+      : max_resets_(max_resets), curr_(n, max_resets + 1) {}
 
   int64_t test_and_set(int proc) {
     (void)proc;
@@ -93,71 +129,152 @@ class NativeMultishotTAS {
 
 class NativeFetchIncrement {
  public:
-  explicit NativeFetchIncrement(size_t capacity) : cells_(capacity) {}
+  NativeFetchIncrement() = default;
 
+  /// Wins the least available cell; the winning exchange is the linearization
+  /// point (Thm 9). Starting the ascending scan at the searched lower bound
+  /// skips only cells already OBSERVED set — cells a from-zero scan would have
+  /// exchanged and lost — so the behaviour is exactly the paper's algorithm
+  /// minus provably losing steps.
   int64_t fetch_and_increment() {
-    for (size_t i = 0;; ++i) {
+    // The increment path needs only the certified LOWER BOUND (all cells below
+    // it observed set) — not read()'s confirming retry loop, which would
+    // re-gallop on every concurrent completion without changing where the
+    // exchange scan may start.
+    for (size_t i = known_set_bound();; ++i) {
       if (cells_.test_and_set(i) == 0) return static_cast<int64_t>(i);
     }
   }
-  int64_t read() const {
-    for (size_t i = 0;; ++i) {
-      if (cells_.read(i) == 0) return static_cast<int64_t>(i);
+
+  /// O(log value) instead of the flat array's O(value): see the header
+  /// comment for the prefix invariant and the confirming-read argument
+  /// (mechanised complexity claim: bench_tas_family's flat-vs-segmented
+  /// ablation; proof sketch: docs/PROOFS.md §"fetch&increment").
+  int64_t read() const { return static_cast<int64_t>(first_unset()); }
+
+ private:
+  /// Certified lower bound: every index below the result was OBSERVED set (at
+  /// some past step — permanent, states never clear). Gallop the doubling
+  /// segment boundaries, then binary-search the straddling segment; one
+  /// state-1 observation certifies its whole prefix (header comment), and an
+  /// unpublished segment counts as a 0-observation (the spine load is the
+  /// atomic step; no cell of an unpublished segment has ever been exchanged).
+  size_t known_set_bound() const {
+    size_t known_set_below = 0;  // every index < this was observed set
+    int s = 0;
+    for (; s < NativeReadableTasArray::kMaxSegments; ++s) {
+      const NativeReadableTAS* last =
+          cells_.peek(NativeReadableTasArray::segment_last(s));
+      if (!last || last->read() == 0) break;
+      known_set_below = NativeReadableTasArray::segment_last(s) + 1;
+    }
+    C2SL_CHECK(s < NativeReadableTasArray::kMaxSegments,
+               "segmented spine exhausted (~2^63 increments)");
+    size_t lo = known_set_below;
+    size_t hi = NativeReadableTasArray::segment_last(s);
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      const NativeReadableTAS* c = cells_.peek(mid);
+      if (c && c->read() == 1) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Least index whose readable state is 0, linearized at the final read.
+  size_t first_unset() const {
+    for (;;) {
+      size_t lo = known_set_bound();
+      // Confirm: this read postdates the 1-observation at lo-1 (if any), so a
+      // 0 here pins the implemented value at exactly lo — the linearization
+      // point. A 1 means other increments completed meanwhile; rescan
+      // (lock-free for the same reason as the flat scan: only completed wins
+      // can invalidate us).
+      const NativeReadableTAS* c = cells_.peek(lo);
+      if (!c || c->read() == 0) return lo;
     }
   }
 
- private:
   NativeReadableTasArray cells_;
 };
+
+namespace detail {
+/// NativeSet cell types with the right initial states for value-initialised
+/// segment construction (SegmentedArray news segments with `new T[n]()`).
+struct SetItemCell {
+  std::atomic<int64_t> v{INT64_MIN};  // NativeSet::kEmpty
+};
+struct SetTakenCell {
+  std::atomic<int64_t> v{0};  // plain (non-readable) test&set
+};
+}  // namespace detail
 
 class NativeSet {
  public:
   static constexpr int64_t kEmpty = INT64_MIN;
 
-  explicit NativeSet(size_t capacity)
-      : max_(capacity),
-        items_(std::make_unique<std::atomic<int64_t>[]>(capacity)),
-        ts_(std::make_unique<std::atomic<int64_t>[]>(capacity)),
-        capacity_(capacity) {
-    for (size_t i = 0; i < capacity; ++i) {
-      items_[i].store(kEmpty, std::memory_order_relaxed);
-      ts_[i].store(0, std::memory_order_relaxed);
-    }
-  }
+  NativeSet() = default;
 
   void put(int64_t x) {
     int64_t m = max_.fetch_and_increment();
-    C2SL_CHECK(m >= 0 && static_cast<size_t>(m) < capacity_, "set capacity exhausted");
-    items_[static_cast<size_t>(m)].store(x, std::memory_order_seq_cst);
+    items_.cell(static_cast<size_t>(m)).v.store(x, std::memory_order_seq_cst);
   }
 
-  /// Returns the taken item or kEmpty.
+  /// Returns the taken item or kEmpty. Algorithm 2's sweep, restricted to
+  /// [hint, Max): cells below the hint are permanently taken (header comment),
+  /// so the restriction removes no candidate and moves no linearization point.
   int64_t take() {
+    const size_t skip =
+        static_cast<size_t>(taken_prefix_.load(std::memory_order_seq_cst));
     int64_t taken_old = 0;
     int64_t max_old = 0;
     for (;;) {
       int64_t taken_new = 0;
       int64_t max_new = max_.read();
-      for (int64_t c = 0; c < max_new; ++c) {
-        int64_t x = items_[static_cast<size_t>(c)].load(std::memory_order_seq_cst);
+      size_t dead = skip;  // [0, dead) verified taken during this sweep
+      for (int64_t c = static_cast<int64_t>(skip); c < max_new; ++c) {
+        const detail::SetItemCell* item = items_.peek(static_cast<size_t>(c));
+        int64_t x = item ? item->v.load(std::memory_order_seq_cst) : kEmpty;
         if (x != kEmpty) {
-          if (ts_[static_cast<size_t>(c)].exchange(1, std::memory_order_seq_cst) == 0) {
+          if (ts_.cell(static_cast<size_t>(c)).v.exchange(
+                  1, std::memory_order_seq_cst) == 0) {
+            if (static_cast<size_t>(c) == dead) ++dead;  // we just killed c too
+            publish_hint(dead);
             return x;
           }
           ++taken_new;
+          if (static_cast<size_t>(c) == dead) ++dead;
         }
+        // x == kEmpty: a pending put may still land here — the cell is not
+        // dead, so the verified prefix stops growing (dead stays < c + 1 and
+        // the equality above fails for every later cell of this sweep).
       }
-      if (taken_new == taken_old && max_new == max_old) return kEmpty;
+      if (taken_new == taken_old && max_new == max_old) {
+        publish_hint(dead);
+        return kEmpty;  // linearizes at this sweep's stabilised Max read
+      }
       taken_old = taken_new;
       max_old = max_new;
     }
   }
 
  private:
+  void publish_hint(size_t dead) {
+    // Plain register store: racy by design. Any published value was verified
+    // all-taken by its writer and taken flags never clear, so every value in
+    // the register is a sound (possibly stale) lower bound.
+    if (dead > static_cast<size_t>(taken_prefix_.load(std::memory_order_seq_cst))) {
+      taken_prefix_.store(static_cast<int64_t>(dead), std::memory_order_seq_cst);
+    }
+  }
+
   NativeFetchIncrement max_;
-  std::unique_ptr<std::atomic<int64_t>[]> items_;
-  std::unique_ptr<std::atomic<int64_t>[]> ts_;
-  size_t capacity_;
+  SegmentedArray<detail::SetItemCell> items_;
+  SegmentedArray<detail::SetTakenCell> ts_;
+  std::atomic<int64_t> taken_prefix_{0};  // advisory verified-taken prefix
 };
 
 }  // namespace c2sl::rt

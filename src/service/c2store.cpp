@@ -14,9 +14,6 @@ const C2StoreConfig& C2Store::validate(const C2StoreConfig& cfg) {
   C2SL_CHECK(cfg.max_threads >= 1, "need at least one session lane");
   C2SL_CHECK(cfg.max_value >= 1, "max_value must be at least 1");
   C2SL_CHECK(cfg.tas_max_resets >= 0, "tas_max_resets must be non-negative");
-  C2SL_CHECK(cfg.counter_capacity >= 1 && cfg.set_capacity >= 1,
-             "per-shard capacities must be non-zero");
-  C2SL_CHECK(cfg.lane_recycle_capacity >= 1, "lane recycle capacity must be non-zero");
   C2SL_CHECK(static_cast<int64_t>(cfg.max_threads) * cfg.max_value <= 63,
              "max_threads * max_value must fit in 63 bits");
   C2SL_CHECK(static_cast<int64_t>(cfg.max_threads) * (cfg.tas_max_resets + 1) <= 63,
@@ -28,7 +25,7 @@ C2Store::C2Store(const C2StoreConfig& cfg)
     : cfg_(validate(cfg)),
       router_(cfg.shards),
       slots_(std::make_unique<ShardSlot[]>(static_cast<size_t>(cfg.shards))),
-      lanes_(cfg.max_threads, cfg.lane_recycle_capacity),
+      lanes_(cfg.max_threads),
       digest_(cfg.max_threads, cfg.max_value) {}
 
 C2Store::~C2Store() {

@@ -18,7 +18,9 @@
 // LaneRegistry (F&I ticket for first-acquire, NativeSet put/take to recycle
 // freed lanes; see service/lane_registry.h) and releases it on destruction,
 // so dynamically joining and leaving threads share a bounded lane space
-// without any call-site bookkeeping.
+// without any call-site bookkeeping. Recycling is unbounded (the registry's
+// free set rides on the segmented arrays), so a store supports arbitrarily
+// many session opens/closes over its lifetime.
 //
 // Typed key-bound refs — MaxRef / CounterRef / TasRef / SetRef — are the
 // per-key surface. Binding hashes the key onto a shard once and caches the
@@ -82,6 +84,11 @@
 
 namespace c2sl::svc {
 
+/// No capacity knobs: counters, sets and lane recycling are backed by
+/// segmented, lazily-grown arrays (runtime/segmented_array.h) and are
+/// unbounded — a store and its sessions can run indefinitely. The two
+/// remaining numeric bounds are 63-bit lane-PACKING limits of the fetch&add
+/// max registers (§6 width discussion), not array capacities.
 struct C2StoreConfig {
   int shards = 16;      ///< power of two
   int max_threads = 8;  ///< maximum CONCURRENT sessions (lane owners)
@@ -91,11 +98,6 @@ struct C2StoreConfig {
   /// Per-shard multi-shot TAS reset budget; max_threads * (tas_max_resets + 1)
   /// must fit in 63 bits.
   int64_t tas_max_resets = 6;
-  size_t counter_capacity = size_t{1} << 14;  ///< max increments per shard
-  size_t set_capacity = size_t{1} << 14;      ///< max puts per shard
-  /// Lifetime bound on session closes (lane releases ride on a bounded
-  /// NativeSet; see service/lane_registry.h).
-  size_t lane_recycle_capacity = size_t{1} << 14;
 };
 
 /// Typed outcome of TasRef::reset(). The budget gate is advisory under
@@ -119,10 +121,7 @@ struct ShardObjects {
   rt::NativeSet set;
 
   explicit ShardObjects(const C2StoreConfig& c)
-      : max(c.max_threads, c.max_value),
-        counter(c.counter_capacity),
-        tas(c.max_threads, c.tas_max_resets),
-        set(c.set_capacity) {}
+      : max(c.max_threads, c.max_value), tas(c.max_threads, c.tas_max_resets) {}
 };
 
 namespace detail {
@@ -212,7 +211,8 @@ class C2Session {
   C2Session& operator=(C2Session&& o) noexcept {
     if (this != &o) {
       // Destruction semantics for the overwritten session: like ~C2Session,
-      // swallow recycle-capacity exhaustion rather than throw from noexcept.
+      // swallow the (allocation-failure-only) close error paths rather than
+      // throw from noexcept.
       try {
         close();
       } catch (...) {
@@ -227,9 +227,10 @@ class C2Session {
   C2Session(const C2Session&) = delete;
   C2Session& operator=(const C2Session&) = delete;
   ~C2Session() {
-    // A destructor must not throw: if the registry's recycle set is out of
-    // capacity the lane is dropped silently here. Call close() explicitly to
-    // observe that exhaustion as a PreconditionError instead.
+    // A destructor must not throw. Lane recycling is unbounded, so the only
+    // conceivable close() failure left is allocation failure inside the
+    // recycle set's segment growth — swallowed here, observable via an
+    // explicit close() instead.
     try {
       close();
     } catch (...) {
@@ -237,8 +238,6 @@ class C2Session {
   }
 
   /// Releases the lane early; idempotent. Invalidates every ref bound here.
-  /// Throws PreconditionError when the lane registry's recycle capacity
-  /// (cfg.lane_recycle_capacity total session closes) is exhausted.
   inline void close();
   bool valid() const { return store_ != nullptr; }
   /// The acquired lane (< cfg.max_threads); exposed for diagnostics only.

@@ -32,10 +32,12 @@
 // licence: lane assignment is itself a consensus-2 problem, so it belongs
 // inside the store rather than on every call site.
 //
-// Capacity note: recycling rides on a bounded NativeSet, so a registry
-// supports at most `recycle_capacity` release() calls over its lifetime
-// (capacity exhaustion is a checked error). The segmented-array ROADMAP item
-// lifts this the same way it lifts the other native capacities.
+// Lifetime: UNBOUNDED. The recycle set rides on the segmented NativeSet
+// (runtime/segmented_array.h), so a registry survives arbitrarily many
+// release() calls — there is no recycle capacity and no config knob for one.
+// NativeSet's verified-taken-prefix hint keeps each acquire/release cycle
+// O(1) amortized even after millions of recycles (pinned by the lifetime test
+// in tests/lane_registry_test.cpp).
 #pragma once
 
 #include <atomic>
@@ -50,10 +52,8 @@ class LaneRegistry {
   /// acquire() result when every lane is concurrently held.
   static constexpr int kNone = -1;
 
-  LaneRegistry(int max_lanes, size_t recycle_capacity)
-      : max_lanes_(max_lanes), free_(recycle_capacity) {
+  explicit LaneRegistry(int max_lanes) : max_lanes_(max_lanes) {
     C2SL_CHECK(max_lanes >= 1, "need at least one lane");
-    C2SL_CHECK(recycle_capacity >= 1, "recycle capacity must be non-zero");
   }
   LaneRegistry(const LaneRegistry&) = delete;
   LaneRegistry& operator=(const LaneRegistry&) = delete;
@@ -79,7 +79,7 @@ class LaneRegistry {
   /// number 2 — is all this needs: tickets are handed out densely and only
   /// their order matters, never a readable intermediate value.
   std::atomic<int64_t> next_{0};
-  /// Freed lanes awaiting recycling (Thm 10 set: put/take, no CAS).
+  /// Freed lanes awaiting recycling (Thm 10 set: put/take, no CAS, unbounded).
   rt::NativeSet free_;
 };
 

@@ -34,6 +34,21 @@
 //     the free set stabilises empty; Release is SLSet::Put. The checker
 //     verifies acquire/release strongly linearizable against
 //     verify::LaneRegistrySpec (tests/lane_registry_test.cpp).
+//
+//   * SimSegmentedTasArray — the sim twin of the native SegmentedArray's
+//     publication protocol (runtime/segmented_array.h), at base-object step
+//     granularity: doubling segments (base 1 here, so the trees stay small:
+//     segment s covers [2^s − 1, 2^(s+1) − 1)), each published by the winner
+//     of a per-segment claim test&set through a register write, with cells
+//     INITIALISED BEFORE the publish. Uninitialised cells model real
+//     uninitialised memory: they read as garbage (an adversarial 1). The
+//     checker verifies each index facet of the publication-order variant
+//     strongly linearizable, and REFUTES the `publish_before_init` variant —
+//     a reader that passes the publication gate early observes garbage, and
+//     the winner's late cell-initialisation then erases observed state, so
+//     some histories are not even linearizable (tests/service_sim_test.cpp
+//     pins both verdicts). This is the mechanised justification for the
+//     init-then-publish order in rt::SegmentedArray::materialize.
 #pragma once
 
 #include <memory>
@@ -119,6 +134,43 @@ class SimLaneRegistry {
   std::unique_ptr<core::AtomicReadableTasArray> free_ts_;
   std::unique_ptr<core::FetchIncrement> free_max_;
   std::unique_ptr<core::SLSet> free_;              ///< Thm 10 recycle set
+};
+
+/// Sim twin of rt::SegmentedArray<NativeReadableTAS> (see header comment).
+/// Methods record themselves as high-level ops on PER-INDEX facet objects
+/// (`cell_object(idx)`), so the checker can certify each cell as a readable
+/// test&set via verify::TasSpec — strong linearizability is local, so
+/// per-facet verdicts on the shared tree certify the whole array.
+class SimSegmentedTasArray {
+ public:
+  SimSegmentedTasArray(sim::World& world, std::string name,
+                       bool publish_before_init = false);
+
+  /// Recorded as "TAS" -> 0|1 on `cell_object(idx)`.
+  int64_t test_and_set(sim::Ctx& ctx, size_t idx);
+  /// Recorded as "Read" -> 0|1 on `cell_object(idx)`. Never allocates: an
+  /// unpublished segment reads as 0 at the spine-read step, mirroring the
+  /// native peek() path.
+  int64_t read(sim::Ctx& ctx, size_t idx);
+
+  std::string cell_object(size_t idx) const;
+
+  static int segment_of(size_t idx);
+  static size_t segment_start(int s);
+  static size_t segment_size(int s);
+
+ private:
+  void ensure_segment(sim::Ctx& ctx, int s);
+  int64_t cell_value(const Val& raw) const;
+
+  std::string name_;
+  bool publish_before_init_;
+  sim::Handle<prim::TasArray> claims_;     ///< per-segment one-shot claim
+  sim::Handle<prim::RegArray> spine_;      ///< per-segment published flag
+  /// Cell states: ⊥ = uninitialised memory (garbage), 0 = initialised unset,
+  /// 1 = set. SwapRegArray so test&set is one swap step, like the native
+  /// exchange.
+  sim::Handle<prim::SwapRegArray> cells_;
 };
 
 class SimShardedMaxRegister : public core::ConcurrentObject {

@@ -13,22 +13,15 @@ namespace c2sl::wl {
 namespace {
 
 /// Clamp the store config so this workload cannot violate a construction
-/// precondition: lane budgets (63-bit packing) and per-shard capacities
-/// (worst case: every routed op lands on one shard).
+/// precondition. Only the 63-bit lane-packing budgets remain — counters, sets
+/// and lane recycling grow without bound on the segmented arrays, so there is
+/// no per-shard capacity left to size for the worst-case key skew.
 svc::C2StoreConfig clamp_store(const WorkloadConfig& cfg) {
   svc::C2StoreConfig s = cfg.store;
   s.max_threads = std::max(s.max_threads, cfg.threads);
   C2SL_CHECK(s.max_threads <= 31, "engine supports at most 31 threads");
   s.max_value = std::min<int64_t>(s.max_value, 63 / s.max_threads);
   s.tas_max_resets = std::min<int64_t>(s.tas_max_resets, 63 / s.max_threads - 1);
-  uint64_t worst = static_cast<uint64_t>(cfg.threads) * cfg.ops_per_thread + 1;
-  s.counter_capacity = std::max<size_t>(s.counter_capacity, worst);
-  s.set_capacity = std::max<size_t>(s.set_capacity, worst);
-  // Every worker closes one session; releases past capacity are swallowed by
-  // the session destructor (silent lane drop), so the clamp must cover them
-  // for the run's accounting to stay honest.
-  s.lane_recycle_capacity =
-      std::max<size_t>(s.lane_recycle_capacity, static_cast<size_t>(cfg.threads) + 1);
   return s;
 }
 

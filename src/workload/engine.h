@@ -45,7 +45,9 @@ struct WorkloadConfig {
   /// ~20 bytes per op in per_op mode — the case bind-time caching removes).
   std::string keys = "int";
   /// Shard layout etc. The engine clamps max_threads / max_value /
-  /// tas_max_resets / capacities so any (threads, ops_per_thread) fits.
+  /// tas_max_resets (the 63-bit lane-packing budgets) so any
+  /// (threads, ops_per_thread) fits; nothing else needs sizing — the store's
+  /// arrays are unbounded.
   svc::C2StoreConfig store;
 };
 

@@ -26,8 +26,6 @@ svc::C2StoreConfig stress_config(int threads) {
   cfg.max_threads = threads;
   cfg.max_value = 63 / threads;
   cfg.tas_max_resets = 63 / threads - 1;
-  cfg.counter_capacity = 1 << 14;
-  cfg.set_capacity = 1 << 14;
   return cfg;
 }
 
@@ -204,9 +202,7 @@ TEST(C2StoreStress, TasSingleWinnerPerKey) {
 TEST(C2StoreStress, SessionChurnKeepsLanesExclusive) {
   const int threads = 4;
   const int per_thread = 200;
-  svc::C2StoreConfig cfg = stress_config(threads);
-  cfg.lane_recycle_capacity = 1 << 14;
-  svc::C2Store store(cfg);
+  svc::C2Store store(stress_config(threads));
   std::vector<svc::C2Session> sessions(static_cast<size_t>(threads));
   std::vector<std::vector<int64_t>> got(static_cast<size_t>(threads));
   rt::run_stress(threads, per_thread, [&](int t, int j) {
@@ -234,7 +230,7 @@ TEST(NativeSetStress, InterleavedPutTakeNoDuplicates) {
   const int threads = 4;
   const int per_thread = 300;
   for (int round = 0; round < 4; ++round) {
-    rt::NativeSet set(static_cast<size_t>(threads * per_thread) + 1);
+    rt::NativeSet set;
     std::vector<std::vector<int64_t>> put(static_cast<size_t>(threads));
     std::vector<std::vector<int64_t>> taken(static_cast<size_t>(threads));
     rt::run_stress(threads, per_thread, [&](int t, int j) {
@@ -266,10 +262,73 @@ TEST(NativeSetStress, InterleavedPutTakeNoDuplicates) {
   }
 }
 
+// Put/take churn that repeatedly crosses segment doublings (64, 192, 448,
+// 960 cells) while the verified-taken-prefix hint is being published and
+// consumed concurrently: conservation must hold through every growth step.
+TEST(NativeSetStress, PutTakeAcrossSegmentGrowth) {
+  const int threads = 4;
+  const int per_thread = 400;  // ~1070 puts: four segment doublings
+  rt::NativeSet set;
+  std::vector<std::vector<int64_t>> put(static_cast<size_t>(threads));
+  std::vector<std::vector<int64_t>> taken(static_cast<size_t>(threads));
+  rt::run_stress(threads, per_thread, [&](int t, int j) {
+    rt::TimedOp op;
+    if (j % 3 != 2) {
+      int64_t item = t * 1000000 + j;
+      set.put(item);
+      put[static_cast<size_t>(t)].push_back(item);
+    } else {
+      int64_t got = set.take();
+      if (got != rt::NativeSet::kEmpty) taken[static_cast<size_t>(t)].push_back(got);
+    }
+    return op;
+  });
+  std::set<int64_t> all_put, all_taken;
+  for (const auto& v : put) all_put.insert(v.begin(), v.end());
+  for (const auto& v : taken) {
+    for (int64_t x : v) {
+      ASSERT_TRUE(all_taken.insert(x).second) << "taken twice: " << x;
+      ASSERT_TRUE(all_put.count(x));
+    }
+  }
+  for (;;) {
+    int64_t got = set.take();
+    if (got == rt::NativeSet::kEmpty) break;
+    ASSERT_TRUE(all_taken.insert(got).second);
+  }
+  EXPECT_EQ(all_taken, all_put) << "growth must conserve items";
+}
+
+// Unbounded lane recycling under real threads: closes far beyond the retired
+// lifetime capacity, with lanes staying exclusive throughout (TSAN watches
+// the hint publication races).
+TEST(C2StoreStress, SessionChurnBeyondRetiredRecycleCapacity) {
+  const int threads = 4;
+  const int per_thread = 9000;  // 36000 closes > 2x the retired 1<<14 default
+  svc::C2Store store(stress_config(threads));
+  std::atomic<bool> ok{true};
+  std::vector<std::atomic<int>> owner_flag(
+      static_cast<size_t>(store.config().max_threads));
+  for (auto& f : owner_flag) f.store(0);
+  rt::run_stress(threads, per_thread, [&](int, int) {
+    rt::TimedOp op;
+    svc::C2Session s = store.open_session();  // threads <= max_threads: no kNone
+    int lane = s.lane();
+    if (owner_flag[static_cast<size_t>(lane)].exchange(1) != 0) {
+      ok.store(false);  // two live sessions shared a lane
+    }
+    owner_flag[static_cast<size_t>(lane)].store(0);
+    return op;  // RAII close: one recycle-set put per op
+  });
+  EXPECT_TRUE(ok.load()) << "a lane was held by two sessions at once";
+  EXPECT_LE(store.lane_tickets_issued(), threads * 2)
+      << "late-lifetime churn must be recycle-driven";
+}
+
 TEST(NativeFetchIncrementStress, DenseUnderMaximumContention) {
   const int threads = 4;
   const int per_thread = 400;
-  rt::NativeFetchIncrement fai(static_cast<size_t>(threads * per_thread) + 1);
+  rt::NativeFetchIncrement fai;
   std::vector<std::vector<int64_t>> got(static_cast<size_t>(threads));
   rt::run_stress(threads, per_thread, [&](int t, int) {
     rt::TimedOp op;
@@ -291,7 +350,7 @@ TEST(NativeFetchIncrementStress, DenseUnderMaximumContention) {
 TEST(NativeFetchIncrementStress, ReadsMonotoneAndBounded) {
   const int threads = 4;
   const int per_thread = 200;
-  rt::NativeFetchIncrement fai(static_cast<size_t>(threads * per_thread) + 1);
+  rt::NativeFetchIncrement fai;
   std::atomic<bool> ok{true};
   std::vector<int64_t> last(static_cast<size_t>(threads), 0);
   rt::run_stress(threads, per_thread, [&](int t, int j) {

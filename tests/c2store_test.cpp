@@ -68,8 +68,6 @@ svc::C2StoreConfig small_config() {
   cfg.max_threads = 4;
   cfg.max_value = 10;  // 4 * 10 <= 63
   cfg.tas_max_resets = 6;
-  cfg.counter_capacity = 1 << 10;
-  cfg.set_capacity = 1 << 10;
   return cfg;
 }
 
@@ -84,8 +82,6 @@ TEST(C2Store, InvalidConfigsRejectedUpFront) {
   bad([](svc::C2StoreConfig& c) { c.tas_max_resets = -1; });
   bad([](svc::C2StoreConfig& c) { c.max_value = 0; });
   bad([](svc::C2StoreConfig& c) { c.max_threads = 0; });
-  bad([](svc::C2StoreConfig& c) { c.counter_capacity = 0; });
-  bad([](svc::C2StoreConfig& c) { c.lane_recycle_capacity = 0; });
   bad([](svc::C2StoreConfig& c) { c.shards = 12; });  // not a power of two
   bad([](svc::C2StoreConfig& c) {
     c.max_threads = 8;

@@ -29,7 +29,7 @@ namespace {
 // --- 1. native unit ---------------------------------------------------------
 
 TEST(LaneRegistry, FreshTicketsAreDense) {
-  svc::LaneRegistry reg(4, /*recycle_capacity=*/16);
+  svc::LaneRegistry reg(4);
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(reg.try_acquire(), i) << "fresh lanes come from the F&I dispenser in order";
   }
@@ -38,7 +38,7 @@ TEST(LaneRegistry, FreshTicketsAreDense) {
 }
 
 TEST(LaneRegistry, ReleasedLanesAreRecycledNotReTicketed) {
-  svc::LaneRegistry reg(2, 16);
+  svc::LaneRegistry reg(2);
   int a = reg.try_acquire();
   int b = reg.try_acquire();
   EXPECT_EQ(reg.try_acquire(), svc::LaneRegistry::kNone);
@@ -52,13 +52,13 @@ TEST(LaneRegistry, ReleasedLanesAreRecycledNotReTicketed) {
 }
 
 TEST(LaneRegistry, ReleaseValidatesTheLane) {
-  svc::LaneRegistry reg(2, 16);
+  svc::LaneRegistry reg(2);
   EXPECT_THROW(reg.release(-1), PreconditionError);
   EXPECT_THROW(reg.release(2), PreconditionError);
 }
 
 TEST(LaneRegistry, ExhaustedRegistryDoesNotBurnTickets) {
-  svc::LaneRegistry reg(1, 16);
+  svc::LaneRegistry reg(1);
   EXPECT_EQ(reg.try_acquire(), 0);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(reg.try_acquire(), svc::LaneRegistry::kNone);
   EXPECT_EQ(reg.tickets_issued(), 1) << "failed acquires must not drift the dispenser";
@@ -75,7 +75,7 @@ TEST(LaneRegistryStress, LanesStayExclusiveUnderChurn) {
   const int threads = 4;
   const int per_thread = 2000;
   const int max_lanes = 3;  // fewer lanes than threads: contention + kNone paths
-  svc::LaneRegistry reg(max_lanes, static_cast<size_t>(threads * per_thread) + 1);
+  svc::LaneRegistry reg(max_lanes);
   std::vector<std::atomic<int>> owner_flag(static_cast<size_t>(max_lanes));
   for (auto& f : owner_flag) f.store(0);
   std::atomic<int> acquired{0};

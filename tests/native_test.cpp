@@ -160,7 +160,7 @@ TEST(NativeReadableTAS, ExactlyOneWinnerHighVolume) {
 TEST(NativeFetchIncrement, DistinctDenseValuesHighVolume) {
   const int threads = 4;
   const int per_thread = 500;
-  rt::NativeFetchIncrement fai(threads * per_thread + 1);
+  rt::NativeFetchIncrement fai;  // unbounded: crosses several segment doublings
   std::vector<std::vector<int64_t>> got(static_cast<size_t>(threads));
   rt::run_stress(threads, per_thread, [&](int t, int) {
     rt::TimedOp op;
@@ -182,7 +182,7 @@ TEST(NativeFetchIncrement, DistinctDenseValuesHighVolume) {
 
 TEST(NativeFetchIncrement, StressHistoriesLinearizable) {
   for (int round = 0; round < 8; ++round) {
-    rt::NativeFetchIncrement fai(64);
+    rt::NativeFetchIncrement fai;
     auto history = rt::run_stress(3, 5, [&](int t, int j) {
       rt::TimedOp op;
       if ((t + j) % 3 == 0) {
@@ -216,7 +216,7 @@ TEST(NativeMultishotTAS, GenerationsBehave) {
 TEST(NativeSet, NoItemTakenTwiceHighVolume) {
   const int threads = 4;
   const int per_thread = 200;
-  rt::NativeSet set(static_cast<size_t>(threads * per_thread) + 1);
+  rt::NativeSet set;
   std::vector<std::vector<int64_t>> taken(static_cast<size_t>(threads));
   rt::run_stress(threads, per_thread, [&](int t, int j) {
     rt::TimedOp op;

@@ -287,6 +287,129 @@ TEST(C2StoreSim, DoubleCollectCounterNotStronglyLinearizable) {
   EXPECT_FALSE(res.strongly_linearizable);
 }
 
+// --- 3b. segment publication (the unbounded-array growth protocol) ----------
+//
+// The native runtime's SegmentedArray grows by publishing doubling segments:
+// a per-segment claim test&set elects one initialiser, which INITIALISES every
+// cell and THEN publishes through a register write; accessors gate on the
+// publication and treat an unpublished segment as all-initial. The sim twin
+// (svc::SimSegmentedTasArray) replays that protocol at base-object step
+// granularity with uninitialised cells modelled as garbage. Verified here:
+//
+//   (i)  the publication-order protocol is strongly linearizable, per cell
+//        facet, including the interleavings where the claim race and the cell
+//        operations overlap — and across distinct segments;
+//   (ii) the deliberately-broken variant (publish BEFORE init — the tempting
+//        "make the segment visible early" reorder) is REFUTED: a reader
+//        passes the gate early, observes garbage, and the late initialisation
+//        erases observed state. PINNED so the reorder fails loudly here
+//        instead of only contradicting runtime/segmented_array.h's comment.
+
+TEST(C2StoreSim, SegmentPublicationStronglyLinearizable) {
+  // Two processes race TAS on index 1 — the first cell of a 2-cell segment —
+  // so the claim race, both init writes, the publish and both cell exchanges
+  // all interleave. Each cell facet must admit a prefix-closed linearization.
+  std::shared_ptr<svc::SimSegmentedTasArray> arr;
+  auto scenario = [&arr](sim::SimRun& run) {
+    arr = std::make_shared<svc::SimSegmentedTasArray>(run.world, "seg");
+    run.sched.spawn(0, [arr](sim::Ctx& ctx) { arr->test_and_set(ctx, 1); });
+    run.sched.spawn(1, [arr](sim::Ctx& ctx) { arr->test_and_set(ctx, 1); });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 24;  // bounds the publication-loser's spin branches
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::TasSpec spec;
+  auto res = check_tree(tree, spec, arr->cell_object(1));
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+TEST(C2StoreSim, SegmentPublicationReadersNeverSeeGarbage) {
+  // A reader races the whole publication: before the publish it must report 0
+  // from the gate alone (never touching an uninitialised cell), after it the
+  // initialised cell. The second read pins monotonicity across the window
+  // where the broken variant would leak garbage.
+  std::shared_ptr<svc::SimSegmentedTasArray> arr;
+  auto scenario = [&arr](sim::SimRun& run) {
+    arr = std::make_shared<svc::SimSegmentedTasArray>(run.world, "seg");
+    run.sched.spawn(0, [arr](sim::Ctx& ctx) { arr->test_and_set(ctx, 1); });
+    run.sched.spawn(1, [arr](sim::Ctx& ctx) {
+      arr->read(ctx, 1);
+      arr->read(ctx, 1);
+    });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 24;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::TasSpec spec;
+  auto res = check_tree(tree, spec, arr->cell_object(1));
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+TEST(C2StoreSim, SegmentPublicationAcrossSegmentsIndependent) {
+  // Ops on indices 0 and 1 live in DIFFERENT segments (base-1 doubling):
+  // two unrelated publications in flight at once. Strong linearizability is
+  // local — each cell facet verifies on the shared tree.
+  std::shared_ptr<svc::SimSegmentedTasArray> arr;
+  auto scenario = [&arr](sim::SimRun& run) {
+    arr = std::make_shared<svc::SimSegmentedTasArray>(run.world, "seg");
+    run.sched.spawn(0, [arr](sim::Ctx& ctx) {
+      arr->test_and_set(ctx, 0);
+      arr->read(ctx, 1);
+    });
+    run.sched.spawn(1, [arr](sim::Ctx& ctx) { arr->test_and_set(ctx, 1); });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 24;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::TasSpec spec;
+  for (size_t idx : {size_t{0}, size_t{1}}) {
+    auto res = check_tree(tree, spec, arr->cell_object(idx));
+    ASSERT_TRUE(res.decided);
+    EXPECT_TRUE(res.strongly_linearizable)
+        << "cell facet " << idx << ":\n" << res.report;
+  }
+}
+
+// PINNED: publishing the segment before initialising its cells lets a reader
+// through the gate while the cells still hold garbage. The concrete anomaly
+// in the explored tree: Read -> 1 (garbage) followed by Read -> 0 (the
+// winner's late init write erased the observed state) with no Reset — not
+// even linearizable, so certainly not strongly linearizable. If this starts
+// passing, either the bridge stopped modelling uninitialised cells or the
+// checker broke.
+TEST(C2StoreSim, SegmentPublishBeforeInitRefuted) {
+  std::shared_ptr<svc::SimSegmentedTasArray> arr;
+  auto scenario = [&arr](sim::SimRun& run) {
+    arr = std::make_shared<svc::SimSegmentedTasArray>(run.world, "seg",
+                                                      /*publish_before_init=*/true);
+    run.sched.spawn(0, [arr](sim::Ctx& ctx) { arr->test_and_set(ctx, 1); });
+    run.sched.spawn(1, [arr](sim::Ctx& ctx) {
+      arr->read(ctx, 1);
+      arr->read(ctx, 1);
+    });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 24;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::TasSpec spec;
+  auto res = check_tree(tree, spec, arr->cell_object(1));
+  ASSERT_TRUE(res.decided);
+  EXPECT_FALSE(res.strongly_linearizable)
+      << "publish-before-init must NOT verify — this refutation is why "
+         "SegmentedArray::materialize initialises cells before the pointer "
+         "store";
+}
+
 // --- 4. the naive one-pass scan is not even linearizable --------------------
 
 TEST(C2StoreSim, NaiveOnePassScanNotEvenStronglyLinearizable) {

@@ -14,6 +14,12 @@ printed). On oversubscribed machines p99 of high-contention entries measures
 preemption quanta, not code — gate on throughput_ops_per_s,latency_ns.p50
 there.
 
+A NEGATIVE --threshold flips the gate into an IMPROVEMENT requirement: with
+--threshold=-0.5, current must beat baseline by at least 50% on every gated
+metric or the diff fails. CI uses this for the flat-vs-segmented F&I read-path
+ablation (bench_tas_family --impl=...): the O(value) -> O(log value) claim is
+enforced as "segmented at least 1.5x flat", per run, on the same host.
+
 Exit status: 0 when no matched metric regresses beyond the threshold, 1
 otherwise (2 on malformed input). Entries present in only one artifact are
 reported but do not fail the comparison (thread sweeps legitimately differ

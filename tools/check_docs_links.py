@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fail if docs/ (or README.md) reference files or links that do not exist.
+
+    tools/check_docs_links.py [--root REPO_ROOT]
+
+Two classes of references are checked in every markdown file under docs/ plus
+README.md:
+
+  * relative markdown links: [text](path) and [text](path#anchor) — the path,
+    resolved against the containing file's directory, must exist (http(s):,
+    mailto: and pure-anchor links are skipped);
+  * backticked repo paths: `src/...`, `tests/...`, `bench/...`, `tools/...`,
+    `examples/...`, `docs/...`, `.github/...` — the named file or directory
+    must exist (a trailing ":<line>" or "#anchor" is stripped; a `.{h,cpp}`
+    brace-pair like `service/lane_registry.{h,cpp}` expands to both files).
+
+Prose that names a code path which has since moved is exactly how docs rot;
+this runs in CI so a rename that orphans documentation fails the build
+instead of silently shipping stale docs. No dependencies beyond the standard
+library; exit 0 = clean, 1 = stale references (each printed), 2 = bad usage.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+REPO_PATH = re.compile(
+    r"^(?:src|tests|bench|tools|examples|docs|\.github)/[A-Za-z0-9_./{},-]+$")
+
+
+def expand_braces(token):
+    """service/x.{h,cpp} -> [service/x.h, service/x.cpp]; no braces -> [token]."""
+    m = re.match(r"^(.*)\{([^}]*)\}(.*)$", token)
+    if not m:
+        return [token]
+    return [m.group(1) + alt + m.group(3) for alt in m.group(2).split(",")]
+
+
+def check_file(md_path, root):
+    problems = []
+    text = open(md_path, encoding="utf-8").read()
+    base = os.path.dirname(md_path)
+
+    for target in MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            problems.append(f"{md_path}: broken link -> {target}")
+
+    for token in BACKTICK.findall(text):
+        token = token.strip().split("#", 1)[0]
+        token = re.sub(r":\d+$", "", token)  # `src/foo.h:42` -> `src/foo.h`
+        if not REPO_PATH.match(token):
+            continue
+        for candidate in expand_braces(token):
+            if not os.path.exists(os.path.join(root, candidate)):
+                problems.append(f"{md_path}: stale path reference `{candidate}`")
+
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = ap.parse_args()
+
+    targets = [os.path.join(args.root, "README.md")]
+    docs_dir = os.path.join(args.root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                targets.append(os.path.join(docs_dir, name))
+    targets = [t for t in targets if os.path.exists(t)]
+    if not targets:
+        print("check_docs_links: nothing to check (no README.md or docs/)",
+              file=sys.stderr)
+        return 2
+
+    problems = []
+    for md in targets:
+        problems.extend(check_file(md, args.root))
+
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"check_docs_links: {len(problems)} stale reference(s) in "
+              f"{len(targets)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs_links: ok ({len(targets)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
