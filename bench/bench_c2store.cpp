@@ -1,10 +1,11 @@
 // C2Store service benchmark: thread-scaling sweep (1..hardware_concurrency),
-// shard-count ablation, and the four canonical op mixes, driven through the
+// shard-count ablation, and the five canonical op mixes, driven through the
 // workload engine. Emits one c2sl-bench-v1 suite document (BENCH_c2store.json
 // by default) and a human-readable summary on stdout.
 //
 //   $ ./bench_c2store [--quick] [--out FILE] [--ops N] [--threads-max N]
 //                     [--bind cached|per_op] [--keys int|string] [--key-space N]
+//                     [--sum-impl digest|scan]
 //
 // --quick shrinks op counts for CI smoke runs. --bind selects the ref binding
 // mode for every entry (bench names stay identical across modes), so two runs
@@ -21,6 +22,18 @@
 // --key-space that keeps the per-thread ref tables cache-resident (e.g. 512):
 // at the default 4096, a timesliced many-thread run measures ref-TABLE
 // eviction, not routing cost — real clients bind handles for their hot keys.
+//
+// --sum-impl selects how kCounterSum ops read the aggregate: the wait-free
+// strongly-linearizable digest word (default) or the retired bounded
+// double-collect scan. Bench names stay identical across the modes, so two
+// runs give the scan-vs-digest ablation CI gates on the sum_heavy mix with a
+// NEGATIVE bench_diff threshold (digest must beat the scan):
+//
+//   $ ./bench_c2store --sum-impl scan   --out BENCH_sum_scan.json
+//   $ ./bench_c2store --sum-impl digest --out BENCH_sum_digest.json
+//   $ tools/bench_diff.py BENCH_sum_scan.json BENCH_sum_digest.json
+//         --bench-filter '^mix/sum_heavy$' --threshold=-0.10
+//         --metrics throughput_ops_per_s     (one shell line)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +57,7 @@ struct Args {
   int threads_max = 0;        // 0 == hardware_concurrency
   std::string bind = "cached";
   std::string keys = "int";
+  std::string sum_impl = "digest";
   uint64_t key_space = 4096;
 };
 
@@ -64,12 +78,15 @@ Args parse(int argc, char** argv) {
       a.bind = argv[++i];
     } else if (arg == "--keys" && i + 1 < argc) {
       a.keys = argv[++i];
+    } else if (arg == "--sum-impl" && i + 1 < argc) {
+      a.sum_impl = argv[++i];
     } else if (arg == "--key-space" && i + 1 < argc) {
       a.key_space = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]"
-                   " [--bind cached|per_op] [--keys int|string] [--key-space N]\n",
+                   " [--bind cached|per_op] [--keys int|string] [--key-space N]"
+                   " [--sum-impl digest|scan]\n",
                    argv[0]);
       std::exit(1);
     }
@@ -104,6 +121,7 @@ int main(int argc, char** argv) {
   w.field("hardware_concurrency", hw);
   w.field("bind", args.bind);
   w.field("keys", args.keys);
+  w.field("sum_impl", args.sum_impl);
   w.field("key_space", args.key_space);
   w.end_object();
   w.key("results").begin_array();
@@ -118,6 +136,7 @@ int main(int argc, char** argv) {
     cfg.mix = wl::OpMix::mixed();
     cfg.bind = args.bind;
     cfg.keys = args.keys;
+    cfg.sum_impl = args.sum_impl;
     cfg.store.shards = 16;
     run_one(w, "sweep/threads=" + std::to_string(t), cfg);
   }
@@ -132,12 +151,14 @@ int main(int argc, char** argv) {
     cfg.mix = wl::OpMix::mixed();
     cfg.bind = args.bind;
     cfg.keys = args.keys;
+    cfg.sum_impl = args.sum_impl;
     cfg.store.shards = shards;
     run_one(w, "ablation/shards=" + std::to_string(shards), cfg);
   }
 
   // --- op-mix and key-distribution scenarios ---
-  for (const char* mix : {"read_heavy", "write_heavy", "mixed", "aggregate_scan"}) {
+  for (const char* mix :
+       {"read_heavy", "write_heavy", "mixed", "aggregate_scan", "sum_heavy"}) {
     wl::WorkloadConfig cfg;
     cfg.threads = max_threads;
     cfg.ops_per_thread = args.ops;
@@ -146,6 +167,7 @@ int main(int argc, char** argv) {
     cfg.mix = wl::OpMix::by_name(mix);
     cfg.bind = args.bind;
     cfg.keys = args.keys;
+    cfg.sum_impl = args.sum_impl;
     cfg.store.shards = 16;
     run_one(w, std::string("mix/") + mix, cfg);
   }
@@ -158,6 +180,7 @@ int main(int argc, char** argv) {
     cfg.mix = wl::OpMix::mixed();
     cfg.bind = args.bind;
     cfg.keys = args.keys;
+    cfg.sum_impl = args.sum_impl;
     cfg.store.shards = 16;
     run_one(w, std::string("dist/") + dist, cfg);
   }

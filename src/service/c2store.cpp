@@ -80,37 +80,60 @@ ShardObjects& C2Store::shard(int s) {
 // `empty`; a shard can only transition uninitialised → initialised, and the
 // per-shard values only grow, so two identical consecutive collects certify a
 // single logical instant at which all collected values were simultaneously
-// current (the read linearizes there).
+// current (the read linearizes there). Returns true when a stable pair was
+// found within `max_rounds` collects; `out` then holds the certified view.
+// An unbounded loop here can livelock under sustained writes (one landing
+// write per round is enough to invalidate every collect forever) — callers
+// fall back to their digest read when stabilisation fails, which keeps the
+// scan aggregates bounded AND linearizable (the digest step sits inside the
+// scan's interval).
 namespace {
 template <typename ReadShard>
-std::vector<int64_t> stable_collect(int shards, int64_t empty, const ReadShard& read) {
+bool stable_collect(int shards, int64_t empty, const ReadShard& read,
+                    int max_rounds, std::vector<int64_t>& out) {
   // Two buffers, swapped between rounds: no allocations after the first
   // round even when write contention forces many rescans.
   std::vector<int64_t> prev(static_cast<size_t>(shards), empty - 1);
   std::vector<int64_t> curr(static_cast<size_t>(shards));
-  for (;;) {
+  for (int round = 0; round < max_rounds; ++round) {
     for (int s = 0; s < shards; ++s) curr[static_cast<size_t>(s)] = read(s);
-    if (curr == prev) return curr;
+    if (curr == prev) {
+      out = std::move(curr);
+      return true;
+    }
     std::swap(prev, curr);
   }
+  return false;
 }
 }  // namespace
 
 int64_t C2Store::global_max() { return digest_.read_max(); }
 
+int64_t C2Store::counter_sum() { return sum_digest_.read(); }
+
 int64_t C2Store::global_max_scan() {
-  auto view = stable_collect(router_.shard_count(), 0, [this](int s) {
-    ShardObjects* p = peek(s);
-    return p ? p->max.read_max() : 0;
-  });
+  std::vector<int64_t> view;
+  bool stable = stable_collect(
+      router_.shard_count(), 0,
+      [this](int s) {
+        ShardObjects* p = peek(s);
+        return p ? p->max.read_max() : 0;
+      },
+      kScanRetryRounds, view);
+  if (!stable) return global_max();  // documented fallback: the digest read
   return *std::max_element(view.begin(), view.end());
 }
 
-int64_t C2Store::counter_sum() {
-  auto view = stable_collect(router_.shard_count(), 0, [this](int s) {
-    ShardObjects* p = peek(s);
-    return p ? p->counter.read() : 0;
-  });
+int64_t C2Store::counter_sum_scan() {
+  std::vector<int64_t> view;
+  bool stable = stable_collect(
+      router_.shard_count(), 0,
+      [this](int s) {
+        ShardObjects* p = peek(s);
+        return p ? p->counter.read() : 0;
+      },
+      kScanRetryRounds, view);
+  if (!stable) return counter_sum();  // documented fallback: the digest read
   int64_t sum = 0;
   for (int64_t v : view) sum += v;
   return sum;

@@ -55,22 +55,27 @@
 // strongly linearizable (tests/lane_registry_test.cpp, checker-verified).
 //
 // Aggregates come in two provably different flavours:
-//   * global_max() reads a store-level DIGEST — one extra NativeMaxRegister64
-//     that every MaxRef::write also updates — so the global read is a single
-//     fetch&add(0): wait-free and strongly linearizable, exactly the paper's
-//     "pack it into one FAA word" move (§3.1/§3.2).
-//   * global_max_scan() / counter_sum() scan the per-shard read paths with a
-//     double-collect stabilisation loop (repeat until two consecutive collects
-//     of the monotone per-shard values coincide). A naive one-pass scan is not
-//     even linearizable — a reader can miss an earlier, larger write on a
-//     shard it already passed while observing a later, smaller write on a
-//     shard still ahead of it. The double-collect IS linearizable, but it is
-//     NOT strongly linearizable: the read's linearization point (the stable
-//     pair) is determined by future schedule steps, so it is not
+//   * global_max() and counter_sum() read store-level DIGESTS that every
+//     write also updates — global_max an extra NativeMaxRegister64 (every
+//     MaxRef::write lands there too), counter_sum a CounterSumDigest (every
+//     CounterRef::inc also fetch_adds the digest word) — so each global read
+//     is a single fetch&add(0): wait-free and strongly linearizable, exactly
+//     the paper's "pack it into one FAA word" move (§3.1/§3.2).
+//   * global_max_scan() / counter_sum_scan() scan the per-shard read paths
+//     with a double-collect stabilisation loop (repeat until two consecutive
+//     collects of the monotone per-shard values coincide). A naive one-pass
+//     scan is not even linearizable — a reader can miss an earlier, larger
+//     write on a shard it already passed while observing a later, smaller
+//     write on a shard still ahead of it. The double-collect IS linearizable,
+//     but it is NOT strongly linearizable: the read's linearization point
+//     (the stable pair) is determined by future schedule steps, so it is not
 //     prefix-closed. The bounded model checker refutes it mechanically
 //     (tests/service_sim_test.cpp pins both refutations), which is precisely
-//     why the digest exists. Scans are lock-free, the same trade Algorithm 2's
-//     Take makes with its taken_old/max_old stabilisation check.
+//     why the digests exist. The scans are kept (and benchmarked, see
+//     bench_c2store --sum-impl) as the ablation baseline; they retry at most
+//     kScanRetryRounds collects and then fall back to the corresponding
+//     digest read — still linearizable (the digest step is inside the scan's
+//     interval), and bounded instead of livelocking under sustained writes.
 #pragma once
 
 #include <atomic>
@@ -78,6 +83,7 @@
 #include <memory>
 #include <string_view>
 
+#include "runtime/counter_sum_digest.h"
 #include "runtime/native_tas_family.h"
 #include "service/lane_registry.h"
 #include "service/shard_router.h"
@@ -277,6 +283,7 @@ class C2Session {
   inline int64_t global_max();
   inline int64_t global_max_scan();
   inline int64_t counter_sum();
+  inline int64_t counter_sum_scan();
 
  private:
   friend class C2Store;
@@ -303,6 +310,13 @@ class C2Store {
   C2Session try_open_session();
 
   // --- aggregates ---
+  /// Bound on double-collect retries in the *_scan aggregates: after this
+  /// many collects without two consecutive ones coinciding, the scan falls
+  /// back to the corresponding digest read (documented fallback — the scan
+  /// stays linearizable and becomes bounded instead of livelocking under
+  /// sustained writes; see tests/c2store_stress_test.cpp).
+  static constexpr int kScanRetryRounds = 64;
+
   /// Digest read: one fetch&add(0); wait-free, strongly linearizable as its
   /// own facet. Cross-facet caveat: MaxRef::write updates the shard register
   /// BEFORE the digest, so a client that reads a value via MaxRef::read can
@@ -311,10 +325,19 @@ class C2Store {
   /// write order (shard first, digest never ahead of any shard) is pinned by
   /// tests/service_sim_test.cpp — reordering it fails loudly there.
   int64_t global_max();
-  /// Double-collect scans over per-shard read paths: linearizable, lock-free,
-  /// NOT strongly linearizable (pinned refutation in tests/service_sim_test).
-  int64_t global_max_scan();
+  /// Sum digest read: one fetch&add(0) on the CounterSumDigest word —
+  /// wait-free, strongly linearizable as its own facet (checker-verified via
+  /// the sim twin). Same cross-facet contract as global_max(): CounterRef::inc
+  /// updates the shard counter BEFORE the digest, so the digest never leads
+  /// any keyed counter read, and may briefly lag one (both directions pinned
+  /// by tests/service_sim_test.cpp).
   int64_t counter_sum();
+  /// Double-collect scans over per-shard read paths: linearizable, NOT
+  /// strongly linearizable (pinned refutations in tests/service_sim_test).
+  /// Retained as the measured ablation baseline (bench_c2store --sum-impl);
+  /// bounded by kScanRetryRounds with a digest fallback.
+  int64_t global_max_scan();
+  int64_t counter_sum_scan();
 
   // --- introspection ---
   int shard_count() const { return router_.shard_count(); }
@@ -324,11 +347,17 @@ class C2Store {
   int shard_of(std::string_view key) const { return router_.shard_of(key); }
   /// Fresh lane tickets issued so far (diagnostics).
   int64_t lane_tickets_issued() const { return lanes_.tickets_issued(); }
+  /// Counter adds contributed through `lane` (diagnostics; the sum digest's
+  /// per-lane component — never on the counter_sum() read path).
+  int64_t lane_counter_adds(int lane) const {
+    return sum_digest_.lane_contribution(lane);
+  }
 
  private:
   friend class C2Session;
   friend class detail::ShardRef;
   friend class MaxRef;
+  friend class CounterRef;
 
   struct alignas(128) ShardSlot {
     rt::NativeReadableTAS claim;           // Thm 5 readable test&set: init winner
@@ -355,6 +384,11 @@ class C2Store {
   /// Store-level max digest; MaxRef::write updates it after the shard write so
   /// global_max() is a single-word read.
   rt::NativeMaxRegister64 digest_;
+  /// Store-level sum digest; CounterRef::inc updates it after the shard
+  /// counter win so counter_sum() is a single-word read. No configuration:
+  /// the total is 63-bit bounded and the per-lane cells ride on a segmented
+  /// spine (runtime/counter_sum_digest.h).
+  rt::CounterSumDigest sum_digest_;
 };
 
 // --- inline hot paths -------------------------------------------------------
@@ -381,7 +415,14 @@ inline int64_t MaxRef::read() {
   return p ? p->max.read_max() : 0;
 }
 
-inline int64_t CounterRef::inc() { return ensure().counter.fetch_and_increment(); }
+inline int64_t CounterRef::inc() {
+  // Shard counter FIRST, sum digest second: the digest must never run ahead
+  // of any keyed counter read (pinned cross-facet invariant, mirroring
+  // MaxRef::write; see C2Store::counter_sum()).
+  int64_t prev = ensure().counter.fetch_and_increment();
+  store_->sum_digest_.add(lane_);
+  return prev;
+}
 inline int64_t CounterRef::read() {
   ShardObjects* p = resolved();
   return p ? p->counter.read() : 0;
@@ -457,6 +498,10 @@ inline int64_t C2Session::global_max_scan() {
 inline int64_t C2Session::counter_sum() {
   C2SL_CHECK(valid(), "session is closed");
   return store_->counter_sum();
+}
+inline int64_t C2Session::counter_sum_scan() {
+  C2SL_CHECK(valid(), "session is closed");
+  return store_->counter_sum_scan();
 }
 
 }  // namespace c2sl::svc

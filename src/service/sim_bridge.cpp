@@ -99,6 +99,55 @@ Val SimGlobalMax::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
   return unit();
 }
 
+// --- SimCounterSumDigest (the counter_sum digest design) --------------------
+
+SimCounterSumDigest::SimCounterSumDigest(sim::World& world, std::string name,
+                                         int shards)
+    : name_(std::move(name)), shards_(shards) {
+  C2SL_CHECK(shards > 0 && (shards & (shards - 1)) == 0,
+             "shard count must be a power of two");
+  for (int s = 0; s < shards; ++s) {
+    ts_.push_back(std::make_unique<core::AtomicReadableTasArray>(
+        world, name_ + ".M" + std::to_string(s)));
+    ctrs_.push_back(std::make_unique<core::FetchIncrement>(
+        name_ + ".ctr" + std::to_string(s), *ts_.back()));
+  }
+  digest_ = world.add<prim::FetchAddInt>(name_ + ".digest");
+}
+
+void SimCounterSumDigest::inc(sim::Ctx& ctx) {
+  // Shard counter FIRST, digest second — the same cross-facet order as
+  // SimGlobalMax::write_max and the native CounterRef::inc (pinned by
+  // tests/service_sim_test.cpp). The digest fetch&add is the linearization
+  // point of the Inc on the digest facet.
+  int s = static_cast<int>(static_cast<uint64_t>(ctx.self) &
+                           static_cast<uint64_t>(shards_ - 1));
+  ctrs_[static_cast<size_t>(s)]->fetch_and_increment(ctx);
+  ctx.world->get(digest_).fetch_add(ctx, 1);
+}
+
+int64_t SimCounterSumDigest::read(sim::Ctx& ctx) {
+  return ctx.world->get(digest_).read(ctx);  // one FAA(0) step
+}
+
+int64_t SimCounterSumDigest::read_shard(sim::Ctx& ctx, int s) {
+  C2SL_CHECK(s >= 0 && s < shards_, "shard index out of range");
+  return ctrs_[static_cast<size_t>(s)]->read(ctx);
+}
+
+Val SimCounterSumDigest::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Inc") {
+    this->inc(ctx);
+    return unit();
+  }
+  if (inv.name == "Read") return num(read(ctx));
+  if (inv.name == "ReadShard") {
+    return num(read_shard(ctx, static_cast<int>(as_num(inv.args))));
+  }
+  C2SL_CHECK(false, "unknown operation on counter sum digest: " + inv.name);
+  return unit();
+}
+
 // --- SimLaneRegistry --------------------------------------------------------
 
 SimLaneRegistry::SimLaneRegistry(sim::World& world, std::string name, int max_lanes)

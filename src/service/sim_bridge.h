@@ -17,6 +17,17 @@
 //     GlobalMax reads only the digest (one FAA(0) step). Strongly linearizable
 //     — the write's linearization point is its own digest step.
 //
+//   * SimCounterSumDigest — the digest design behind C2Store::counter_sum()
+//     (runtime/counter_sum_digest.h): Inc lands in a per-shard Thm 9 counter
+//     AND fetch&adds one digest FAA register (shard first — the digest never
+//     leads the keyed read paths, same pinned cross-facet order as the max
+//     digest); Read is a single FAA(0) on the digest. Strongly linearizable —
+//     every Inc linearizes at its own digest FAA step, every Read at its
+//     FAA(0), fixed own-steps. This is the sum the double-collect scan CANNOT
+//     provide (refutation below), the §3.2 pack-into-one-FAA-word move in its
+//     degenerate sum form (addition is its own combiner, so the per-process
+//     components share the accumulator).
+//
 //   * SimShardedMaxRegister / SimShardedCounter — the aggregate-SCAN
 //     experiments. Reads collect per-shard values: with `double_collect` the
 //     read repeats until two consecutive collects of the monotone values
@@ -60,6 +71,7 @@
 #include "core/object_api.h"
 #include "core/readable_tas.h"
 #include "core/sl_set.h"
+#include "primitives/faa.h"
 #include "service/shard_router.h"
 
 namespace c2sl::svc {
@@ -107,6 +119,34 @@ class SimGlobalMax : public core::ConcurrentObject {
   int shards_;
   std::vector<std::unique_ptr<core::MaxRegisterFAA>> regs_;
   std::unique_ptr<core::MaxRegisterFAA> digest_;
+};
+
+/// Sim twin of the counter-sum digest behind C2Store::counter_sum() (see
+/// header comment above). Incs route to per-shard Thm 9 counters by calling
+/// process id (like SimShardedCounter, so the two designs face identical
+/// schedules) and then take one digest FAA step; Read is one digest FAA(0).
+class SimCounterSumDigest : public core::ConcurrentObject {
+ public:
+  SimCounterSumDigest(sim::World& world, std::string name, int shards);
+
+  void inc(sim::Ctx& ctx);      ///< shard counter win, then digest fetch&add
+  int64_t read(sim::Ctx& ctx);  ///< digest FAA(0) only
+  /// Direct read of one shard counter ("ReadShard" under apply). Not part of
+  /// the service surface — exposed so tests/service_sim_test.cpp can pin the
+  /// cross-facet write order (shard first, digest second): the digest must
+  /// never run ahead of the shard counters, and a shard counter may briefly
+  /// run ahead of the digest.
+  int64_t read_shard(sim::Ctx& ctx, int s);
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  int shards_;
+  std::vector<std::unique_ptr<core::AtomicReadableTasArray>> ts_;
+  std::vector<std::unique_ptr<core::FetchIncrement>> ctrs_;
+  sim::Handle<prim::FetchAddInt> digest_;
 };
 
 /// Sim twin of svc::LaneRegistry (see header comment above). Methods record

@@ -21,13 +21,27 @@ ZipfianKeys::ZipfianKeys(uint64_t key_space, double theta, bool scramble)
              "zipfian CDF table capped at 2^24 entries");
   C2SL_CHECK(theta > 0.0, "zipf theta must be positive");
   cdf_.resize(space_);
+  // Kahan-compensated prefix sums: the harmonic terms arrive largest-first,
+  // so by the tail the naive running sum is ~7 orders of magnitude above the
+  // terms being added and plain accumulation rounds most of each tail term
+  // away — at 2^24 keys with theta near 1 the adjacent-CDF differences (the
+  // per-rank masses) degrade to a couple of float ulps. Carrying the
+  // compensation keeps every stored partial exact to ~1 ulp, which makes the
+  // tail masses accurate AND makes the final entry hit 1.0 exactly after
+  // normalisation (cdf_[space-1] == sum by construction) — no back()=1.0
+  // papering required. Mass conservation and tail accuracy are pinned in
+  // tests/workload_test.cpp.
   double sum = 0.0;
+  double comp = 0.0;
   for (uint64_t r = 0; r < space_; ++r) {
-    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    double term = 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    double y = term - comp;
+    double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
     cdf_[r] = sum;
   }
   for (uint64_t r = 0; r < space_; ++r) cdf_[r] /= sum;
-  cdf_.back() = 1.0;
 }
 
 double ZipfianKeys::mass(uint64_t rank) const {

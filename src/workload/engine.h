@@ -44,6 +44,12 @@ struct WorkloadConfig {
   /// as "user:NNNNNNN/profile" once up front and routes the string (FNV over
   /// ~20 bytes per op in per_op mode — the case bind-time caching removes).
   std::string keys = "int";
+  /// counter_sum() implementation for kCounterSum ops: "digest" reads the
+  /// wait-free strongly-linearizable CounterSumDigest word; "scan" runs the
+  /// retired bounded double-collect (linearizable only — the ablation
+  /// baseline bench_c2store emits under --sum-impl, gated by tools/bench_diff
+  /// in CI: digest must win the sum-heavy mix).
+  std::string sum_impl = "digest";
   /// Shard layout etc. The engine clamps max_threads / max_value /
   /// tas_max_resets (the 63-bit lane-packing budgets) so any
   /// (threads, ops_per_thread) fits; nothing else needs sizing — the store's

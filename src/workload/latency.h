@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -32,9 +33,19 @@ inline LatencyStats summarize_latencies(std::vector<int64_t>& samples_ns) {
   s.mean_ns = sum / static_cast<double>(s.count);
   s.min_ns = samples_ns.front();
   s.max_ns = samples_ns.back();
+  // Nearest-rank percentile: the smallest sample whose cumulative share of
+  // the sorted set is >= q, i.e. the ceil(q*count)-th order statistic. This
+  // is the textbook rule with no interpolation surprises: the even-count p50
+  // is the LOWER middle sample, and a tail quantile only coincides with max
+  // when the sample count genuinely cannot resolve it (p99 needs >= 100
+  // samples, p999 >= 1000). The retired q*(count-1)+0.5 rounding drifted a
+  // rank high across the board — upper-middle p50 on even counts, and small
+  // sample sets collapsing p99/p999 onto max one rank early. Pinned on known
+  // vectors in tests/workload_test.cpp.
   auto pct = [&](double q) {
-    size_t idx = static_cast<size_t>(q * static_cast<double>(s.count - 1) + 0.5);
-    return samples_ns[std::min(idx, samples_ns.size() - 1)];
+    size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(s.count)));
+    rank = std::clamp<size_t>(rank, 1, samples_ns.size());
+    return samples_ns[rank - 1];
   };
   s.p50_ns = pct(0.50);
   s.p90_ns = pct(0.90);

@@ -85,6 +85,17 @@ OpMix OpMix::mixed() {
            {OpKind::kTasRead, 0.125}}};
 }
 
+OpMix OpMix::sum_heavy() {
+  // Sustained counter ingest with frequent sum queries: the worst case for
+  // the scan-based counter_sum (every landing inc invalidates a collect) and
+  // the showcase for the digest — CI's scan-vs-digest bench gate runs on
+  // this mix.
+  return {"sum_heavy",
+          {{OpKind::kCounterInc, 0.55},
+           {OpKind::kCounterSum, 0.35},
+           {OpKind::kCounterRead, 0.10}}};
+}
+
 OpMix OpMix::aggregate_scan() {
   return {"aggregate_scan",
           {{OpKind::kGlobalMax, 0.05},
@@ -101,6 +112,7 @@ OpMix OpMix::by_name(const std::string& name) {
   if (name == "write_heavy") return write_heavy();
   if (name == "mixed") return mixed();
   if (name == "aggregate_scan") return aggregate_scan();
+  if (name == "sum_heavy") return sum_heavy();
   C2SL_CHECK(false, "unknown op mix: " + name);
   return mixed();
 }

@@ -2,8 +2,9 @@
 //
 // An OpMix is a named discrete distribution over the C2Store operation kinds.
 // The canonical mixes mirror the usual service workload archetypes:
-// read-heavy (cache-like), write-heavy (ingest-like), mixed, and
-// aggregate-scan (analytics queries riding on an operational store).
+// read-heavy (cache-like), write-heavy (ingest-like), mixed, aggregate-scan
+// (analytics queries riding on an operational store), and sum-heavy (counter
+// ingest + frequent counter_sum — the scan-vs-digest ablation mix).
 #pragma once
 
 #include <cstdint>
@@ -48,7 +49,8 @@ struct OpMix {
   static OpMix write_heavy();
   static OpMix mixed();
   static OpMix aggregate_scan();
-  /// "read_heavy" | "write_heavy" | "mixed" | "aggregate_scan".
+  static OpMix sum_heavy();
+  /// "read_heavy" | "write_heavy" | "mixed" | "aggregate_scan" | "sum_heavy".
   static OpMix by_name(const std::string& name);
 
  private:

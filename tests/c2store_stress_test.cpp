@@ -102,6 +102,83 @@ TEST(C2StoreStress, CounterSumConservation) {
   EXPECT_EQ(store.counter_sum(), threads * per_thread);
 }
 
+// counter_sum() digest reads racing counter_add traffic: per observer thread
+// the sum must be monotone (the digest word only grows) and never exceed the
+// number of incs started; at quiescence digest, scan and per-lane components
+// must all agree. (TSAN watches the digest word and the per-lane cells.)
+TEST(C2StoreStress, CounterSumDigestMonotoneUnderConcurrentAdds) {
+  const int threads = 4;
+  const int per_thread = 300;
+  svc::C2Store store(stress_config(threads));
+  auto sessions = open_sessions(store, threads);
+  std::atomic<bool> ok{true};
+  std::vector<Rng> rngs;
+  for (int t = 0; t < threads; ++t) rngs.emplace_back(4200 + t);
+  std::vector<int64_t> last_seen(static_cast<size_t>(threads), 0);
+  const int64_t inc_threads = threads - 1;  // thread 0 only reads
+  rt::run_stress(threads, per_thread, [&](int t, int) {
+    rt::TimedOp op;
+    if (t == 0) {
+      int64_t sum = store.counter_sum();
+      if (sum < last_seen[0] || sum > inc_threads * per_thread) ok.store(false);
+      last_seen[0] = sum;
+    } else {
+      sessions[static_cast<size_t>(t)].counter_inc(
+          rngs[static_cast<size_t>(t)].next_below(64));
+    }
+    return op;
+  });
+  EXPECT_TRUE(ok.load()) << "digest read non-monotone or out of bounds";
+  EXPECT_EQ(store.counter_sum(), inc_threads * per_thread);
+  EXPECT_EQ(store.counter_sum_scan(), inc_threads * per_thread);
+  int64_t lanes_total = 0;
+  for (int l = 0; l < store.config().max_threads; ++l) {
+    lanes_total += store.lane_counter_adds(l);
+  }
+  EXPECT_EQ(lanes_total, inc_threads * per_thread)
+      << "per-lane components must telescope to the digest total";
+}
+
+// The bounded scans under SUSTAINED writers: before the kScanRetryRounds
+// bound, a write landing during every collect round could livelock the
+// double-collect loop forever. Scanner threads hammer counter_sum_scan() and
+// global_max_scan() while writers never pause; every scan must return (bound
+// or stabilise) and respect the global bounds. (No cross-call monotonicity
+// check here: a stabilised scan linearizes on the shard-counter facet while
+// the fallback reads the digest facet, and the documented cross-facet lag
+// makes a mixed sequence legitimately non-monotone.)
+TEST(C2StoreStress, BoundedScansUnderSustainedWriters) {
+  const int threads = 4;
+  const int per_thread = 400;
+  svc::C2Store store(stress_config(threads));
+  auto sessions = open_sessions(store, threads);
+  const int64_t max_bound = 63 / threads;
+  std::atomic<bool> ok{true};
+  std::vector<Rng> rngs;
+  for (int t = 0; t < threads; ++t) rngs.emplace_back(5300 + t);
+  const int64_t inc_threads = threads - 2;  // threads 0,1 scan; 2,3 write
+  rt::run_stress(threads, per_thread, [&](int t, int j) {
+    rt::TimedOp op;
+    if (t == 0 || (t == 1 && j % 2 == 0)) {
+      int64_t sum = store.counter_sum_scan();
+      if (sum < 0 || sum > inc_threads * per_thread) ok.store(false);
+    } else if (t == 1) {
+      int64_t m = store.global_max_scan();
+      if (m < 0 || m > max_bound) ok.store(false);
+    } else {
+      auto& session = sessions[static_cast<size_t>(t)];
+      auto& rng = rngs[static_cast<size_t>(t)];
+      session.counter_inc(rng.next_below(64));
+      session.max_write(rng.next_below(64), rng.next_in(0, max_bound));
+    }
+    return op;
+  });
+  EXPECT_TRUE(ok.load()) << "a scan returned a non-linearizable value";
+  EXPECT_EQ(store.counter_sum(), inc_threads * per_thread);
+  EXPECT_EQ(store.counter_sum_scan(), inc_threads * per_thread)
+      << "quiesced scan must stabilise on its first two collects";
+}
+
 // global_max read concurrently with writes must never exceed the largest value
 // written so far and must be monotone per observer thread.
 TEST(C2StoreStress, GlobalMaxBoundedAndMonotone) {

@@ -193,6 +193,87 @@ TEST(C2Store, CounterIncrementAndSum) {
   EXPECT_EQ(ca.read(), 10);
   EXPECT_EQ(cb.read(), 5);
   EXPECT_EQ(store.counter_sum(), 15);
+  EXPECT_EQ(store.counter_sum_scan(), 15) << "scan ablation must agree at quiescence";
+}
+
+// --- counter-sum digest edge cases ------------------------------------------
+
+// The digest read must not materialise anything: a store with ZERO initialized
+// shards answers 0 from the digest word alone (and the retained scan agrees).
+TEST(C2Store, CounterSumOnZeroInitializedShards) {
+  svc::C2Store store(small_config());
+  EXPECT_EQ(store.counter_sum(), 0);
+  EXPECT_EQ(store.counter_sum_scan(), 0);
+  EXPECT_EQ(store.initialized_shards(), 0)
+      << "aggregate reads must not materialise shards";
+  // Same through a session, still without materialising.
+  svc::C2Session s = store.open_session();
+  EXPECT_EQ(s.counter_sum(), 0);
+  EXPECT_EQ(s.counter_sum_scan(), 0);
+  EXPECT_EQ(store.initialized_shards(), 0);
+}
+
+// A single-lane store (max_threads = 1) routes every digest add through lane
+// 0; sums and the per-lane component must both hold up.
+TEST(C2Store, CounterSumOnSingleLaneStore) {
+  svc::C2StoreConfig cfg;
+  cfg.shards = 4;
+  cfg.max_threads = 1;
+  cfg.max_value = 63;
+  cfg.tas_max_resets = 62;
+  svc::C2Store store(cfg);
+  svc::C2Session s = store.open_session();
+  EXPECT_EQ(s.lane(), 0);
+  for (uint64_t k = 0; k < 16; ++k) s.counter(k).inc();
+  EXPECT_EQ(store.counter_sum(), 16);
+  EXPECT_EQ(store.counter_sum_scan(), 16);
+  EXPECT_EQ(store.lane_counter_adds(0), 16)
+      << "single lane carries the whole per-lane component";
+}
+
+// Lane recycling across session close/reopen: the digest total must keep
+// accumulating across session generations, and a recycled lane's per-lane
+// component carries the contributions of every session that held it.
+TEST(C2Store, CounterSumSurvivesSessionCloseReopen) {
+  svc::C2Store store(small_config());
+  const uint64_t key = 7;
+  int first_lane;
+  {
+    svc::C2Session s = store.open_session();
+    first_lane = s.lane();
+    for (int i = 0; i < 5; ++i) s.counter(key).inc();
+    EXPECT_EQ(store.counter_sum(), 5);
+  }  // RAII close: the lane goes back to the registry
+  {
+    // Sole session on the store: the registry must recycle the freed lane.
+    svc::C2Session s = store.open_session();
+    EXPECT_EQ(s.lane(), first_lane) << "sole reopen must recycle the lane";
+    for (int i = 0; i < 3; ++i) s.counter(key).inc();
+    EXPECT_EQ(store.counter_sum(), 8) << "digest must accumulate across sessions";
+    EXPECT_EQ(store.lane_counter_adds(first_lane), 8)
+        << "a recycled lane's component spans session generations";
+  }
+  // And the per-key counter agrees with the digest at quiescence.
+  svc::C2Session s = store.open_session();
+  EXPECT_EQ(s.counter(key).read(), 8);
+  EXPECT_EQ(store.counter_sum_scan(), 8);
+}
+
+// The digest never leads the per-lane components (add bumps the lane cell
+// first): at quiescence they telescope to the same total.
+TEST(C2Store, CounterSumMatchesLaneContributions) {
+  svc::C2Store store(small_config());
+  svc::C2Session s0 = store.open_session();
+  svc::C2Session s1 = store.open_session();
+  for (int i = 0; i < 6; ++i) s0.counter(uint64_t{1}).inc();
+  for (int i = 0; i < 4; ++i) s1.counter(uint64_t{2}).inc();
+  EXPECT_EQ(store.lane_counter_adds(s0.lane()), 6);
+  EXPECT_EQ(store.lane_counter_adds(s1.lane()), 4);
+  int64_t lanes_total = 0;
+  for (int l = 0; l < store.config().max_threads; ++l) {
+    lanes_total += store.lane_counter_adds(l);
+  }
+  EXPECT_EQ(store.counter_sum(), lanes_total);
 }
 
 TEST(C2Store, TasWinnerResetAndBudget) {

@@ -5,9 +5,10 @@
 //     per-shard paper constructions — IS strongly linearizable: strong
 //     linearizability is local, and every shard facet verifies on the shared
 //     tree. (The acceptance configuration.)
-//  2. The digest design behind C2Store::global_max() (writes also land on one
-//     digest register; the global read is a single-word read) IS strongly
-//     linearizable.
+//  2. The digest designs behind C2Store::global_max() AND counter_sum()
+//     (writes also land on one digest register; the global read is a
+//     single-word read) ARE strongly linearizable — the sum digest is checked
+//     on the very schedule family that refutes the scan-based sum.
 //  3. The double-collect aggregate SCAN is linearizable (sweeps pass, and the
 //     concrete schedule that kills the naive scan produces a linearizable
 //     history) but NOT strongly linearizable: its linearization point — the
@@ -222,6 +223,97 @@ TEST(C2StoreSim, ShardRegisterMayLeadTheDigest) {
       << "no execution shows the documented shard-ahead-of-digest lag window";
 }
 
+// --- 2c. the counter-sum digest ---------------------------------------------
+//
+// counter_sum() used to be the last aggregate served by a double-collect scan
+// (linearizable only — refutation pinned in section 3). It now reads a
+// CounterSumDigest: every Inc lands in its shard counter AND fetch&adds one
+// digest word; the sum read is a single FAA(0). These tests run the digest
+// design through EXACTLY the schedule family that refutes the scan-based sum
+// (DoubleCollectCounterNotStronglyLinearizable below, kept as the negative
+// control) and verify it strongly linearizable, then pin the cross-facet
+// write order the same way as the max digest's (2b).
+
+TEST(C2StoreSim, CounterSumDigestStronglyLinearizable) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<svc::SimCounterSumDigest>(w, "gsum", /*shards=*/2);
+  };
+  // The schedule family that kills the scan-based sum: two concurrent
+  // incrementers (routed to different shards by process id) and a reader.
+  auto scenario = testing::fixed_scenario(
+      factory,
+      {{{"Inc", unit(), 0}}, {{"Inc", unit(), 1}}, {{"Read", unit(), 2}}});
+  verify::CounterSpec spec;
+  auto res = check(scenario, 3, spec, "gsum");
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+TEST(C2StoreSim, CounterSumDigestIncReadRaceStronglyLinearizable) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<svc::SimCounterSumDigest>(w, "gsum", /*shards=*/2);
+  };
+  // A reader interleaved with back-to-back incs on one shard: the reads must
+  // keep fixed own-step (FAA(0)) linearization points through the window
+  // where the writer sits between its shard win and its digest step.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"Inc", unit(), 0}, {"Inc", unit(), 0}},
+                {{"Read", unit(), 1}, {"Read", unit(), 1}}});
+  verify::CounterSpec spec;
+  auto res = check(scenario, 2, spec, "gsum");
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+TEST(C2StoreSim, SumDigestNeverLeadsTheShardCounters) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<svc::SimCounterSumDigest>(w, "gsum", /*shards=*/2);
+  };
+  // Incrementer (proc 0 routes to shard 0); observer reads the digest THEN
+  // the shard counter. Shard counters are monotone, so if the digest ever
+  // led, some execution would show digest=1 while the (later!) shard read
+  // still returns 0.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"Inc", unit(), 0}},
+                {{"Read", unit(), 1}, {"ReadShard", num(0), 1}}});
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  auto pairs = observer_read_pairs(tree);
+  ASSERT_FALSE(pairs.empty());
+  for (auto [digest, shard] : pairs) {
+    EXPECT_LE(digest, shard)
+        << "sum digest ran ahead of the shard counter: the shard-first write "
+           "order in CounterRef::inc was reordered";
+  }
+}
+
+TEST(C2StoreSim, ShardCounterMayLeadTheSumDigest) {
+  auto factory = [](sim::World& w, int) {
+    return std::make_shared<svc::SimCounterSumDigest>(w, "gsum", /*shards=*/2);
+  };
+  // Observer reads the shard THEN the digest: some execution must catch the
+  // incrementer between its shard win and its digest step (shard=1, digest
+  // still 0). If this witness disappears, the write order changed.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"Inc", unit(), 0}},
+                {{"ReadShard", num(0), 1}, {"Read", unit(), 1}}});
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(2, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  auto pairs = observer_read_pairs(tree);
+  bool lag_witnessed = false;
+  for (auto [shard, digest] : pairs) {
+    if (shard == 1 && digest == 0) lag_witnessed = true;
+  }
+  EXPECT_TRUE(lag_witnessed)
+      << "no execution shows the documented shard-ahead-of-digest lag window";
+}
+
 // --- 3. double-collect scans: linearizable, NOT strongly linearizable -------
 
 TEST(C2StoreSim, DoubleCollectScanLinSweep) {
@@ -274,6 +366,10 @@ TEST(C2StoreSim, DoubleCollectScanNotStronglyLinearizable) {
          "linearizable — this refutation is why global_max reads a digest";
 }
 
+// PINNED (the negative control for the counter-sum digest of 2c): the same
+// Inc/Inc/Read schedule family over the double-collect SCAN sum must keep
+// refuting — if this starts passing, the checker or the bridge broke, and the
+// digest's reason to exist would be silently erased.
 TEST(C2StoreSim, DoubleCollectCounterNotStronglyLinearizable) {
   auto factory = [](sim::World& w, int) {
     return std::make_shared<svc::SimShardedCounter>(w, "sctr", /*shards=*/2);

@@ -101,8 +101,48 @@ TEST(Distributions, FactoryByName) {
   EXPECT_THROW(wl::make_dist("nope", 10), PreconditionError);
 }
 
+// The per-rank masses must conserve probability and decay monotonically even
+// deep into the tail, where the naive largest-term-first accumulation loses
+// the terms to float rounding (the retired code papered over the drift with a
+// forced cdf.back()=1.0). With Kahan compensation each stored partial is
+// accurate to ~1 ulp, so the checks below can be tight.
+TEST(Distributions, ZipfianMassConservationDeepTail) {
+  const uint64_t space = uint64_t{1} << 20;
+  for (double theta : {0.99, 1.2}) {
+    wl::ZipfianKeys dist(space, theta, /*scramble=*/false);
+    // Telescoped conservation: the masses sum to the final CDF entry, which
+    // must be exactly 1.0 (not merely close) now that nothing is papered.
+    long double acc = 0.0L;
+    double prev = dist.mass(0);
+    for (uint64_t r = 0; r < space; ++r) {
+      double m = dist.mass(r);
+      EXPECT_GT(m, 0.0) << "rank " << r << " lost its mass to rounding";
+      EXPECT_LE(m, prev) << "mass must be non-increasing at rank " << r;
+      prev = m;
+      acc += m;
+    }
+    EXPECT_NEAR(static_cast<double>(acc), 1.0, 1e-12) << "theta " << theta;
+    // Tail accuracy: compare far-tail masses against the directly computed
+    // term/total in long double. Plain double accumulation fails this by
+    // orders of magnitude; compensated summation passes at 1e-6 relative.
+    long double total = 0.0L;
+    for (uint64_t r = 0; r < space; ++r) {
+      total += 1.0L / powl(static_cast<long double>(r + 1),
+                           static_cast<long double>(theta));
+    }
+    for (uint64_t r : {space - 1, space / 2, space / 3}) {
+      long double expected = 1.0L / powl(static_cast<long double>(r + 1),
+                                         static_cast<long double>(theta)) /
+                             total;
+      EXPECT_NEAR(dist.mass(r) / static_cast<double>(expected), 1.0, 1e-6)
+          << "rank " << r << " theta " << theta;
+    }
+  }
+}
+
 TEST(OpMix, NamedMixesAreNormalisedAndPickable) {
-  for (const char* name : {"read_heavy", "write_heavy", "mixed", "aggregate_scan"}) {
+  for (const char* name :
+       {"read_heavy", "write_heavy", "mixed", "aggregate_scan", "sum_heavy"}) {
     wl::OpMix mix = wl::OpMix::by_name(name);
     EXPECT_EQ(mix.name, name);
     EXPECT_NEAR(mix.total_weight(), 1.0, 1e-9);
@@ -134,10 +174,48 @@ TEST(Latency, ExactPercentilesOnKnownData) {
   EXPECT_EQ(s.count, 1000u);
   EXPECT_EQ(s.min_ns, 1);
   EXPECT_EQ(s.max_ns, 1000);
-  EXPECT_NEAR(static_cast<double>(s.p50_ns), 500.0, 2.0);
-  EXPECT_NEAR(static_cast<double>(s.p90_ns), 900.0, 2.0);
-  EXPECT_NEAR(static_cast<double>(s.p99_ns), 990.0, 2.0);
+  // Nearest-rank on 1..1000 is exact: the ceil(q*1000)-th order statistic.
+  EXPECT_EQ(s.p50_ns, 500);
+  EXPECT_EQ(s.p90_ns, 900);
+  EXPECT_EQ(s.p99_ns, 990);
+  EXPECT_EQ(s.p999_ns, 999);
   EXPECT_NEAR(s.mean_ns, 500.5, 0.01);
+}
+
+// Pins the nearest-rank quantile rule (ceil(q*count)-th order statistic) on
+// small known vectors — exactly where the retired q*(count-1)+0.5 rounding
+// misbehaved: even-count p50 picked the UPPER middle sample, and p99/p999
+// collapsed onto max one rank early on small sample sets.
+TEST(Latency, NearestRankRuleOnSmallKnownVectors) {
+  std::vector<int64_t> four = {10, 20, 30, 40};
+  wl::LatencyStats s4 = wl::summarize_latencies(four);
+  EXPECT_EQ(s4.p50_ns, 20) << "even-count p50 is the lower middle sample";
+  EXPECT_EQ(s4.p90_ns, 40);
+  EXPECT_EQ(s4.p99_ns, 40);
+
+  std::vector<int64_t> one = {7};
+  wl::LatencyStats s1 = wl::summarize_latencies(one);
+  EXPECT_EQ(s1.p50_ns, 7);
+  EXPECT_EQ(s1.p999_ns, 7);
+
+  // 1..100: p99 must resolve to the 99th sample, NOT max — the small-count
+  // collapse the old rounding caused. p999 still has to saturate at max (100
+  // samples cannot resolve a 99.9th percentile; that is genuine, not drift).
+  std::vector<int64_t> hundred;
+  for (int64_t i = 1; i <= 100; ++i) hundred.push_back(i);
+  wl::LatencyStats s100 = wl::summarize_latencies(hundred);
+  EXPECT_EQ(s100.p50_ns, 50);
+  EXPECT_EQ(s100.p90_ns, 90);
+  EXPECT_EQ(s100.p99_ns, 99) << "p99 of 100 samples is the 99th, not max";
+  EXPECT_EQ(s100.p999_ns, 100);
+
+  // Order statistics are rank-based, not value-interpolated: a wild max must
+  // not drag the tail quantiles with it.
+  std::vector<int64_t> skew = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1000000};
+  wl::LatencyStats sk = wl::summarize_latencies(skew);
+  EXPECT_EQ(sk.p50_ns, 1);
+  EXPECT_EQ(sk.p90_ns, 1) << "p90 of 10 samples is the 9th order statistic";
+  EXPECT_EQ(sk.p99_ns, 1000000);
 }
 
 TEST(Latency, EmptyIsZeroed) {
@@ -159,6 +237,38 @@ TEST(JsonWriter, NestedDocumentsAndEscaping) {
   EXPECT_EQ(w.str(),
             "{\"name\":\"a\\\"b\\\\c\\n\",\"n\":-3,\"ok\":true,"
             "\"arr\":[1,2],\"inner\":{\"x\":1.5}}");
+}
+
+// Control characters below 0x20 must never reach the output raw — a label or
+// string key containing one would emit invalid JSON that bench_diff.py (and
+// any json.load) rejects. Common ones use the short escapes; the rest get
+// \u00XX. Round-trip shape is pinned byte-for-byte.
+TEST(JsonWriter, ControlCharactersEscapedAsUnicode) {
+  wl::JsonWriter w;
+  w.begin_object();
+  w.field("label", "a\x01" "b\x1f" "c\td\ne\rf");
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"label\":\"a\\u0001b\\u001fc\\td\\ne\\rf\"}");
+
+  // Keys are escaped through the same path as values.
+  wl::JsonWriter wk;
+  wk.begin_object();
+  wk.field("bad\x02key", int64_t{1});
+  wk.end_object();
+  EXPECT_EQ(wk.str(), "{\"bad\\u0002key\":1}");
+
+  // Every byte below 0x20 is covered — none may appear raw in the output.
+  std::string all;
+  for (char c = 1; c < 0x20; ++c) all += c;
+  wl::JsonWriter wa;
+  wa.begin_object();
+  wa.field("all", all);
+  wa.end_object();
+  for (char c = 1; c < 0x20; ++c) {
+    EXPECT_EQ(wa.str().find(c), std::string::npos)
+        << "raw control byte " << static_cast<int>(c) << " leaked into JSON";
+  }
 }
 
 TEST(JsonWriter, ArraysOfObjects) {
@@ -272,6 +382,42 @@ TEST(Engine, RejectsUnknownBindMode) {
   cfg.threads = 1;
   cfg.ops_per_thread = 10;
   cfg.bind = "telepathic";
+  EXPECT_THROW(wl::run_workload(cfg), PreconditionError);
+}
+
+// Both counter_sum implementations must run the SAME deterministic op/key
+// sequences (the impl changes the aggregate read path, not semantics) and
+// agree on the quiesced final sum; the artifact must record which one ran.
+TEST(Engine, SumImplModesAgreeOnSemantics) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 2;
+  cfg.ops_per_thread = 300;
+  cfg.key_space = 64;
+  cfg.dist = "zipfian";
+  cfg.mix = wl::OpMix::sum_heavy();
+  cfg.seed = 33;
+  cfg.store.shards = 4;
+  cfg.sum_impl = "digest";
+  wl::WorkloadResult digest = wl::run_workload(cfg);
+  cfg.sum_impl = "scan";
+  wl::WorkloadResult scan = wl::run_workload(cfg);
+  for (int k = 0; k < wl::kOpKindCount; ++k) {
+    EXPECT_EQ(digest.per_kind[k], scan.per_kind[k]) << "sum impl changed the op mix";
+  }
+  EXPECT_GT(digest.per_kind[static_cast<int>(wl::OpKind::kCounterSum)], 0u);
+  EXPECT_EQ(digest.final_counter_sum, scan.final_counter_sum);
+  EXPECT_EQ(digest.final_counter_sum,
+            static_cast<int64_t>(
+                digest.per_kind[static_cast<int>(wl::OpKind::kCounterInc)]));
+  std::string doc = wl::result_to_json("t", "b", scan);
+  EXPECT_NE(doc.find("\"sum_impl\":\"scan\""), std::string::npos) << doc;
+}
+
+TEST(Engine, RejectsUnknownSumImpl) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 1;
+  cfg.ops_per_thread = 10;
+  cfg.sum_impl = "oracle";
   EXPECT_THROW(wl::run_workload(cfg), PreconditionError);
 }
 

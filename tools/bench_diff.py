@@ -3,9 +3,16 @@
 
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.15]
                         [--metrics throughput_ops_per_s,latency_ns.p50,...]
+                        [--bench-filter REGEX]
 
-Entries are matched by their "bench" name. For every matched entry the tool
-compares (by default):
+Entries are matched by their "bench" name; --bench-filter restricts the
+comparison to entries whose name matches the (re.search) regex, so one
+artifact pair can be gated at different thresholds per entry family (CI's
+counter_sum scan-vs-digest gate requires improvement on '^mix/sum_heavy$'
+and mere non-regression on '^mix/mixed$' from the same two runs). A filter
+that matches no common entry is an error (exit 2), not a silent pass.
+
+For every matched entry the tool compares (by default):
   * metrics.throughput_ops_per_s  — regression if current < baseline*(1-t)
   * metrics.latency_ns.p50 / p99  — regression if current > baseline*(1+t)
 
@@ -35,6 +42,7 @@ No dependencies beyond the standard library.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -77,6 +85,9 @@ def main():
     ap.add_argument("--metrics", default=None,
                     help="comma-separated subset of metrics that gate the exit "
                          "code (default: all known metrics)")
+    ap.add_argument("--bench-filter", default=None, metavar="REGEX",
+                    help="only compare entries whose bench name matches this "
+                         "regex (re.search); no match is an error")
     args = ap.parse_args()
     gating = (set(m.strip() for m in args.metrics.split(","))
               if args.metrics else {path for path, _ in CHECKS})
@@ -93,11 +104,22 @@ def main():
         print(f"bench_diff: {e}", file=sys.stderr)
         return 2
 
+    if args.bench_filter is not None:
+        try:
+            pattern = re.compile(args.bench_filter)
+        except re.error as e:
+            print(f"bench_diff: bad --bench-filter: {e}", file=sys.stderr)
+            return 2
+        base = {k: v for k, v in base.items() if pattern.search(k)}
+        curr = {k: v for k, v in curr.items() if pattern.search(k)}
+
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
     matched = sorted(set(base) & set(curr))
     if not matched:
-        print("bench_diff: no common bench entries to compare", file=sys.stderr)
+        print("bench_diff: no common bench entries to compare"
+              + (f" (filter {args.bench_filter!r})" if args.bench_filter else ""),
+              file=sys.stderr)
         return 2
 
     regressions = []
