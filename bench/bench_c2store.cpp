@@ -34,6 +34,19 @@
 //   $ tools/bench_diff.py BENCH_sum_scan.json BENCH_sum_digest.json
 //         --bench-filter '^mix/sum_heavy$' --threshold=-0.10
 //         --metrics throughput_ops_per_s     (one shell line)
+//
+// --acquire selects how the mix/session_churn entry (more worker threads
+// than lanes; every op a full open->use->close cycle; latency percentiles
+// are OPEN latencies) acquires its sessions: "block" parks on the handoff
+// queue (open_session), "try" runs the retired try_open_session poll loop.
+// Two runs give the acquisition ablation CI gates on that entry (block must
+// not lose to try-poll):
+//
+//   $ ./bench_c2store --acquire try   --out BENCH_acquire_try.json
+//   $ ./bench_c2store --acquire block --out BENCH_acquire_block.json
+//   $ tools/bench_diff.py BENCH_acquire_try.json BENCH_acquire_block.json
+//         --bench-filter '^mix/session_churn$' --threshold 0.30
+//         --metrics throughput_ops_per_s,latency_ns.p50   (one shell line)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +71,7 @@ struct Args {
   std::string bind = "cached";
   std::string keys = "int";
   std::string sum_impl = "digest";
+  std::string acquire = "block";
   uint64_t key_space = 4096;
 };
 
@@ -80,13 +94,15 @@ Args parse(int argc, char** argv) {
       a.keys = argv[++i];
     } else if (arg == "--sum-impl" && i + 1 < argc) {
       a.sum_impl = argv[++i];
+    } else if (arg == "--acquire" && i + 1 < argc) {
+      a.acquire = argv[++i];
     } else if (arg == "--key-space" && i + 1 < argc) {
       a.key_space = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]"
                    " [--bind cached|per_op] [--keys int|string] [--key-space N]"
-                   " [--sum-impl digest|scan]\n",
+                   " [--sum-impl digest|scan] [--acquire block|try]\n",
                    argv[0]);
       std::exit(1);
     }
@@ -122,6 +138,7 @@ int main(int argc, char** argv) {
   w.field("bind", args.bind);
   w.field("keys", args.keys);
   w.field("sum_impl", args.sum_impl);
+  w.field("acquire", args.acquire);
   w.field("key_space", args.key_space);
   w.end_object();
   w.key("results").begin_array();
@@ -171,6 +188,29 @@ int main(int argc, char** argv) {
     cfg.store.shards = 16;
     run_one(w, std::string("mix/") + mix, cfg);
   }
+  // --- session churn: more threads than lanes, blocking-vs-try acquisition ---
+  // The store keeps HALF the worker count in lanes, so every open contends;
+  // --acquire selects how the open waits (park on the handoff queue vs the
+  // retired try_open_session poll loop). Two runs give the ablation CI gates
+  // on this entry: block must not lose to try-poll (tools/bench_diff
+  // --bench-filter '^mix/session_churn$'). Latency percentiles here are OPEN
+  // latencies (see workload/op_mix.h).
+  {
+    wl::WorkloadConfig cfg;
+    cfg.threads = max_threads;
+    cfg.ops_per_thread = args.ops;
+    cfg.key_space = args.key_space;
+    cfg.dist = "zipfian";
+    cfg.mix = wl::OpMix::session_churn();
+    cfg.bind = args.bind;
+    cfg.keys = args.keys;
+    cfg.sum_impl = args.sum_impl;
+    cfg.acquire = args.acquire;
+    cfg.store.shards = 16;
+    cfg.store.max_threads = std::max(1, max_threads / 2);  // lanes < threads
+    run_one(w, "mix/session_churn", cfg);
+  }
+
   for (const char* dist : {"uniform", "hotburst"}) {
     wl::WorkloadConfig cfg;
     cfg.threads = max_threads;

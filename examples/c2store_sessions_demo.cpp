@@ -1,16 +1,25 @@
-// Sessions demo: dynamic join/leave of worker threads against one C2Store.
+// Sessions demo: dynamic join/leave of worker threads against one C2Store,
+// with MORE concurrent workers than session lanes.
 //
-// The store is configured with only 4 session lanes, but 3 waves x 4 workers
-// (12 worker threads in total) serve traffic over its lifetime: each worker
-// joins (open_session — RAII lane from the consensus-2 LaneRegistry), binds
-// typed key-bound refs once, hammers them, and leaves (lane recycled for the
-// next wave). A 5th concurrent open fails cleanly and succeeds after a leave.
+// The store is configured with `lanes` session lanes but `workers` (> lanes)
+// threads serve traffic CONCURRENTLY: each worker joins by calling
+// open_session() — which now BLOCKS under full-lane contention, parking on
+// the registry's consensus-2 handoff queue until a leaving worker hands its
+// lane over directly (FIFO-fair, no busy-spin) — binds typed refs, hammers
+// them, and leaves (RAII close = direct lane handoff to the oldest waiter).
+// No caller-side retry loop anywhere.
+//
+// The retired poll-loop acquisition stays demoed behind --try: each join then
+// spins on try_open_session() + yield, which is exactly the caller-side
+// busy-wait the blocking API removes (and what bench_c2store --acquire=try
+// measures as the ablation baseline).
 //
 // Exits non-zero on any inconsistency, so CI can run it as a smoke test.
 //
-//   $ ./example_c2store_sessions_demo [workers_per_wave] [waves] [ops]
+//   $ ./example_c2store_sessions_demo [lanes] [workers] [ops] [--try]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -32,59 +41,72 @@ void expect(bool ok, const char* what) {
 }  // namespace
 
 int main(int argc, char** argv) try {
-  int workers = argc > 1 ? std::atoi(argv[1]) : 4;
-  if (workers < 1) workers = 1;
-  if (workers > 31) workers = 31;  // 63-bit lane packing budget
-  const int waves = argc > 2 ? std::atoi(argv[2]) : 3;
-  const int ops = argc > 3 ? std::atoi(argv[3]) : 2000;
+  bool use_try_poll = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--try") == 0) {
+      use_try_poll = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  int lanes = pos.size() > 0 ? std::atoi(pos[0]) : 2;
+  if (lanes < 1) lanes = 1;
+  if (lanes > 31) lanes = 31;  // 63-bit lane packing budget
+  int workers = pos.size() > 1 ? std::atoi(pos[1]) : 3 * lanes;
+  if (workers < lanes) workers = lanes;
+  const int ops = pos.size() > 2 ? std::atoi(pos[2]) : 2000;
 
   svc::C2StoreConfig cfg;
   cfg.shards = 16;
-  cfg.max_threads = workers;  // lanes for ONE wave; later waves recycle them
-  cfg.max_value = 63 / workers;
-  cfg.tas_max_resets = 63 / workers - 1;  // lane-packing budget scales down too
+  cfg.max_threads = lanes;  // workers > lanes: joins must wait their turn
+  cfg.max_value = 63 / lanes;
+  cfg.tas_max_resets = 63 / lanes - 1;  // lane-packing budget scales down too
   svc::C2Store store(cfg);
 
-  for (int wave = 0; wave < waves; ++wave) {
-    std::vector<std::thread> pool;
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&store, &cfg, wave, w, ops] {
-        // Join: this thread did not exist when the store was built.
-        svc::C2Session session = store.open_session();
-        svc::CounterRef requests = session.counter("svc:requests");
-        svc::MaxRef high_water = session.max("svc:high_water");
-        svc::TasRef leader = session.tas("svc:leader");
-        const bool won = leader.test_and_set() == 0;
-        for (int i = 0; i < ops; ++i) {
-          requests.inc();
-          if (i % 64 == w) high_water.write((i + w) % (cfg.max_value + 1));
+  std::vector<std::thread> pool;
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&store, &cfg, w, ops, use_try_poll] {
+      // Join: waits for a lane when all are held — parked on the handoff
+      // queue (default) or busy-polling (--try, the retired pattern).
+      svc::C2Session session;
+      if (use_try_poll) {
+        for (;;) {
+          session = store.try_open_session();
+          if (session.valid()) break;
+          std::this_thread::yield();
         }
-        if (won) {
-          // This wave's leader recycles the flag for the next wave (sole
-          // resetter, so the advisory budget gate is race-free).
-          session.tas_reset("svc:leader");
-        }
-        // Leave: the session destructor releases the lane for the next wave.
-        std::printf("wave %d worker %d served %d ops on lane %d%s\n", wave, w, ops,
-                    session.lane(), won ? " (leader)" : "");
-      });
-    }
-    for (auto& t : pool) t.join();
+      } else {
+        session = store.open_session();
+      }
+      svc::CounterRef requests = session.counter("svc:requests");
+      svc::MaxRef high_water = session.max("svc:high_water");
+      for (int i = 0; i < ops; ++i) {
+        requests.inc();
+        if (i % 64 == w % 64) high_water.write((i + w) % (cfg.max_value + 1));
+      }
+      // Leave: the session destructor hands the lane to the oldest parked
+      // joiner (or recycles it when no one is waiting).
+      std::printf("worker %2d served %d ops on lane %d\n", w, ops, session.lane());
+    });
   }
+  for (auto& t : pool) t.join();
 
-  // Lanes were recycled, never grown: waves*workers workers joined over the
-  // store's lifetime, but the dispenser never issued more than `workers`
-  // fresh tickets. (It may issue fewer — a worker that finishes before the
-  // next one starts hands its lane straight to the recycler.)
+  // Lanes were handed off or recycled, never grown: `workers` threads joined
+  // concurrently, but the dispenser never issued more than `lanes` fresh
+  // tickets. (It may issue fewer — handoffs bypass the dispenser entirely.)
   expect(store.lane_tickets_issued() <= cfg.max_threads,
-         "later waves must recycle lanes, not draw fresh tickets");
+         "concurrent joins must wait for lanes, not mint new ones");
 
-  // Oversubscription: hold every lane, watch the next join fail cleanly.
+  // Oversubscription probes: with every lane held, the non-waiting forms
+  // report failure cleanly; a leave makes the next join immediate.
   {
     std::vector<svc::C2Session> held;
     for (int i = 0; i < cfg.max_threads; ++i) held.push_back(store.open_session());
     svc::C2Session extra = store.try_open_session();
     expect(!extra.valid(), "try_open_session must report no free lane");
+    extra = store.open_session_for(std::chrono::milliseconds(1));
+    expect(!extra.valid(), "a timed open must give up when every lane stays held");
     held.pop_back();  // one worker leaves...
     extra = store.try_open_session();
     expect(extra.valid(), "...and the freed lane is immediately joinable");
@@ -92,16 +114,19 @@ int main(int argc, char** argv) try {
 
   svc::C2Session audit = store.open_session();
   const int64_t served = audit.counter("svc:requests").read();
-  const int64_t expected = static_cast<int64_t>(waves) * workers * ops;
-  std::printf("total requests: %lld (expected %lld), global_max=%lld, tickets=%lld\n",
-              static_cast<long long>(served), static_cast<long long>(expected),
-              static_cast<long long>(store.global_max()),
-              static_cast<long long>(store.lane_tickets_issued()));
-  expect(served == expected, "every op from every wave must be counted exactly once");
+  const int64_t expected = static_cast<int64_t>(workers) * ops;
+  std::printf(
+      "total requests: %lld (expected %lld), tickets=%lld, handoffs=%lld, "
+      "parks=%lld\n",
+      static_cast<long long>(served), static_cast<long long>(expected),
+      static_cast<long long>(store.lane_tickets_issued()),
+      static_cast<long long>(store.lane_handoff_deliveries()),
+      static_cast<long long>(store.lane_handoff_parks()));
+  expect(served == expected, "every op from every worker must be counted exactly once");
 
   if (failures > 0) return 1;
-  std::printf("ok: %d workers joined/left across %d waves on %d lanes\n",
-              waves * workers, waves, cfg.max_threads);
+  std::printf("ok: %d workers shared %d lanes via %s acquisition\n", workers,
+              cfg.max_threads, use_try_poll ? "try-poll" : "blocking handoff");
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -35,15 +35,19 @@ C2Store::~C2Store() {
 }
 
 C2Session C2Store::open_session() {
-  int lane = lanes_.try_acquire();
-  C2SL_CHECK(lane != LaneRegistry::kNone,
-             "all session lanes held (cfg.max_threads concurrent sessions); "
-             "close a session or raise max_threads");
-  return C2Session(this, lane);
+  // Blocks while all lanes are held: the registry parks this caller on its
+  // handoff queue and a closing session hands its lane over directly.
+  return C2Session(this, lanes_.acquire_blocking());
 }
 
 C2Session C2Store::try_open_session() {
   int lane = lanes_.try_acquire();
+  if (lane == LaneRegistry::kNone) return C2Session();
+  return C2Session(this, lane);
+}
+
+C2Session C2Store::open_session_for(std::chrono::nanoseconds timeout) {
+  int lane = lanes_.acquire_for(timeout);
   if (lane == LaneRegistry::kNone) return C2Session();
   return C2Session(this, lane);
 }

@@ -20,7 +20,10 @@
 // so dynamically joining and leaving threads share a bounded lane space
 // without any call-site bookkeeping. Recycling is unbounded (the registry's
 // free set rides on the segmented arrays), so a store supports arbitrarily
-// many session opens/closes over its lifetime.
+// many session opens/closes over its lifetime. Under full-lane contention,
+// open_session() BLOCKS on the registry's consensus-2 handoff queue
+// (runtime/handoff_queue.h): a closing session hands its lane directly to the
+// oldest waiter, FIFO-fair, instead of racing opportunistic reopeners.
 //
 // Typed key-bound refs — MaxRef / CounterRef / TasRef / SetRef — are the
 // per-key surface. Binding hashes the key onto a shard once and caches the
@@ -79,6 +82,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -303,11 +307,26 @@ class C2Store {
   C2Store& operator=(const C2Store&) = delete;
 
   // --- sessions (the only door to the per-key surface) ---
-  /// Acquires a lane; throws PreconditionError when all cfg.max_threads lanes
-  /// are concurrently held. Use try_open_session() to poll instead.
+  /// Acquires a lane, BLOCKING while all cfg.max_threads lanes are held: the
+  /// caller enqueues on the registry's consensus-2 handoff queue and parks
+  /// until a closing session hands its lane over directly — FIFO-fair under
+  /// full-lane contention, no busy-spinning and no caller-side retry loop
+  /// (service/lane_registry.h, runtime/handoff_queue.h). Never fails for
+  /// exhaustion; use try_open_session() / open_session_for() to bound the
+  /// wait. CAUTION — waiting replaces the old exhaustion error, so a caller
+  /// that holds all cfg.max_threads sessions ITSELF (the misuse the retired
+  /// PreconditionError used to catch) now self-deadlocks: it parks with no
+  /// possible waker. Diagnose a suspect hang via lane_handoff_parks() /
+  /// lane_handoff_enqueued(); callers that might over-hold should use
+  /// open_session_for() instead.
   C2Session open_session();
-  /// Like open_session() but returns an invalid session when no lane is free.
+  /// Like open_session() but returns an invalid session when no lane is free
+  /// (never waits).
   C2Session try_open_session();
+  /// Like open_session() but gives up after `timeout`, returning an invalid
+  /// session. A lane handed over in the timeout's race window is kept (the
+  /// session is valid) — lanes are never dropped.
+  C2Session open_session_for(std::chrono::nanoseconds timeout);
 
   // --- aggregates ---
   /// Bound on double-collect retries in the *_scan aggregates: after this
@@ -347,6 +366,14 @@ class C2Store {
   int shard_of(std::string_view key) const { return router_.shard_of(key); }
   /// Fresh lane tickets issued so far (diagnostics).
   int64_t lane_tickets_issued() const { return lanes_.tickets_issued(); }
+  /// Lanes handed directly from a closing session to a blocked open_session()
+  /// (diagnostics; never touched the free set).
+  int64_t lane_handoff_deliveries() const { return lanes_.handoff_deliveries(); }
+  /// Times a blocked open_session() parked / had its slot revoked
+  /// (diagnostics; the no-busy-spin stress bounds ride on these).
+  int64_t lane_handoff_parks() const { return lanes_.handoff_parks(); }
+  int64_t lane_handoff_revocations() const { return lanes_.handoff_revocations(); }
+  int64_t lane_handoff_enqueued() const { return lanes_.handoff_enqueued(); }
   /// Counter adds contributed through `lane` (diagnostics; the sum digest's
   /// per-lane component — never on the counter_sum() read path).
   int64_t lane_counter_adds(int lane) const {

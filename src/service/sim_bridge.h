@@ -46,6 +46,24 @@
 //     verifies acquire/release strongly linearizable against
 //     verify::LaneRegistrySpec (tests/lane_registry_test.cpp).
 //
+//   * SimHandoffQueue — the sim twin of the FIFO handoff queue behind
+//     blocking open_session() (runtime/handoff_queue.h): waiters register by
+//     one Tail fetch&add (the enqueue's linearization point) and announce
+//     their id on their ticket's swap cell; a handoff commits to the oldest
+//     ticket by one Head fetch&add and collects the waiter id from the cell.
+//     Both sides linearize at their own FAA — fixed own-steps — so the
+//     checker verifies the enqueue/handoff facets strongly linearizable
+//     against verify::QueueSpec (tests/handoff_queue_test.cpp). The data
+//     direction is inverted relative to the native queue (there the DELIVERER
+//     deposits a lane and the waiter collects; here the WAITER deposits its
+//     id and the handoff collects) because the checkable response is "which
+//     waiter got served" — the commitment structure under test is identical.
+//     The `scan_delivery` variant replaces the Head fetch&add with
+//     Herlihy–Wing's publication-order scan (take the first ANNOUNCED
+//     waiter): its delivery target is decided by future cell writes, and the
+//     checker REFUTES it (pinned negative control, same schedule family and
+//     verdict as the baselines/herlihy_wing_queue positive control).
+//
 //   * SimSegmentedTasArray — the sim twin of the native SegmentedArray's
 //     publication protocol (runtime/segmented_array.h), at base-object step
 //     granularity: doubling segments (base 1 here, so the trees stay small:
@@ -174,6 +192,34 @@ class SimLaneRegistry {
   std::unique_ptr<core::AtomicReadableTasArray> free_ts_;
   std::unique_ptr<core::FetchIncrement> free_max_;
   std::unique_ptr<core::SLSet> free_;              ///< Thm 10 recycle set
+};
+
+/// Sim twin of rt::HandoffQueue (see header comment above). Records "Enq"
+/// (waiter registration, arg = waiter id > 0) and "Deq" (handoff) on one
+/// queue facet object, checkable against verify::QueueSpec: FIFO in ticket
+/// order, both linearization points fixed own-step fetch&adds. With
+/// `scan_delivery` the handoff instead sweeps announced cells Herlihy–Wing
+/// style — the pinned-refuted publication-order variant.
+class SimHandoffQueue : public core::ConcurrentObject {
+ public:
+  SimHandoffQueue(sim::World& world, std::string name, bool scan_delivery = false);
+
+  /// Recorded as "Enq"(wid) -> "OK"; linearizes at the Tail fetch&add.
+  Val enq(sim::Ctx& ctx, int64_t wid);
+  /// Recorded as "Deq" -> wid | "EMPTY"; linearizes at the Head fetch&add
+  /// (ticket-order commitment) — or, in the scan_delivery variant, wherever
+  /// the future lets it (which is exactly what the checker refutes).
+  Val hand(sim::Ctx& ctx);
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  std::string name_;
+  bool scan_delivery_;
+  sim::Handle<prim::FetchAddInt> tail_;   ///< waiter tickets (enqueue FAAs)
+  sim::Handle<prim::FetchAddInt> head_;   ///< handoff tickets (commitment FAAs)
+  sim::Handle<prim::SwapRegArray> cells_; ///< single-use rendezvous slots
 };
 
 /// Sim twin of rt::SegmentedArray<NativeReadableTAS> (see header comment).

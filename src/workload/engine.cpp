@@ -18,8 +18,15 @@ namespace {
 /// no per-shard capacity left to size for the worst-case key skew.
 svc::C2StoreConfig clamp_store(const WorkloadConfig& cfg) {
   svc::C2StoreConfig s = cfg.store;
-  s.max_threads = std::max(s.max_threads, cfg.threads);
-  C2SL_CHECK(s.max_threads <= 31, "engine supports at most 31 threads");
+  // session_churn keeps the configured lane count AS GIVEN — fewer lanes than
+  // worker threads is the scenario (blocking opens bound the concurrent
+  // sessions to the lane count, so the packing budgets below still hold).
+  // Every other mix opens one session per worker up front and therefore
+  // needs a lane per thread.
+  if (cfg.mix.name != "session_churn") {
+    s.max_threads = std::max(s.max_threads, cfg.threads);
+  }
+  C2SL_CHECK(s.max_threads <= 31, "engine supports at most 31 lanes");
   s.max_value = std::min<int64_t>(s.max_value, 63 / s.max_threads);
   s.tas_max_resets = std::min<int64_t>(s.tas_max_resets, 63 / s.max_threads - 1);
   return s;
@@ -38,6 +45,10 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   const bool sum_scan = cfg.sum_impl == "scan";
   C2SL_CHECK(sum_scan || cfg.sum_impl == "digest",
              "sum impl must be \"digest\" or \"scan\"");
+  const bool churn = cfg.mix.name == "session_churn";
+  const bool acquire_block = cfg.acquire == "block";
+  C2SL_CHECK(acquire_block || cfg.acquire == "try",
+             "acquire mode must be \"block\" or \"try\"");
   C2SL_CHECK((!cached && !string_keys) || cfg.key_space <= (uint64_t{1} << 20),
              "cached refs / string keys are pre-built per key; key_space too large");
   WorkloadResult result;
@@ -78,6 +89,41 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
     auto& my_lat = lat[static_cast<size_t>(wid)];
     auto& my_counts = counts[static_cast<size_t>(wid)];
     my_lat.reserve(ops);
+    if (churn) {
+      // Session-churn mode: every op is a full open -> use -> close cycle
+      // against a store whose lane count was NOT raised to the thread count,
+      // so opens contend for real. The recorded latency is the OPEN latency
+      // alone — exactly what the blocking-vs-try ablation measures; the one
+      // counter op inside the session keeps the cycle honest (a lane is
+      // actually used) without drowning the metric.
+      start_gate.fetch_add(1);
+      while (start_gate.load() < threads) {
+      }
+      t_start[static_cast<size_t>(wid)] = Clock::now();
+      for (uint64_t i = 0; i < ops; ++i) {
+        uint64_t key = dist->next(rng, i);
+        auto t0 = Clock::now();
+        svc::C2Session session;
+        if (acquire_block) {
+          session = store.open_session();  // parks on the handoff queue
+        } else {
+          // The retired caller-side poll loop the blocking API replaces.
+          for (;;) {
+            session = store.try_open_session();
+            if (session.valid()) break;
+            std::this_thread::yield();
+          }
+        }
+        auto t1 = Clock::now();
+        my_lat.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+        session.counter_inc(key);
+        ++my_counts[static_cast<size_t>(OpKind::kSessionChurn)];
+        // RAII close: the lane is handed to the oldest blocked opener.
+      }
+      t_end[static_cast<size_t>(wid)] = Clock::now();
+      return;
+    }
     // Resets of the per-shard multi-shot TAS have a finite generation budget;
     // worker 0 is the sole resetter so the budget gate is race-free.
     std::vector<int64_t> resets_done(
@@ -201,6 +247,9 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
         case OpKind::kCounterSum:
           sum_scan ? store.counter_sum_scan() : store.counter_sum();
           break;
+        case OpKind::kSessionChurn:
+          C2SL_CHECK(false, "kSessionChurn only runs in the session_churn mix");
+          break;
       }
       auto t1 = std::chrono::steady_clock::now();
       my_lat.push_back(
@@ -253,6 +302,8 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
   w.field("bind", r.cfg.bind);
   w.field("keys", r.cfg.keys);
   w.field("sum_impl", r.cfg.sum_impl);
+  w.field("acquire", r.cfg.acquire);
+  w.field("lanes", r.cfg.store.max_threads);
   w.field("seed", r.cfg.seed);
   w.end_object();
   w.key("metrics").begin_object();

@@ -50,6 +50,13 @@ struct WorkloadConfig {
   /// baseline bench_c2store emits under --sum-impl, gated by tools/bench_diff
   /// in CI: digest must win the sum-heavy mix).
   std::string sum_impl = "digest";
+  /// Session acquisition for the session_churn mix: "block" parks on the
+  /// store's consensus-2 handoff queue (open_session()); "try" is the retired
+  /// caller-side poll loop over try_open_session() — the ablation baseline
+  /// bench_c2store emits under --acquire, gated by tools/bench_diff in CI:
+  /// block must not lose to try-poll at threads > lanes. Ignored by every
+  /// other mix (workers there hold one session throughout).
+  std::string acquire = "block";
   /// Shard layout etc. The engine clamps max_threads / max_value /
   /// tas_max_resets (the 63-bit lane-packing budgets) so any
   /// (threads, ops_per_thread) fits; nothing else needs sizing — the store's

@@ -28,6 +28,8 @@ const char* to_string(OpKind k) {
       return "GlobalMaxScan";
     case OpKind::kCounterSum:
       return "CounterSum";
+    case OpKind::kSessionChurn:
+      return "SessionChurn";
   }
   return "?";
 }
@@ -107,12 +109,22 @@ OpMix OpMix::aggregate_scan() {
            {OpKind::kCounterRead, 0.20}}};
 }
 
+OpMix OpMix::session_churn() {
+  // Dynamic join/leave under lane starvation: every op is a full
+  // open -> use -> close cycle against a store with fewer lanes than worker
+  // threads. The blocking-vs-try-poll acquisition ablation (bench_c2store
+  // --acquire, gated by CI on mix/session_churn) runs on this mix; the
+  // recorded latency is the open latency.
+  return {"session_churn", {{OpKind::kSessionChurn, 1.0}}};
+}
+
 OpMix OpMix::by_name(const std::string& name) {
   if (name == "read_heavy") return read_heavy();
   if (name == "write_heavy") return write_heavy();
   if (name == "mixed") return mixed();
   if (name == "aggregate_scan") return aggregate_scan();
   if (name == "sum_heavy") return sum_heavy();
+  if (name == "session_churn") return session_churn();
   C2SL_CHECK(false, "unknown op mix: " + name);
   return mixed();
 }

@@ -28,8 +28,14 @@ enum class OpKind : int {
   kGlobalMax,
   kGlobalMaxScan,
   kCounterSum,
+  /// One full session churn cycle: open a session against a store with fewer
+  /// lanes than worker threads (blocking or try-polling per
+  /// WorkloadConfig::acquire), run one op through it, close it. The recorded
+  /// latency is the OPEN latency alone — the metric the blocking-vs-try
+  /// acquisition ablation gates on.
+  kSessionChurn,
 };
-inline constexpr int kOpKindCount = 11;
+inline constexpr int kOpKindCount = 12;
 
 const char* to_string(OpKind k);
 
@@ -50,7 +56,9 @@ struct OpMix {
   static OpMix mixed();
   static OpMix aggregate_scan();
   static OpMix sum_heavy();
-  /// "read_heavy" | "write_heavy" | "mixed" | "aggregate_scan" | "sum_heavy".
+  static OpMix session_churn();
+  /// "read_heavy" | "write_heavy" | "mixed" | "aggregate_scan" | "sum_heavy"
+  /// | "session_churn".
   static OpMix by_name(const std::string& name);
 
  private:

@@ -3,11 +3,14 @@
 // grep-enforced "no CAS anywhere in service plumbing" guarantee.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/c2store.h"
@@ -127,9 +130,35 @@ TEST(C2Session, ConcurrentSessionsGetDistinctLanes) {
     open.push_back(store.open_session());
     EXPECT_TRUE(lanes.insert(open.back().lane()).second) << "lane handed out twice";
   }
-  // All lanes held: open_session throws, try_open_session reports invalid.
-  EXPECT_THROW(store.open_session(), PreconditionError);
+  // All lanes held: try_open_session reports invalid and the timed form
+  // gives up cleanly; open_session() now BLOCKS instead of throwing (the
+  // blocking path is exercised below and under TSAN in
+  // tests/c2store_stress_test.cpp).
   EXPECT_FALSE(store.try_open_session().valid());
+  EXPECT_FALSE(store.open_session_for(std::chrono::milliseconds(2)).valid());
+}
+
+TEST(C2Session, BlockingOpenWaitsForAClosingSession) {
+  svc::C2Store store(small_config());
+  std::vector<svc::C2Session> held;
+  for (int i = 0; i < store.config().max_threads; ++i) {
+    held.push_back(store.open_session());
+  }
+  const int freed_lane = held.back().lane();
+  std::atomic<int> got_lane{-1};
+  std::thread blocked([&] {
+    svc::C2Session s = store.open_session();  // parks: every lane is held
+    got_lane.store(s.lane());
+  });
+  // Wait until the opener is genuinely parked on the handoff queue, then
+  // close one session: its lane must be handed over directly.
+  while (store.lane_handoff_parks() == 0) std::this_thread::yield();
+  EXPECT_EQ(got_lane.load(), -1) << "open_session returned while all lanes held";
+  held.pop_back();
+  blocked.join();
+  EXPECT_EQ(got_lane.load(), freed_lane)
+      << "the closing session's lane must be handed to the parked opener";
+  EXPECT_GE(store.lane_handoff_deliveries(), 1);
 }
 
 TEST(C2Session, ClosedLanesAreRecycled) {

@@ -421,5 +421,46 @@ TEST(Engine, RejectsUnknownSumImpl) {
   EXPECT_THROW(wl::run_workload(cfg), PreconditionError);
 }
 
+// Session churn with fewer lanes than threads: both acquisition modes must
+// complete every cycle (no op lost to a blocked or failed open), count every
+// cycle under kSessionChurn, and conserve the counter traffic run through the
+// churned sessions. The engine must NOT raise the lane count to the thread
+// count in this mix — the contention is the scenario.
+TEST(Engine, SessionChurnModesAgreeOnSemantics) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 250;
+  cfg.key_space = 64;
+  cfg.dist = "uniform";
+  cfg.mix = wl::OpMix::session_churn();
+  cfg.seed = 7;
+  cfg.store.shards = 4;
+  cfg.store.max_threads = 2;  // lanes < threads: every open contends
+  for (const char* mode : {"block", "try"}) {
+    cfg.acquire = mode;
+    wl::WorkloadResult r = wl::run_workload(cfg);
+    EXPECT_EQ(r.cfg.store.max_threads, 2)
+        << "churn mode must keep the configured lane count";
+    EXPECT_EQ(r.total_ops, 4u * 250u) << mode;
+    EXPECT_EQ(r.per_kind[static_cast<int>(wl::OpKind::kSessionChurn)], 4u * 250u)
+        << mode;
+    EXPECT_EQ(r.final_counter_sum, 4 * 250)
+        << mode << ": every churned session must land exactly one inc";
+    std::string doc = wl::result_to_json("t", "b", r);
+    EXPECT_NE(doc.find(std::string("\"acquire\":\"") + mode + "\""),
+              std::string::npos)
+        << doc;
+  }
+}
+
+TEST(Engine, RejectsUnknownAcquireMode) {
+  wl::WorkloadConfig cfg;
+  cfg.threads = 1;
+  cfg.ops_per_thread = 10;
+  cfg.mix = wl::OpMix::session_churn();
+  cfg.acquire = "psychic";
+  EXPECT_THROW(wl::run_workload(cfg), PreconditionError);
+}
+
 }  // namespace
 }  // namespace c2sl

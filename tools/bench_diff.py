@@ -5,6 +5,20 @@
                         [--metrics throughput_ops_per_s,latency_ns.p50,...]
                         [--bench-filter REGEX]
 
+Trajectory mode — persist an artifact's gated metrics as one JSONL row per
+bench entry, so the per-PR history spans more than one baseline snapshot
+(ROADMAP "bench trajectory tracking" stretch):
+
+    tools/bench_diff.py ARTIFACT.json --append-trajectory TRAJ.jsonl
+                        [--label NAME] [--bench-filter REGEX]
+
+Each appended line is {"label", "suite", "bench", "throughput_ops_per_s",
+"latency_ns.p50", "latency_ns.p99"}. The checked-in history lives at
+bench/baselines/trajectory/trajectory.jsonl; CI appends the current run's
+artifacts to a copy and uploads it as a build artifact, so every PR's numbers
+are durably retrievable even though absolute values only compare within one
+host.
+
 Entries are matched by their "bench" name; --bench-filter restricts the
 comparison to entries whose name matches the (re.search) regex, so one
 artifact pair can be gated at different thresholds per entry family (CI's
@@ -76,10 +90,50 @@ CHECKS = [
 ]
 
 
+def append_trajectory(args):
+    """Append one JSONL row per (filtered) bench entry of `args.baseline`."""
+    try:
+        with open(args.baseline) as f:
+            doc = json.load(f)
+        if doc.get("schema") != "c2sl-bench-v1":
+            raise ValueError(f"{args.baseline}: schema is "
+                             f"{doc.get('schema')!r}, want 'c2sl-bench-v1'")
+        entries = doc.get("results", [])
+        if not entries:
+            raise ValueError(f"{args.baseline}: no results")
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+    pattern = re.compile(args.bench_filter) if args.bench_filter else None
+    rows = []
+    for entry in entries:
+        if pattern and not pattern.search(entry["bench"]):
+            continue
+        metrics = entry.get("metrics", {})
+        row = {"label": args.label, "suite": doc.get("suite", ""),
+               "bench": entry["bench"]}
+        for path, _ in CHECKS:
+            value = metric(metrics, path)
+            if value is not None:
+                row[path] = value
+        rows.append(row)
+    if not rows:
+        print("bench_diff: no entries matched for the trajectory"
+              + (f" (filter {args.bench_filter!r})" if args.bench_filter else ""),
+              file=sys.stderr)
+        return 2
+    with open(args.append_trajectory, "a") as out:
+        for row in rows:
+            out.write(json.dumps(row, sort_keys=True) + "\n")
+    print(f"bench_diff: appended {len(rows)} trajectory row(s) "
+          f"[label {args.label!r}] to {args.append_trajectory}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="?", default=None)
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed relative regression (default 0.15 = 15%%)")
     ap.add_argument("--metrics", default=None,
@@ -88,7 +142,22 @@ def main():
     ap.add_argument("--bench-filter", default=None, metavar="REGEX",
                     help="only compare entries whose bench name matches this "
                          "regex (re.search); no match is an error")
+    ap.add_argument("--append-trajectory", default=None, metavar="JSONL",
+                    help="append the (single) artifact's gated metrics to this "
+                         "JSONL history instead of comparing two artifacts")
+    ap.add_argument("--label", default="unlabelled",
+                    help="row label for --append-trajectory (e.g. a PR or SHA)")
     args = ap.parse_args()
+    if args.append_trajectory is not None:
+        if args.current is not None:
+            print("bench_diff: --append-trajectory takes exactly one artifact",
+                  file=sys.stderr)
+            return 2
+        return append_trajectory(args)
+    if args.current is None:
+        print("bench_diff: comparison mode needs BASELINE and CURRENT",
+              file=sys.stderr)
+        return 2
     gating = (set(m.strip() for m in args.metrics.split(","))
               if args.metrics else {path for path, _ in CHECKS})
     unknown = gating - {path for path, _ in CHECKS}
