@@ -56,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/export.h"
 #include "workload/engine.h"
 
 using namespace c2sl;
@@ -73,6 +74,12 @@ struct Args {
   std::string sum_impl = "digest";
   std::string acquire = "block";
   uint64_t key_space = 4096;
+  /// c2sl-metrics-v1 JSON snapshot of the mix/mixed run's store telemetry
+  /// (plus the primitive-op calibration profile); empty = don't write. CI's
+  /// overhead-ablation job uploads this as the `c2sl-metrics` artifact.
+  std::string metrics_out;
+  /// Same snapshot as a Prometheus text exposition; empty = don't write.
+  std::string prom_out;
 };
 
 Args parse(int argc, char** argv) {
@@ -98,11 +105,16 @@ Args parse(int argc, char** argv) {
       a.acquire = argv[++i];
     } else if (arg == "--key-space" && i + 1 < argc) {
       a.key_space = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      a.metrics_out = argv[++i];
+    } else if (arg == "--prom-out" && i + 1 < argc) {
+      a.prom_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]"
                    " [--bind cached|per_op] [--keys int|string] [--key-space N]"
-                   " [--sum-impl digest|scan] [--acquire block|try]\n",
+                   " [--sum-impl digest|scan] [--acquire block|try]"
+                   " [--metrics-out FILE] [--prom-out FILE]\n",
                    argv[0]);
       std::exit(1);
     }
@@ -111,13 +123,27 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
-void run_one(wl::JsonWriter& w, const std::string& bench, wl::WorkloadConfig cfg) {
+wl::WorkloadResult run_one(wl::JsonWriter& w, const std::string& bench,
+                           wl::WorkloadConfig cfg) {
   wl::WorkloadResult r = wl::run_workload(cfg);
   wl::append_result_entry(w, bench, r);
   std::printf("%-32s threads=%-2d shards=%-3d  %10.0f ops/s  p50=%6lld ns  p99=%8lld ns\n",
               bench.c_str(), cfg.threads, cfg.store.shards, r.throughput_ops_s,
               static_cast<long long>(r.latency.p50_ns),
               static_cast<long long>(r.latency.p99_ns));
+  if (r.wait_spread.waiters > 0) {
+    // session_churn only: per-waiter open-latency fairness. The spread is the
+    // max-min gap of each per-waiter statistic across waiters (0 = perfectly
+    // even FIFO service).
+    std::printf("%-32s waiters=%llu  p50 spread=%lld ns  p99 spread=%lld ns  "
+                "max spread=%lld ns\n",
+                "  wait-time-spread",
+                static_cast<unsigned long long>(r.wait_spread.waiters),
+                static_cast<long long>(r.wait_spread.p50_spread_ns),
+                static_cast<long long>(r.wait_spread.p99_spread_ns),
+                static_cast<long long>(r.wait_spread.max_spread_ns));
+  }
+  return r;
 }
 
 }  // namespace
@@ -174,6 +200,9 @@ int main(int argc, char** argv) {
   }
 
   // --- op-mix and key-distribution scenarios ---
+  // The mix/mixed entry's store telemetry feeds --metrics-out / --prom-out
+  // (the same entry the CI overhead-ablation gate diffs ON-vs-OFF).
+  tel::MetricsSnapshot metrics;
   for (const char* mix :
        {"read_heavy", "write_heavy", "mixed", "aggregate_scan", "sum_heavy"}) {
     wl::WorkloadConfig cfg;
@@ -186,7 +215,8 @@ int main(int argc, char** argv) {
     cfg.keys = args.keys;
     cfg.sum_impl = args.sum_impl;
     cfg.store.shards = 16;
-    run_one(w, std::string("mix/") + mix, cfg);
+    wl::WorkloadResult r = run_one(w, std::string("mix/") + mix, cfg);
+    if (std::strcmp(mix, "mixed") == 0) metrics = r.metrics;
   }
   // --- session churn: more threads than lanes, blocking-vs-try acquisition ---
   // The store keeps HALF the worker count in lanes, so every open contends;
@@ -230,5 +260,21 @@ int main(int argc, char** argv) {
   std::ofstream out(args.out);
   out << w.str() << "\n";
   std::printf("wrote %s\n", args.out.c_str());
+
+  if (!args.metrics_out.empty() || !args.prom_out.empty()) {
+    // The calibration pass (average FAA/TAS/swap per service op on a private
+    // store) rides on the mix/mixed snapshot; a no-op when telemetry is off.
+    wl::profile_primitives(metrics);
+    if (!args.metrics_out.empty()) {
+      std::ofstream mout(args.metrics_out);
+      mout << tel::to_json(metrics, "bench_c2store") << "\n";
+      std::printf("wrote %s\n", args.metrics_out.c_str());
+    }
+    if (!args.prom_out.empty()) {
+      std::ofstream pout(args.prom_out);
+      pout << tel::to_prometheus(metrics);
+      std::printf("wrote %s\n", args.prom_out.c_str());
+    }
+  }
   return 0;
 }

@@ -2,19 +2,38 @@
 // consensus-number-2 primitives (exchange + fetch&add — no CAS anywhere, not
 // even in the service plumbing), serving a mixed workload from real threads.
 //
-//   $ ./example_c2store_demo [threads] [ops_per_thread]
+//   $ ./example_c2store_demo [threads] [ops_per_thread] [--metrics]
+//
+// --metrics additionally prints the workload store's c2sl-metrics-v1 JSON
+// snapshot and its Prometheus text exposition (the no-CAS telemetry layer;
+// a disabled C2SL_TELEMETRY=0 build prints telemetry_enabled=false).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "service/c2store.h"
+#include "telemetry/export.h"
 #include "workload/engine.h"
 
 using namespace c2sl;
 
 int main(int argc, char** argv) try {
+  bool metrics = false;
+  int pos = 0;
+  int positional[2] = {0, 0};
+  bool have[2] = {false, false};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (pos < 2) {
+      positional[pos] = std::atoi(argv[i]);
+      have[pos] = true;
+      ++pos;
+    }
+  }
   wl::WorkloadConfig cfg;
-  cfg.threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  cfg.ops_per_thread = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5000;
+  cfg.threads = have[0] ? positional[0] : 4;
+  cfg.ops_per_thread = have[1] ? static_cast<uint64_t>(positional[1]) : 5000;
   cfg.key_space = 4096;
   cfg.dist = "zipfian";
   cfg.mix = wl::OpMix::mixed();
@@ -50,6 +69,11 @@ int main(int argc, char** argv) try {
       static_cast<long long>(r.final_counter_sum));
 
   std::printf("%s\n", wl::result_to_json("c2store_demo", "demo/mixed", r).c_str());
+
+  if (metrics) {
+    std::printf("%s\n", tel::to_json(r.metrics, "c2store_demo").c_str());
+    std::printf("%s", tel::to_prometheus(r.metrics).c_str());
+  }
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -16,7 +16,11 @@
 //
 // Exits non-zero on any inconsistency, so CI can run it as a smoke test.
 //
-//   $ ./example_c2store_sessions_demo [lanes] [workers] [ops] [--try]
+//   $ ./example_c2store_sessions_demo [lanes] [workers] [ops] [--try] [--metrics]
+//
+// --metrics additionally prints the store's c2sl-metrics-v1 JSON snapshot and
+// Prometheus text — under oversubscription the open_wait histogram and the
+// handoff park/delivery counters are the interesting part.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "service/c2store.h"
+#include "telemetry/export.h"
 
 using namespace c2sl;
 
@@ -42,10 +47,13 @@ void expect(bool ok, const char* what) {
 
 int main(int argc, char** argv) try {
   bool use_try_poll = false;
+  bool metrics = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--try") == 0) {
       use_try_poll = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else {
       pos.push_back(argv[i]);
     }
@@ -123,6 +131,12 @@ int main(int argc, char** argv) try {
       static_cast<long long>(store.lane_handoff_deliveries()),
       static_cast<long long>(store.lane_handoff_parks()));
   expect(served == expected, "every op from every worker must be counted exactly once");
+
+  if (metrics) {
+    tel::MetricsSnapshot snap = store.metrics_snapshot();
+    std::printf("%s\n", tel::to_json(snap, "c2store_sessions_demo").c_str());
+    std::printf("%s", tel::to_prometheus(snap).c_str());
+  }
 
   if (failures > 0) return 1;
   std::printf("ok: %d workers shared %d lanes via %s acquisition\n", workers,

@@ -56,13 +56,18 @@ class CounterSumDigest {
   /// the operation's linearization point (a fixed own-step).
   void add(int lane) {
     C2SL_CHECK(lane >= 0, "lane must be non-negative");
+    C2SL_TEL_PRIM_FAA();
     lanes_.cell(static_cast<size_t>(lane)).v.fetch_add(1, std::memory_order_seq_cst);
+    C2SL_TEL_PRIM_FAA();
     total_.fetch_add(1, std::memory_order_seq_cst);
   }
 
   /// The digest read: one FAA(0) on the total word — wait-free, strongly
   /// linearizable (the §3.2 single-word-scan move, degenerate sum form).
-  int64_t read() { return total_.fetch_add(0, std::memory_order_seq_cst); }
+  int64_t read() {
+    C2SL_TEL_PRIM_FAA();
+    return total_.fetch_add(0, std::memory_order_seq_cst);
+  }
 
   /// Contributions recorded by `lane` (diagnostics; never on the sum path).
   /// An unpublished lane segment reads as 0 — the lane has never added.

@@ -87,6 +87,7 @@ class HandoffQueue {
   /// the enqueue — after it, every hand() is obliged to serve this ticket
   /// before any later one (FIFO by ticket order).
   size_t enqueue() {
+    C2SL_TEL_PRIM_FAA();
     return static_cast<size_t>(tail_.fetch_add(1, std::memory_order_seq_cst));
   }
 
@@ -106,11 +107,13 @@ class HandoffQueue {
           tail_.load(std::memory_order_seq_cst)) {
         return false;
       }
+      C2SL_TEL_PRIM_FAA();
       size_t h = static_cast<size_t>(head_.fetch_add(1, std::memory_order_seq_cst));
       if (static_cast<int64_t>(h) >= tail_.load(std::memory_order_seq_cst)) {
         // Overshoot: a concurrent hand() served the waiter the guard saw.
         // Kill slot h so its eventual waiter retries rather than parking on
         // a slot no hand() will ever target again.
+        C2SL_TEL_PRIM_SWAP();
         int64_t prev = cell(h).exchange(kCellRevoked, std::memory_order_seq_cst);
         revocations_.fetch_add(1, std::memory_order_relaxed);
         if (prev == kCellClaimed) cell(h).notify_one();  // waiter already parked
@@ -119,6 +122,7 @@ class HandoffQueue {
         // prev cannot be a value: only hand() writes values, one ticket each.
         return false;
       }
+      C2SL_TEL_PRIM_SWAP();
       int64_t prev = cell(h).exchange(encode(value), std::memory_order_seq_cst);
       if (prev == kCellCancelled) continue;  // waiter timed out: next waiter
       deliveries_.fetch_add(1, std::memory_order_relaxed);
@@ -169,6 +173,7 @@ class HandoffQueue {
   /// already dead, or the VALUE when a delivery won the race — the caller
   /// then owns that value and must not drop it.
   int64_t cancel(size_t t) {
+    C2SL_TEL_PRIM_SWAP();
     int64_t prev = cell(t).exchange(kCellCancelled, std::memory_order_seq_cst);
     if (prev >= kValueBase) return decode(prev);
     if (prev == kCellRevoked) return kRevoked;
@@ -213,6 +218,7 @@ class HandoffQueue {
   /// when the waiter should park, else the pre-claim content (a value or a
   /// revocation tombstone) to settle immediately.
   int64_t claim(size_t t) {
+    C2SL_TEL_PRIM_SWAP();
     int64_t prev = cell(t).exchange(kCellClaimed, std::memory_order_seq_cst);
     if (prev == kCellEmpty) return kCellClaimed;
     return prev;  // encoded value or kCellRevoked; never claimed/cancelled

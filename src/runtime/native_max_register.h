@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/prim_profile.h"
 #include "util/assert.h"
 
 namespace c2sl::rt {
@@ -35,6 +36,7 @@ class NativeMaxRegister64 {
     Cell& cell = prev_[static_cast<size_t>(proc)];
     uint64_t k = static_cast<uint64_t>(v);
     if (k <= cell.prev) {
+      C2SL_TEL_PRIM_FAA();
       reg_.fetch_add(0, std::memory_order_seq_cst);
       return;
     }
@@ -42,11 +44,13 @@ class NativeMaxRegister64 {
     for (uint64_t j = cell.prev; j < k; ++j) {
       delta |= uint64_t{1} << (j * static_cast<uint64_t>(n_) + static_cast<uint64_t>(proc));
     }
+    C2SL_TEL_PRIM_FAA();
     reg_.fetch_add(delta, std::memory_order_seq_cst);
     cell.prev = k;
   }
 
   int64_t read_max() {
+    C2SL_TEL_PRIM_FAA();
     uint64_t snapshot = reg_.fetch_add(0, std::memory_order_seq_cst);
     int64_t best = 0;
     for (int i = 0; i < n_; ++i) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/prim_profile.h"
 #include "util/assert.h"
 
 namespace c2sl::rt {
@@ -31,11 +32,13 @@ class NativeSnapshot64 {
     Cell& cell = prev_[static_cast<size_t>(proc)];
     uint64_t next = static_cast<uint64_t>(v);
     uint64_t delta = spread(next, proc) - spread(cell.prev, proc);  // wraps safely
+    C2SL_TEL_PRIM_FAA();
     reg_.fetch_add(delta, std::memory_order_seq_cst);
     cell.prev = next;
   }
 
   std::vector<int64_t> scan() {
+    C2SL_TEL_PRIM_FAA();
     uint64_t snapshot = reg_.fetch_add(0, std::memory_order_seq_cst);
     std::vector<int64_t> view(static_cast<size_t>(n_));
     for (int i = 0; i < n_; ++i) {

@@ -52,6 +52,7 @@ class NativeReadableTAS {
  public:
   /// Returns 0 to exactly one caller, then 1.
   int64_t test_and_set() {
+    C2SL_TEL_PRIM_TAS();
     int64_t old = ts_.exchange(1, std::memory_order_seq_cst);
     state_.store(1, std::memory_order_seq_cst);
     return old;
@@ -239,6 +240,7 @@ class NativeSet {
         const detail::SetItemCell* item = items_.peek(static_cast<size_t>(c));
         int64_t x = item ? item->v.load(std::memory_order_seq_cst) : kEmpty;
         if (x != kEmpty) {
+          C2SL_TEL_PRIM_TAS();
           if (ts_.cell(static_cast<size_t>(c)).v.exchange(
                   1, std::memory_order_seq_cst) == 0) {
             if (static_cast<size_t>(c) == dead) ++dead;  // we just killed c too

@@ -42,6 +42,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "telemetry/prim_profile.h"
 #include "util/assert.h"
 
 namespace c2sl::rt {
@@ -136,7 +137,9 @@ class SegmentedArray {
 
   T* materialize(int s) {
     Slot& slot = spine_[s];
+    C2SL_TEL_PRIM_TAS();
     if (slot.claim.exchange(1, std::memory_order_seq_cst) == 0) {
+      C2SL_TEL_EVENT(tel::TelEvent::kSegmentClaim);
       // Claim won: construct every cell to its initial state, THEN publish.
       // Swapping these two steps is the pinned-broken variant — see header.
       T* seg = nullptr;
@@ -147,6 +150,7 @@ class SegmentedArray {
         throw;
       }
       slot.seg.store(seg, std::memory_order_seq_cst);
+      C2SL_TEL_EVENT(tel::TelEvent::kSegmentPublish);
       return seg;
     }
     T* seg = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "telemetry/export.h"
 #include "util/assert.h"
 
 namespace c2sl::svc {
@@ -26,9 +27,14 @@ C2Store::C2Store(const C2StoreConfig& cfg)
       router_(cfg.shards),
       slots_(std::make_unique<ShardSlot[]>(static_cast<size_t>(cfg.shards))),
       lanes_(cfg.max_threads),
-      digest_(cfg.max_threads, cfg.max_value) {}
+      digest_(cfg.max_threads, cfg.max_value) {
+  // Route assert failures through this store's flight recorder (last store
+  // constructed wins the slot; a no-op under C2SL_TELEMETRY=0).
+  tel::install_flight_dump_on_assert(&tel_, cfg_.max_threads);
+}
 
 C2Store::~C2Store() {
+  tel::uninstall_flight_dump_on_assert(&tel_);
   for (int s = 0; s < router_.shard_count(); ++s) {
     delete slots_[static_cast<size_t>(s)].objs.load(std::memory_order_seq_cst);
   }
@@ -36,19 +42,27 @@ C2Store::~C2Store() {
 
 C2Session C2Store::open_session() {
   // Blocks while all lanes are held: the registry parks this caller on its
-  // handoff queue and a closing session hands its lane over directly.
-  return C2Session(this, lanes_.acquire_blocking());
+  // handoff queue and a closing session hands its lane over directly. The
+  // timer measures that blocking window (the wait-time-spread metric rides
+  // on the per-lane open_wait histograms this feeds).
+  tel::OpenTimer timer;
+  int lane = lanes_.acquire_blocking();
+  tel_.record_open_wait(tel_.lane(lane), timer.elapsed_ns());
+  return C2Session(this, lane);
 }
 
 C2Session C2Store::try_open_session() {
   int lane = lanes_.try_acquire();
   if (lane == LaneRegistry::kNone) return C2Session();
+  tel_.record_open_wait(tel_.lane(lane), 0);  // non-blocking: zero wait
   return C2Session(this, lane);
 }
 
 C2Session C2Store::open_session_for(std::chrono::nanoseconds timeout) {
+  tel::OpenTimer timer;
   int lane = lanes_.acquire_for(timeout);
   if (lane == LaneRegistry::kNone) return C2Session();
+  tel_.record_open_wait(tel_.lane(lane), timer.elapsed_ns());
   return C2Session(this, lane);
 }
 
@@ -69,6 +83,7 @@ ShardObjects& C2Store::shard(int s) {
       throw;
     }
     slot.objs.store(p, std::memory_order_seq_cst);
+    C2SL_TEL_EVENT(tel::TelEvent::kShardInit);
     return *p;
   }
   // Another thread won the claim; its publication is at most a few stores
@@ -149,6 +164,22 @@ int C2Store::initialized_shards() const {
     if (peek(s)) ++count;
   }
   return count;
+}
+
+tel::MetricsSnapshot C2Store::metrics_snapshot() const {
+  // Telemetry core first (the strongly linearizable ops-total digest read
+  // plus the racy lane scans), then the session-layer counters the registry
+  // and handoff queue already expose.
+  tel::MetricsSnapshot s = tel_.snapshot(cfg_.max_threads);
+  s.lane_tickets = lane_tickets_issued();
+  s.handoff_enqueued = lane_handoff_enqueued();
+  s.handoff_deliveries = lane_handoff_deliveries();
+  s.handoff_parks = lane_handoff_parks();
+  s.handoff_revocations = lane_handoff_revocations();
+  for (int lane = 0; lane < cfg_.max_threads; ++lane) {
+    s.lane_counter_adds += lane_counter_adds(lane);
+  }
+  return s;
 }
 
 }  // namespace c2sl::svc

@@ -91,6 +91,7 @@
 #include "runtime/native_tas_family.h"
 #include "service/lane_registry.h"
 #include "service/shard_router.h"
+#include "telemetry/telemetry.h"
 
 namespace c2sl::svc {
 
@@ -146,8 +147,8 @@ class ShardRef {
   int shard() const { return shard_; }
 
  protected:
-  ShardRef(C2Store* store, int lane, int shard)
-      : store_(store), lane_(lane), shard_(shard) {}
+  ShardRef(C2Store* store, int lane, int shard, tel::LaneTelemetry* tel)
+      : store_(store), tel_(tel), lane_(lane), shard_(shard) {}
 
   /// Cached objects, or nullptr while the shard is unmaterialised.
   inline ShardObjects* resolved();
@@ -155,6 +156,10 @@ class ShardRef {
   inline ShardObjects& ensure();
 
   C2Store* store_;
+  /// The owning session's lane-local telemetry block (single-writer — the
+  /// session's thread), cached at bind time like the shard slot. Null only in
+  /// the C2SL_TELEMETRY=0 flavour, where tel::OpScope ignores it.
+  tel::LaneTelemetry* tel_;
   ShardObjects* objs_ = nullptr;
   int lane_;
   int shard_;
@@ -214,8 +219,10 @@ class SetRef : public detail::ShardRef {
 class C2Session {
  public:
   C2Session() = default;  ///< invalid (valid() == false) until move-assigned
-  C2Session(C2Session&& o) noexcept : store_(o.store_), lane_(o.lane_) {
+  C2Session(C2Session&& o) noexcept
+      : store_(o.store_), tel_lane_(o.tel_lane_), lane_(o.lane_) {
     o.store_ = nullptr;
+    o.tel_lane_ = nullptr;
     o.lane_ = -1;
   }
   C2Session& operator=(C2Session&& o) noexcept {
@@ -228,8 +235,10 @@ class C2Session {
       } catch (...) {
       }
       store_ = o.store_;
+      tel_lane_ = o.tel_lane_;
       lane_ = o.lane_;
       o.store_ = nullptr;
+      o.tel_lane_ = nullptr;
       o.lane_ = -1;
     }
     return *this;
@@ -291,9 +300,10 @@ class C2Session {
 
  private:
   friend class C2Store;
-  C2Session(C2Store* store, int lane) : store_(store), lane_(lane) {}
+  inline C2Session(C2Store* store, int lane);  // defined after C2Store
 
   C2Store* store_ = nullptr;
+  tel::LaneTelemetry* tel_lane_ = nullptr;  ///< cached lane telemetry block
   int lane_ = -1;
 };
 
@@ -380,11 +390,24 @@ class C2Store {
     return sum_digest_.lane_contribution(lane);
   }
 
+  // --- telemetry (src/telemetry/; all of it compiles out under
+  // --- C2SL_TELEMETRY=0) ---
+  /// Full metrics snapshot: the strongly linearizable ops-total digest read,
+  /// the racy per-lane counter/histogram scans, and the session-layer
+  /// counters above — the c2sl-metrics-v1 payload (tel::to_json /
+  /// tel::to_prometheus in telemetry/export.h).
+  tel::MetricsSnapshot metrics_snapshot() const;
+  /// The live telemetry root, for tel::dump_flight and tests. Read-only:
+  /// writes belong to lane owners.
+  const tel::StoreTelemetry& telemetry() const { return tel_; }
+
  private:
   friend class C2Session;
   friend class detail::ShardRef;
   friend class MaxRef;
   friend class CounterRef;
+  friend class TasRef;
+  friend class SetRef;
 
   struct alignas(128) ShardSlot {
     rt::NativeReadableTAS claim;           // Thm 5 readable test&set: init winner
@@ -416,6 +439,11 @@ class C2Store {
   /// the total is 63-bit bounded and the per-lane cells ride on a segmented
   /// spine (runtime/counter_sum_digest.h).
   rt::CounterSumDigest sum_digest_;
+  /// Lane-local metrics + the shared ops-total FAA digest (telemetry.h). An
+  /// empty shell under C2SL_TELEMETRY=0. Mutable: ref hot paths reach it
+  /// through const-agnostic session state, and its lane blocks are
+  /// single-writer by the session discipline.
+  mutable tel::StoreTelemetry tel_;
 };
 
 // --- inline hot paths -------------------------------------------------------
@@ -432,17 +460,20 @@ inline ShardObjects& ShardRef::ensure() {
 }  // namespace detail
 
 inline void MaxRef::write(int64_t v) {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxWrite, shard_, v);
   // Shard register FIRST, digest second: the digest must never run ahead of
   // every shard register (pinned cross-facet invariant; see global_max()).
   ensure().max.write_max(lane_, v);
   store_->digest_.write_max(lane_, v);
 }
 inline int64_t MaxRef::read() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxRead, shard_, 0);
   ShardObjects* p = resolved();
   return p ? p->max.read_max() : 0;
 }
 
 inline int64_t CounterRef::inc() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kCounterInc, shard_, 0);
   // Shard counter FIRST, sum digest second: the digest must never run ahead
   // of any keyed counter read (pinned cross-facet invariant, mirroring
   // MaxRef::write; see C2Store::counter_sum()).
@@ -451,83 +482,103 @@ inline int64_t CounterRef::inc() {
   return prev;
 }
 inline int64_t CounterRef::read() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kCounterRead, shard_, 0);
   ShardObjects* p = resolved();
   return p ? p->counter.read() : 0;
 }
 
-inline int64_t TasRef::test_and_set() { return ensure().tas.test_and_set(lane_); }
+inline int64_t TasRef::test_and_set() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasSet, shard_, 0);
+  return ensure().tas.test_and_set(lane_);
+}
 inline int64_t TasRef::read() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasRead, shard_, 0);
   ShardObjects* p = resolved();
   return p ? p->tas.read() : 0;
 }
 inline ResetResult TasRef::reset() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasReset, shard_, 0);
   ShardObjects& o = ensure();
   if (o.tas.generation() >= o.tas.max_resets()) return ResetResult::kBudgetSpent;
   o.tas.reset(lane_);
   return ResetResult::kOk;
 }
 
-inline void SetRef::put(int64_t item) { ensure().set.put(item); }
+inline void SetRef::put(int64_t item) {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kSetPut, shard_, item);
+  ensure().set.put(item);
+}
 inline int64_t SetRef::take() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kSetTake, shard_, 0);
   ShardObjects* p = resolved();
   return p ? p->set.take() : C2Store::kEmpty;
 }
+
+inline C2Session::C2Session(C2Store* store, int lane)
+    : store_(store), tel_lane_(store->tel_.lane(lane)), lane_(lane) {}
 
 inline void C2Session::close() {
   if (store_) {
     store_->lanes_.release(lane_);
     store_ = nullptr;
+    tel_lane_ = nullptr;
     lane_ = -1;
   }
 }
 
 inline MaxRef C2Session::max(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return MaxRef(store_, lane_, store_->route(key));
+  return MaxRef(store_, lane_, store_->route(key), tel_lane_);
 }
 inline MaxRef C2Session::max(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return MaxRef(store_, lane_, store_->route(key));
+  return MaxRef(store_, lane_, store_->route(key), tel_lane_);
 }
 inline CounterRef C2Session::counter(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return CounterRef(store_, lane_, store_->route(key));
+  return CounterRef(store_, lane_, store_->route(key), tel_lane_);
 }
 inline CounterRef C2Session::counter(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return CounterRef(store_, lane_, store_->route(key));
+  return CounterRef(store_, lane_, store_->route(key), tel_lane_);
 }
 inline TasRef C2Session::tas(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return TasRef(store_, lane_, store_->route(key));
+  return TasRef(store_, lane_, store_->route(key), tel_lane_);
 }
 inline TasRef C2Session::tas(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return TasRef(store_, lane_, store_->route(key));
+  return TasRef(store_, lane_, store_->route(key), tel_lane_);
 }
 inline SetRef C2Session::set(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return SetRef(store_, lane_, store_->route(key));
+  return SetRef(store_, lane_, store_->route(key), tel_lane_);
 }
 inline SetRef C2Session::set(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return SetRef(store_, lane_, store_->route(key));
+  return SetRef(store_, lane_, store_->route(key), tel_lane_);
 }
 
+// Aggregates carry session telemetry (store-level calls made without a
+// session are NOT instrumented — telemetry is lane-local by design).
 inline int64_t C2Session::global_max() {
   C2SL_CHECK(valid(), "session is closed");
+  tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kGlobalMax, -1, 0);
   return store_->global_max();
 }
 inline int64_t C2Session::global_max_scan() {
   C2SL_CHECK(valid(), "session is closed");
+  tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kGlobalMaxScan, -1, 0);
   return store_->global_max_scan();
 }
 inline int64_t C2Session::counter_sum() {
   C2SL_CHECK(valid(), "session is closed");
+  tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kCounterSum, -1, 0);
   return store_->counter_sum();
 }
 inline int64_t C2Session::counter_sum_scan() {
   C2SL_CHECK(valid(), "session is closed");
+  tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kCounterSumScan, -1, 0);
   return store_->counter_sum_scan();
 }
 

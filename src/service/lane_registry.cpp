@@ -1,5 +1,6 @@
 #include "service/lane_registry.h"
 
+#include "telemetry/prim_profile.h"
 #include "util/assert.h"
 
 namespace c2sl::svc {
@@ -14,6 +15,7 @@ int LaneRegistry::try_acquire() {
   // burn a ticket); the fetch_add itself is still the linearization point of
   // a successful fresh acquire — the pre-read is an optimisation, not a gate.
   if (next_.load(std::memory_order_seq_cst) < max_lanes_) {
+    C2SL_TEL_PRIM_FAA();
     int64_t t = next_.fetch_add(1, std::memory_order_seq_cst);
     if (t < max_lanes_) return static_cast<int>(t);
   }

@@ -1,0 +1,233 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/assert.h"
+#include "workload/json_writer.h"
+
+namespace c2sl::tel {
+
+namespace {
+
+void hist_json(wl::JsonWriter& w, const HistogramSnapshot& h) {
+  w.begin_object();
+  w.field("count", h.total());
+  w.field("p50_upper_ns", h.quantile_upper_ns(0.50));
+  w.field("p90_upper_ns", h.quantile_upper_ns(0.90));
+  w.field("p99_upper_ns", h.quantile_upper_ns(0.99));
+  w.field("max_upper_ns", h.max_upper_ns());
+  w.key("buckets");
+  w.begin_array();
+  for (int b = 0; b < kHistBuckets; ++b) {
+    if (h.counts[b] == 0) continue;
+    w.begin_array();
+    w.value(hist_bucket_upper(b));
+    w.value(h.counts[b]);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snap, std::string_view source) {
+  wl::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "c2sl-metrics-v1");
+  w.field("source", source);
+  w.field("telemetry_enabled", snap.enabled);
+  w.field("lanes", snap.lanes);
+  // The exact, strongly linearizable digest read next to the racy lane-scan
+  // estimate: the pair is the PR's thesis in one snapshot (the two may
+  // legitimately differ while writers are in flight).
+  w.field("ops_total", snap.ops_total);
+  w.field("ops_total_scan", snap.ops_total_scan);
+
+  w.key("op_counts");
+  w.begin_object();
+  for (int k = 0; k < kTelOpCount; ++k) {
+    w.field(to_string(static_cast<TelOp>(k)), snap.op_counts[k]);
+  }
+  w.end_object();
+
+  w.key("op_latency_ns");
+  w.begin_object();
+  for (int k = 0; k < kTelOpCount; ++k) {
+    if (snap.op_latency[k].total() == 0) continue;
+    w.key(to_string(static_cast<TelOp>(k)));
+    hist_json(w, snap.op_latency[k]);
+  }
+  w.end_object();
+
+  w.key("open_wait_ns");
+  hist_json(w, snap.open_wait);
+
+  w.key("session");
+  w.begin_object();
+  w.field("lane_tickets", snap.lane_tickets);
+  w.field("handoff_enqueued", snap.handoff_enqueued);
+  w.field("handoff_deliveries", snap.handoff_deliveries);
+  w.field("handoff_parks", snap.handoff_parks);
+  w.field("handoff_revocations", snap.handoff_revocations);
+  w.field("lane_counter_adds", snap.lane_counter_adds);
+  w.end_object();
+
+  w.key("events");
+  w.begin_object();
+  for (int e = 0; e < kTelEventCount; ++e) {
+    w.field(to_string(static_cast<TelEvent>(e)), snap.events[e]);
+  }
+  w.end_object();
+
+  if (snap.has_prim_profile) {
+    w.key("prim_profile");
+    w.begin_object();
+    for (int k = 0; k < kTelOpCount; ++k) {
+      const PrimProfile& p = snap.prim_profile[k];
+      if (p.ops <= 0) continue;
+      w.key(to_string(static_cast<TelOp>(k)));
+      w.begin_object();
+      w.field("faa", p.faa);
+      w.field("tas", p.tas);
+      w.field("swap", p.swap);
+      w.field("ops", p.ops);
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  char buf[256];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+
+  line("# HELP c2sl_telemetry_enabled 1 when the store was built with "
+       "C2SL_TELEMETRY=1.");
+  line("# TYPE c2sl_telemetry_enabled gauge");
+  line("c2sl_telemetry_enabled %d", snap.enabled ? 1 : 0);
+  if (!snap.enabled) return out;
+
+  line("# HELP c2sl_ops_total Exact instrumented-op count (strongly "
+       "linearizable FAA-digest read).");
+  line("# TYPE c2sl_ops_total counter");
+  line("c2sl_ops_total %" PRId64, snap.ops_total);
+  line("# HELP c2sl_ops_scan Racy per-lane scan estimate of the same count "
+       "(merely linearizable; see docs/PROOFS.md).");
+  line("# TYPE c2sl_ops_scan counter");
+  line("c2sl_ops_scan %" PRIu64, snap.ops_total_scan);
+
+  line("# TYPE c2sl_op_count counter");
+  for (int k = 0; k < kTelOpCount; ++k) {
+    line("c2sl_op_count{op=\"%s\"} %" PRIu64, to_string(static_cast<TelOp>(k)),
+         snap.op_counts[k]);
+  }
+
+  line("# HELP c2sl_op_latency_ns Sampled nearest-rank latency quantile "
+       "upper bounds (log2 buckets).");
+  line("# TYPE c2sl_op_latency_ns gauge");
+  static constexpr double kQuantiles[] = {0.50, 0.90, 0.99};
+  for (int k = 0; k < kTelOpCount; ++k) {
+    const HistogramSnapshot& h = snap.op_latency[k];
+    if (h.total() == 0) continue;
+    for (double q : kQuantiles) {
+      line("c2sl_op_latency_ns{op=\"%s\",quantile=\"%g\"} %" PRId64,
+           to_string(static_cast<TelOp>(k)), q, h.quantile_upper_ns(q));
+    }
+  }
+
+  line("# TYPE c2sl_open_wait_ns gauge");
+  for (double q : kQuantiles) {
+    line("c2sl_open_wait_ns{quantile=\"%g\"} %" PRId64, q,
+         snap.open_wait.quantile_upper_ns(q));
+  }
+  line("# TYPE c2sl_open_wait_count counter");
+  line("c2sl_open_wait_count %" PRIu64, snap.open_wait.total());
+
+  line("# TYPE c2sl_lane_tickets_total counter");
+  line("c2sl_lane_tickets_total %" PRId64, snap.lane_tickets);
+  line("# TYPE c2sl_handoff_enqueued_total counter");
+  line("c2sl_handoff_enqueued_total %" PRId64, snap.handoff_enqueued);
+  line("# TYPE c2sl_handoff_deliveries_total counter");
+  line("c2sl_handoff_deliveries_total %" PRId64, snap.handoff_deliveries);
+  line("# TYPE c2sl_handoff_parks_total counter");
+  line("c2sl_handoff_parks_total %" PRId64, snap.handoff_parks);
+  line("# TYPE c2sl_handoff_revocations_total counter");
+  line("c2sl_handoff_revocations_total %" PRId64, snap.handoff_revocations);
+  line("# TYPE c2sl_lane_counter_adds_total counter");
+  line("c2sl_lane_counter_adds_total %" PRId64, snap.lane_counter_adds);
+
+  for (int e = 0; e < kTelEventCount; ++e) {
+    line("# TYPE c2sl_%s_total counter", to_string(static_cast<TelEvent>(e)));
+    line("c2sl_%s_total %" PRIu64, to_string(static_cast<TelEvent>(e)),
+         snap.events[e]);
+  }
+  return out;
+}
+
+#if C2SL_TELEMETRY
+
+void dump_flight(std::FILE* out, const StoreTelemetry& tel, int max_lanes) {
+  std::fprintf(out, "c2sl flight recorder (last %" PRIu64 " ops per lane):\n",
+               FlightRecorder::kEntries);
+  for (int lane = 0; lane < max_lanes; ++lane) {
+    const LaneTelemetry* lt = tel.peek_lane(lane);
+    if (lt == nullptr) continue;
+    auto entries = lt->flight.snapshot();
+    if (entries.empty()) continue;
+    std::fprintf(out, "  lane %d (%zu entries):\n", lane, entries.size());
+    for (const FlightEntry& e : entries) {
+      if (e.shard >= 0) {
+        std::fprintf(out, "    #%" PRIu64 " %s shard=%d arg=%" PRId64 "\n",
+                     e.seq, to_string(e.op), e.shard, e.arg);
+      } else {
+        std::fprintf(out, "    #%" PRIu64 " %s arg=%" PRId64 "\n", e.seq,
+                     to_string(e.op), e.arg);
+      }
+    }
+  }
+}
+
+namespace {
+
+// The hook context lives in a static (never dangles); it names the store
+// whose rings to dump. Install races between concurrently-constructed stores
+// are benign — this is a diagnostics channel, last installer wins.
+struct DumpCtx {
+  const StoreTelemetry* tel = nullptr;
+  int max_lanes = 0;
+};
+DumpCtx g_dump_ctx;
+
+}  // namespace
+
+void install_flight_dump_on_assert(const StoreTelemetry* tel, int max_lanes) {
+  g_dump_ctx.tel = tel;
+  g_dump_ctx.max_lanes = max_lanes;
+  set_failure_hook(
+      [](void* p) {
+        auto* ctx = static_cast<DumpCtx*>(p);
+        if (ctx->tel != nullptr) dump_flight(stderr, *ctx->tel, ctx->max_lanes);
+      },
+      &g_dump_ctx);
+}
+
+void uninstall_flight_dump_on_assert(const StoreTelemetry* tel) {
+  if (g_dump_ctx.tel == tel) {
+    g_dump_ctx.tel = nullptr;
+    clear_failure_hook(&g_dump_ctx);
+  }
+}
+
+#endif  // C2SL_TELEMETRY
+
+}  // namespace c2sl::tel

@@ -1,0 +1,385 @@
+// Lane-local telemetry with FAA-digest aggregation — the observability layer
+// built from the repo's own no-CAS toolbox.
+//
+// Structure (mirroring the paper's §3.2 pack-into-one-FAA-word move, already
+// powering rt::CounterSumDigest):
+//
+//   * Every service lane owns a LaneTelemetry block: per-op-kind counters,
+//     log-bucketed latency histograms, and a bounded flight recorder. Lanes
+//     are single-owner by construction (svc::LaneRegistry hands each lane to
+//     exactly one session at a time), so every write here is a plain register
+//     write — relaxed load + relaxed store on a private cache line, no RMW.
+//   * One shared ops-total word is bumped with fetch&add(1) per instrumented
+//     op, and read with fetch&add(0). That read's linearization point is its
+//     own FAA step — fixed, prefix-closed, STRONGLY linearizable, exactly the
+//     CounterSumDigest argument (docs/PROOFS.md). The alternative — summing
+//     the per-lane counters in a scan — is linearizable but NOT strongly
+//     linearizable; svc::SimTelemetryCounter pins both verdicts under the
+//     bounded checker (tests/telemetry_test.cpp).
+//
+// So the one telemetry datum an adaptive adversary could game (the hot op
+// counter a scheduler or test oracle might branch on) is exact and strongly
+// linearizable, while the bulk statistics (per-kind counts, histograms) are
+// deliberately racy approximations that cost the hot path nothing.
+//
+// Cost budget per instrumented op (on-flavour): two relaxed load+store pairs
+// (kind counter + lane digest cell), three relaxed stores (flight ring), one
+// seq_cst fetch&add (the digest), and a pair of clock reads on 1 of every
+// kLatencySamplePeriod ops. Under C2SL_TELEMETRY=0 every type in this header
+// collapses to an empty constexpr shell — tests/telemetry_off_test.cpp proves
+// the hot-path calls are constant-evaluable, hence free of atomics.
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/histogram.h"
+#include "telemetry/prim_profile.h"
+
+#if C2SL_TELEMETRY
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "runtime/segmented_array.h"
+#endif
+
+namespace c2sl::tel {
+
+/// Instrumented service-op kinds (the C2Store ref/session surface).
+enum class TelOp : int {
+  kMaxWrite = 0,
+  kMaxRead,
+  kCounterInc,
+  kCounterRead,
+  kTasSet,
+  kTasRead,
+  kTasReset,
+  kSetPut,
+  kSetTake,
+  kGlobalMax,
+  kGlobalMaxScan,
+  kCounterSum,
+  kCounterSumScan,
+  kSessionOpen,
+  kCount,
+};
+
+inline constexpr int kTelOpCount = static_cast<int>(TelOp::kCount);
+
+inline const char* to_string(TelOp op) {
+  switch (op) {
+    case TelOp::kMaxWrite: return "max_write";
+    case TelOp::kMaxRead: return "max_read";
+    case TelOp::kCounterInc: return "counter_inc";
+    case TelOp::kCounterRead: return "counter_read";
+    case TelOp::kTasSet: return "tas_set";
+    case TelOp::kTasRead: return "tas_read";
+    case TelOp::kTasReset: return "tas_reset";
+    case TelOp::kSetPut: return "set_put";
+    case TelOp::kSetTake: return "set_take";
+    case TelOp::kGlobalMax: return "global_max";
+    case TelOp::kGlobalMaxScan: return "global_max_scan";
+    case TelOp::kCounterSum: return "counter_sum";
+    case TelOp::kCounterSumScan: return "counter_sum_scan";
+    case TelOp::kSessionOpen: return "session_open";
+    default: return "unknown_op";
+  }
+}
+
+/// One decoded flight-recorder entry.
+struct FlightEntry {
+  uint64_t seq = 0;   ///< lane-local op sequence number
+  TelOp op = TelOp::kCount;
+  int shard = -1;     ///< -1 for lane-level / aggregate ops
+  int64_t arg = 0;    ///< op argument (key value, written value, wait ns, ...)
+};
+
+/// Average primitive invocations per service op of one kind, measured by
+/// wl::profile_primitives (a calibration pass over a private store).
+struct PrimProfile {
+  double faa = 0;
+  double tas = 0;
+  double swap = 0;
+  double ops = 0;  ///< ops measured; 0 = kind not profiled
+};
+
+/// Plain-data snapshot of everything telemetry knows — what the exporters
+/// (telemetry/export.h), the bench reporter, and tools/metrics_diff.py see.
+/// `ops_total` is the strongly linearizable digest read; everything else is
+/// an explicitly racy lane-scan or a relaxed counter.
+struct MetricsSnapshot {
+  bool enabled = false;
+  int lanes = 0;  ///< lane blocks scanned
+
+  int64_t ops_total = 0;        ///< digest fetch&add(0) — exact, strongly lin.
+  uint64_t ops_total_scan = 0;  ///< racy per-lane sum — approximate by design
+
+  uint64_t op_counts[kTelOpCount] = {};
+  HistogramSnapshot op_latency[kTelOpCount];  ///< sampled, see kLatencySamplePeriod
+  HistogramSnapshot open_wait;                ///< blocking open_session wait time
+
+  // Session-layer counters (filled by svc::C2Store::metrics_snapshot from the
+  // LaneRegistry/HandoffQueue introspection the TSAN stress already bounds).
+  int64_t lane_tickets = 0;
+  int64_t handoff_enqueued = 0;
+  int64_t handoff_deliveries = 0;
+  int64_t handoff_parks = 0;
+  int64_t handoff_revocations = 0;
+  int64_t lane_counter_adds = 0;
+
+  uint64_t events[kTelEventCount] = {};
+
+  bool has_prim_profile = false;
+  PrimProfile prim_profile[kTelOpCount];
+};
+
+/// 1 of every 32 ops pays the two steady_clock reads for its latency sample;
+/// the rest skip the clock entirely. Counters and the digest see every op.
+inline constexpr uint64_t kLatencySamplePeriod = 32;
+
+#if C2SL_TELEMETRY
+
+inline namespace tel_on {
+
+/// Bounded last-N ops ring, lane-local (single writer). Three relaxed stores
+/// per record; entries are two words (packed meta + raw arg) so a torn
+/// snapshot mispairs at worst one in-flight entry — acceptable for a crash
+/// diagnostic. Dumped by telemetry/export.cpp on assert failure.
+class FlightRecorder {
+ public:
+  static constexpr uint64_t kEntries = 64;  // power of two
+
+  void record(TelOp op, int shard, int64_t arg) {
+    uint64_t seq = seq_.load(std::memory_order_relaxed);
+    Slot& s = slots_[static_cast<size_t>(seq & (kEntries - 1))];
+    // meta: [seq:48][op:8][shard+1:8]; shard -1 encodes as 0.
+    uint64_t meta = (seq << 16) |
+                    ((static_cast<uint64_t>(op) & 0xff) << 8) |
+                    (static_cast<uint64_t>(shard + 1) & 0xff);
+    s.meta.store(meta, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    seq_.store(seq + 1, std::memory_order_relaxed);
+  }
+
+  /// Oldest-first decoded entries (racy read; diagnostics only).
+  std::vector<FlightEntry> snapshot() const {
+    uint64_t seq = seq_.load(std::memory_order_relaxed);
+    uint64_t count = seq < kEntries ? seq : kEntries;
+    std::vector<FlightEntry> out;
+    out.reserve(static_cast<size_t>(count));
+    for (uint64_t k = seq - count; k < seq; ++k) {
+      const Slot& s = slots_[static_cast<size_t>(k & (kEntries - 1))];
+      uint64_t meta = s.meta.load(std::memory_order_relaxed);
+      FlightEntry e;
+      e.seq = meta >> 16;
+      e.op = static_cast<TelOp>((meta >> 8) & 0xff);
+      e.shard = static_cast<int>(meta & 0xff) - 1;
+      e.arg = s.arg.load(std::memory_order_relaxed);
+      out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  // Meta and arg interleaved per entry, so one record dirties a single slot
+  // line (plus the seq line) instead of two parallel arrays' lines.
+  struct Slot {
+    std::atomic<uint64_t> meta{0};
+    std::atomic<int64_t> arg{0};
+  };
+  std::atomic<uint64_t> seq_{0};
+  Slot slots_[kEntries] = {};
+};
+
+/// Per-lane telemetry block. Single writer: the session that owns the lane.
+/// All fields are plain-register (load+store) cells; std::atomic only so the
+/// racy aggregating reader is well-defined under TSAN.
+struct alignas(128) LaneTelemetry {
+  std::atomic<uint64_t> op_counts[kTelOpCount] = {};
+  LatencyHistogram op_hist[kTelOpCount];
+  LatencyHistogram open_wait;
+  FlightRecorder flight;
+
+  // The per-op-kind counters double as the lane's digest cells: the lane's
+  // total ops is their sum, so the hot path pays exactly one load+store pair
+  // (the scan-side read sums kTelOpCount cells instead of one — it is the
+  // documented-racy diagnostic, not a hot path).
+  void bump(TelOp op) {
+    std::atomic<uint64_t>& c = op_counts[static_cast<int>(op)];
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  uint64_t total_ops_cell() const {
+    uint64_t sum = 0;
+    for (int k = 0; k < kTelOpCount; ++k) {
+      sum += op_counts[k].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+};
+
+/// Store-wide telemetry root: the lane-block spine plus the one shared FAA
+/// word that makes ops_total() strongly linearizable.
+class StoreTelemetry {
+ public:
+  StoreTelemetry() = default;
+  StoreTelemetry(const StoreTelemetry&) = delete;
+  StoreTelemetry& operator=(const StoreTelemetry&) = delete;
+
+  LaneTelemetry* lane(int i) { return &lanes_.cell(static_cast<size_t>(i)); }
+  const LaneTelemetry* peek_lane(int i) const {
+    return lanes_.peek(static_cast<size_t>(i));
+  }
+
+  /// The digest add — the instrumented op's fixed linearization point in the
+  /// telemetry facet. One fetch&add, seq_cst, exactly CounterSumDigest::add's
+  /// total-word half.
+  void bump_ops_total() { ops_total_.fetch_add(1, std::memory_order_seq_cst); }
+
+  /// Strongly linearizable exact read: fetch&add(0) linearizes at its own
+  /// step (prefix-closed — the checker-verified path).
+  int64_t ops_total() {
+    return ops_total_.fetch_add(0, std::memory_order_seq_cst);
+  }
+
+  /// The pinned NEGATIVE control: a one-pass sum of the per-lane cells. Racy
+  /// and merely linearizable — its linearization point depends on future
+  /// writes (refuted by the checker on the sim twin). Kept for the on-vs-off
+  /// contrast in the metrics export; never used where exactness matters.
+  uint64_t ops_total_scan(int max_lanes) const {
+    uint64_t sum = 0;
+    for (int i = 0; i < max_lanes; ++i) {
+      if (const LaneTelemetry* lt = peek_lane(i)) {
+        sum += lt->total_ops_cell();
+      }
+    }
+    return sum;
+  }
+
+  void record_open_wait(LaneTelemetry* lt, int64_t ns) {
+    if (lt == nullptr) return;
+    lt->bump(TelOp::kSessionOpen);
+    lt->open_wait.record(ns);
+    lt->flight.record(TelOp::kSessionOpen, -1, ns);
+    bump_ops_total();
+  }
+
+  /// Telemetry-core snapshot (lane scan + digest read). The service layer
+  /// adds its registry/handoff counters on top (C2Store::metrics_snapshot).
+  MetricsSnapshot snapshot(int max_lanes) const {
+    MetricsSnapshot s;
+    s.enabled = true;
+    s.ops_total = const_cast<StoreTelemetry*>(this)->ops_total();
+    s.ops_total_scan = ops_total_scan(max_lanes);
+    for (int i = 0; i < max_lanes; ++i) {
+      const LaneTelemetry* lt = peek_lane(i);
+      if (lt == nullptr) continue;
+      ++s.lanes;
+      for (int k = 0; k < kTelOpCount; ++k) {
+        s.op_counts[k] += lt->op_counts[k].load(std::memory_order_relaxed);
+        s.op_latency[k].merge(lt->op_hist[k].snapshot());
+      }
+      s.open_wait.merge(lt->open_wait.snapshot());
+    }
+    for (int e = 0; e < kTelEventCount; ++e) {
+      s.events[e] = event_count(static_cast<TelEvent>(e));
+    }
+    return s;
+  }
+
+ private:
+  rt::SegmentedArray<LaneTelemetry> lanes_;
+  std::atomic<int64_t> ops_total_{0};
+};
+
+/// RAII instrumentation for one service op: counters + flight + digest at
+/// entry, sampled latency at exit. Constructed at the top of every ref/
+/// session hot path; `lane` is the session's cached LaneTelemetry pointer.
+class OpScope {
+ public:
+  OpScope(StoreTelemetry& store, LaneTelemetry* lane, TelOp op, int shard,
+          int64_t arg)
+      : lane_(lane), op_(op) {
+    std::atomic<uint64_t>& c = lane->op_counts[static_cast<int>(op)];
+    uint64_t prev = c.load(std::memory_order_relaxed);
+    c.store(prev + 1, std::memory_order_relaxed);
+    lane->flight.record(op, shard, arg);
+    store.bump_ops_total();
+    sampled_ = (prev & (kLatencySamplePeriod - 1)) == 0;
+    if (sampled_) t0_ = std::chrono::steady_clock::now();
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  ~OpScope() {
+    if (!sampled_) return;
+    auto dt = std::chrono::steady_clock::now() - t0_;
+    lane_->op_hist[static_cast<int>(op_)].record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  }
+
+ private:
+  LaneTelemetry* lane_;
+  TelOp op_;
+  bool sampled_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Times the blocking window of open_session. Off-flavour is empty — the
+/// disabled build never touches the clock.
+class OpenTimer {
+ public:
+  int64_t elapsed_ns() const {
+    auto dt = std::chrono::steady_clock::now() - t0_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace tel_on
+
+#else  // !C2SL_TELEMETRY
+
+inline namespace tel_off {
+
+/// Disabled flavour: every type is an empty constexpr shell. The hot-path
+/// calls are constant-evaluable (no atomics possible) — proven structurally
+/// in tests/telemetry_off_test.cpp.
+struct FlightRecorder {
+  constexpr void record(TelOp, int, int64_t) const {}
+};
+
+struct LaneTelemetry {
+  constexpr void bump(TelOp) const {}
+};
+
+class StoreTelemetry {
+ public:
+  constexpr LaneTelemetry* lane(int) const { return nullptr; }
+  constexpr const LaneTelemetry* peek_lane(int) const { return nullptr; }
+  constexpr void bump_ops_total() const {}
+  constexpr int64_t ops_total() const { return 0; }
+  constexpr uint64_t ops_total_scan(int) const { return 0; }
+  constexpr void record_open_wait(LaneTelemetry*, int64_t) const {}
+  MetricsSnapshot snapshot(int) const { return MetricsSnapshot{}; }
+};
+
+class OpScope {
+ public:
+  constexpr OpScope(const StoreTelemetry&, const LaneTelemetry*, TelOp, int,
+                    int64_t) {}
+};
+
+class OpenTimer {
+ public:
+  constexpr int64_t elapsed_ns() const { return 0; }
+};
+
+}  // namespace tel_off
+
+#endif  // C2SL_TELEMETRY
+
+}  // namespace c2sl::tel

@@ -7,6 +7,7 @@
 // caller input rather than internal logic.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -14,10 +15,45 @@
 
 namespace c2sl {
 
+/// Last-chance diagnostic hook, invoked by assert_fail before abort. The
+/// telemetry layer installs a flight-recorder dump here (telemetry/export.h)
+/// so a failed invariant ships the last-N ops per lane with it. Registration
+/// is two plain register writes (last installer wins — one dump is plenty);
+/// the slot holds a function + context pair read racily at failure time.
+struct FailureHookSlot {
+  std::atomic<void (*)(void*)> fn{nullptr};
+  std::atomic<void*> ctx{nullptr};
+};
+
+inline FailureHookSlot& failure_hook() {
+  static FailureHookSlot slot;
+  return slot;
+}
+
+inline void set_failure_hook(void (*fn)(void*), void* ctx) {
+  FailureHookSlot& slot = failure_hook();
+  slot.ctx.store(ctx, std::memory_order_seq_cst);
+  slot.fn.store(fn, std::memory_order_seq_cst);
+}
+
+/// Clears the hook iff it still points at `ctx` (a dying owner must not
+/// clobber a successor's registration).
+inline void clear_failure_hook(void* ctx) {
+  FailureHookSlot& slot = failure_hook();
+  if (slot.ctx.load(std::memory_order_seq_cst) == ctx) {
+    slot.fn.store(nullptr, std::memory_order_seq_cst);
+    slot.ctx.store(nullptr, std::memory_order_seq_cst);
+  }
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const std::string& msg) {
   std::fprintf(stderr, "c2sl assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
                line, msg.c_str());
+  FailureHookSlot& slot = failure_hook();
+  if (auto* fn = slot.fn.load(std::memory_order_seq_cst)) {
+    fn(slot.ctx.load(std::memory_order_seq_cst));
+  }
   std::abort();
 }
 

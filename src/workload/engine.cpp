@@ -238,14 +238,16 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
           cached ? tas_refs[key].read()
                  : string_keys ? session.tas_read(sv(key)) : session.tas_read(key);
           break;
+        // Aggregates run through the session so the telemetry layer sees
+        // them (store-level calls are uninstrumented by design).
         case OpKind::kGlobalMax:
-          store.global_max();
+          session.global_max();
           break;
         case OpKind::kGlobalMaxScan:
-          store.global_max_scan();
+          session.global_max_scan();
           break;
         case OpKind::kCounterSum:
-          sum_scan ? store.counter_sum_scan() : store.counter_sum();
+          sum_scan ? session.counter_sum_scan() : session.counter_sum();
           break;
         case OpKind::kSessionChurn:
           C2SL_CHECK(false, "kSessionChurn only runs in the session_churn mix");
@@ -273,6 +275,33 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
     result.total_ops += v.size();
     all.insert(all.end(), v.begin(), v.end());
   }
+  if (churn) {
+    // Per-waiter wait-time spread: each worker's open latencies are its own
+    // waiter history (the per-thread buffers ARE per-waiter — merging them
+    // first would destroy exactly the fairness signal). summarize_latencies
+    // sorts each buffer in place; `all` already holds copies.
+    WaitSpread& ws = result.wait_spread;
+    for (auto& v : lat) {
+      if (v.empty()) continue;
+      LatencyStats s = summarize_latencies(v);
+      if (ws.waiters == 0) {
+        ws.p50_min_ns = ws.p50_max_ns = s.p50_ns;
+        ws.p99_min_ns = ws.p99_max_ns = s.p99_ns;
+        ws.max_min_ns = ws.max_max_ns = s.max_ns;
+      } else {
+        ws.p50_min_ns = std::min(ws.p50_min_ns, s.p50_ns);
+        ws.p50_max_ns = std::max(ws.p50_max_ns, s.p50_ns);
+        ws.p99_min_ns = std::min(ws.p99_min_ns, s.p99_ns);
+        ws.p99_max_ns = std::max(ws.p99_max_ns, s.p99_ns);
+        ws.max_min_ns = std::min(ws.max_min_ns, s.max_ns);
+        ws.max_max_ns = std::max(ws.max_max_ns, s.max_ns);
+      }
+      ++ws.waiters;
+    }
+    ws.p50_spread_ns = ws.p50_max_ns - ws.p50_min_ns;
+    ws.p99_spread_ns = ws.p99_max_ns - ws.p99_min_ns;
+    ws.max_spread_ns = ws.max_max_ns - ws.max_min_ns;
+  }
   result.throughput_ops_s =
       result.seconds > 0 ? static_cast<double>(result.total_ops) / result.seconds : 0;
   result.latency = summarize_latencies(all);
@@ -285,7 +314,65 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   // with the digest exactly; read through the configured impl anyway so the
   // ablation artifact reports the path it measured.
   result.final_counter_sum = sum_scan ? store.counter_sum_scan() : store.counter_sum();
+  result.metrics = store.metrics_snapshot();
   return result;
+}
+
+void profile_primitives(tel::MetricsSnapshot& snap) {
+  if (!tel::kEnabled) return;
+  // A private single-session store: the per-thread primitive counters then
+  // attribute every delta to exactly the profiled op. Small key space, one
+  // lane — the profile is a COST MODEL (primitives per op), not a throughput
+  // measurement, so contention is deliberately absent.
+  svc::C2StoreConfig cfg;
+  cfg.shards = 4;
+  cfg.max_threads = 1;
+  cfg.max_value = 63;
+  cfg.tas_max_resets = 0;
+  svc::C2Store store(cfg);
+  constexpr int kOps = 256;
+
+  auto profile = [&](tel::TelOp op, auto&& body) {
+    tel::PrimCounts before = tel::this_thread_prims();
+    for (int i = 0; i < kOps; ++i) body(i);
+    tel::PrimCounts delta = tel::this_thread_prims() - before;
+    tel::PrimProfile& p = snap.prim_profile[static_cast<int>(op)];
+    p.faa = static_cast<double>(delta.faa) / kOps;
+    p.tas = static_cast<double>(delta.tas) / kOps;
+    p.swap = static_cast<double>(delta.swap) / kOps;
+    p.ops = kOps;
+  };
+
+  {
+    svc::C2Session s = store.open_session();
+    svc::MaxRef mx = s.max(uint64_t{1});
+    svc::CounterRef ctr = s.counter(uint64_t{2});
+    svc::TasRef tas = s.tas(uint64_t{3});
+    svc::SetRef set = s.set(uint64_t{4});
+    mx.write(1);  // warm the shard slots so materialisation cost stays out
+    ctr.inc();
+    tas.read();
+    set.put(0);
+
+    profile(tel::TelOp::kMaxWrite, [&](int i) { mx.write(i % 63); });
+    profile(tel::TelOp::kMaxRead, [&](int) { mx.read(); });
+    profile(tel::TelOp::kCounterInc, [&](int) { ctr.inc(); });
+    profile(tel::TelOp::kCounterRead, [&](int) { ctr.read(); });
+    profile(tel::TelOp::kTasSet, [&](int) { tas.test_and_set(); });
+    profile(tel::TelOp::kTasRead, [&](int) { tas.read(); });
+    // Balanced put/take so the set neither grows without bound (take sweeps
+    // would lengthen) nor runs dry (empty takes stabilise differently).
+    profile(tel::TelOp::kSetPut, [&](int i) { set.put(i); });
+    profile(tel::TelOp::kSetTake, [&](int) { set.take(); });
+    profile(tel::TelOp::kGlobalMax, [&](int) { s.global_max(); });
+    profile(tel::TelOp::kGlobalMaxScan, [&](int) { s.global_max_scan(); });
+    profile(tel::TelOp::kCounterSum, [&](int) { s.counter_sum(); });
+    profile(tel::TelOp::kCounterSumScan, [&](int) { s.counter_sum_scan(); });
+  }
+  profile(tel::TelOp::kSessionOpen, [&](int) {
+    svc::C2Session s = store.open_session();  // full open/close cycle
+  });
+  snap.has_prim_profile = true;
 }
 
 void append_result_entry(JsonWriter& w, const std::string& bench,
@@ -324,6 +411,22 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
     if (r.per_kind[k] > 0) w.field(to_string(static_cast<OpKind>(k)), r.per_kind[k]);
   }
   w.end_object();
+  if (r.wait_spread.waiters > 0) {
+    // session_churn only: per-waiter open-latency spread (fairness metric).
+    const WaitSpread& ws = r.wait_spread;
+    w.key("wait_spread_ns").begin_object();
+    w.field("waiters", ws.waiters);
+    w.field("p50_min", ws.p50_min_ns);
+    w.field("p50_max", ws.p50_max_ns);
+    w.field("p50_spread", ws.p50_spread_ns);
+    w.field("p99_min", ws.p99_min_ns);
+    w.field("p99_max", ws.p99_max_ns);
+    w.field("p99_spread", ws.p99_spread_ns);
+    w.field("max_min", ws.max_min_ns);
+    w.field("max_max", ws.max_max_ns);
+    w.field("max_spread", ws.max_spread_ns);
+    w.end_object();
+  }
   w.key("final_state").begin_object();
   w.field("initialized_shards", r.initialized_shards);
   w.field("global_max", r.final_global_max);

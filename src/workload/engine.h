@@ -64,6 +64,18 @@ struct WorkloadConfig {
   svc::C2StoreConfig store;
 };
 
+/// Per-waiter fairness of blocking open_session() under the session_churn
+/// mix (the wait-time-spread metric PR 5 left open): each worker thread is
+/// one recurring waiter; its open latencies summarise to per-waiter p50/p99/
+/// max, and the SPREAD is the max-min gap of each statistic across waiters —
+/// zero would be perfectly even FIFO service.
+struct WaitSpread {
+  uint64_t waiters = 0;  ///< workers with at least one recorded open
+  int64_t p50_min_ns = 0, p50_max_ns = 0, p50_spread_ns = 0;
+  int64_t p99_min_ns = 0, p99_max_ns = 0, p99_spread_ns = 0;
+  int64_t max_min_ns = 0, max_max_ns = 0, max_spread_ns = 0;
+};
+
 struct WorkloadResult {
   WorkloadConfig cfg;
   uint64_t total_ops = 0;
@@ -74,10 +86,24 @@ struct WorkloadResult {
   int initialized_shards = 0;
   int64_t final_global_max = 0;
   int64_t final_counter_sum = 0;
+  /// Populated only by the session_churn mix (waiters == 0 otherwise).
+  WaitSpread wait_spread;
+  /// The store's telemetry at workload end (enabled == false under
+  /// C2SL_TELEMETRY=0); exported via tel::to_json / tel::to_prometheus.
+  tel::MetricsSnapshot metrics;
 };
 
 /// Runs one workload to completion. Builds its own C2Store from cfg.store.
 WorkloadResult run_workload(const WorkloadConfig& cfg);
+
+/// Calibration pass: measures the average primitive invocations (FAA / TAS /
+/// swap) per service op of each kind on a PRIVATE single-session store, and
+/// fills `snap.prim_profile` / `snap.has_prim_profile`. This is the paper's
+/// cost model made empirical — e.g. counter_inc = 1 shard F&I tower + 2
+/// digest FAAs. A no-op when telemetry is compiled out (the per-thread
+/// primitive counters do not exist). TasRef::reset is not profiled: its
+/// generation budget cannot sustain a calibration loop.
+void profile_primitives(tel::MetricsSnapshot& snap);
 
 /// Appends one "c2sl-bench-v1" result entry {bench, config, metrics} to `w`
 /// (callers wrap entries in a suite document; see write_suite_* in

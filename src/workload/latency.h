@@ -5,9 +5,10 @@
 #pragma once
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "telemetry/histogram.h"
 
 namespace c2sl::wl {
 
@@ -38,14 +39,12 @@ inline LatencyStats summarize_latencies(std::vector<int64_t>& samples_ns) {
   // is the textbook rule with no interpolation surprises: the even-count p50
   // is the LOWER middle sample, and a tail quantile only coincides with max
   // when the sample count genuinely cannot resolve it (p99 needs >= 100
-  // samples, p999 >= 1000). The retired q*(count-1)+0.5 rounding drifted a
-  // rank high across the board — upper-middle p50 on even counts, and small
-  // sample sets collapsing p99/p999 onto max one rank early. Pinned on known
-  // vectors in tests/workload_test.cpp.
+  // samples, p999 >= 1000). The index computation is shared with the
+  // telemetry histograms (tel::nearest_rank_index — one rule, hoisted to
+  // src/telemetry/histogram.h); pinned on known vectors in
+  // tests/workload_test.cpp.
   auto pct = [&](double q) {
-    size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(s.count)));
-    rank = std::clamp<size_t>(rank, 1, samples_ns.size());
-    return samples_ns[rank - 1];
+    return samples_ns[tel::nearest_rank_index(samples_ns.size(), q)];
   };
   s.p50_ns = pct(0.50);
   s.p90_ns = pct(0.90);

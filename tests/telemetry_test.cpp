@@ -1,0 +1,349 @@
+// The telemetry layer's verification story, in three acts:
+//
+//  1. CHECKER (sim twin, svc::SimTelemetryCounter): the ops-total digest —
+//     lane-local plain-register cells plus one shared FAA word — serves reads
+//     as a single FAA(0) and IS strongly linearizable on the full execution
+//     tree; the naive one-pass lane-cell scan read is REFUTED (pinned negative
+//     control). This is the §3.2 pack-into-one-FAA-word argument applied to
+//     the telemetry facet itself: the one metric an adaptive test oracle may
+//     branch on (ops_total) must not be gameable by the scheduler.
+//
+//  2. NATIVE exactness: on a live C2Store, op-kind counters and the digest
+//     count every instrumented op exactly (single-threaded), the flight
+//     recorder retains the last-N ops in order, open-session waits land in the
+//     open_wait histogram, and the exporters emit well-formed c2sl-metrics-v1
+//     JSON / Prometheus text.
+//
+//  3. HISTOGRAM unit vectors: the hoisted nearest-rank rule (shared with
+//     wl::summarize_latencies since PR 4 pinned it) and the log-bucket
+//     geometry, on small known vectors.
+//
+// A small multi-threaded stress rides along so the TSAN job exercises the
+// racy snapshot reads against concurrent lane writers.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "service/c2store.h"
+#include "service/sim_bridge.h"
+#include "telemetry/export.h"
+#include "telemetry/histogram.h"
+#include "telemetry/telemetry.h"
+#include "verify/lin_checker.h"
+#include "verify/specs.h"
+
+namespace c2sl {
+namespace {
+
+// --- 1. checker verdicts on the sim twin ------------------------------------
+
+verify::StrongLinResult check(const sim::ScenarioFn& scenario, int n,
+                              const verify::Spec& spec, const std::string& object) {
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(n, scenario, opts);
+  EXPECT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::StrongLinOptions slopts;
+  slopts.object = object;
+  return verify::check_strong_linearizability(tree, spec, slopts);
+}
+
+TEST(TelemetrySim, DigestReadStronglyLinearizable) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimTelemetryCounter>(w, "tops", n,
+                                                      /*scan_read=*/false);
+  };
+  // Two concurrent instrumented ops (lane cell write + digest FAA) and a
+  // metrics reader: the reader's FAA(0) is its own fixed linearization point.
+  auto scenario = testing::fixed_scenario(
+      factory,
+      {{{"Inc", unit(), 0}}, {{"Inc", unit(), 1}}, {{"Read", unit(), 2}}});
+  verify::CounterSpec spec;
+  auto res = check(scenario, 3, spec, "tops");
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+TEST(TelemetrySim, DigestIncReadRaceStronglyLinearizable) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimTelemetryCounter>(w, "tops", n,
+                                                      /*scan_read=*/false);
+  };
+  // Reader racing back-to-back bumps on one lane: reads must keep their fixed
+  // FAA(0) points through the window where the writer sits between its lane
+  // cell write and its digest step.
+  auto scenario = testing::fixed_scenario(
+      factory, {{{"Inc", unit(), 0}, {"Inc", unit(), 0}},
+                {{"Read", unit(), 1}, {"Read", unit(), 1}}});
+  verify::CounterSpec spec;
+  auto res = check(scenario, 2, spec, "tops");
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+// PINNED NEGATIVE CONTROL: the same object, read by the naive one-pass scan
+// over the lane cells (what StoreTelemetry::ops_total_scan does). Each cell is
+// monotone and single-writer, so the scan is linearizable — but a reader that
+// already scanned lane 0 as empty cannot commit a return value at any of its
+// own steps: whether the completed Inc on lane 0 counts depends on what the
+// read finds in lane 1 LATER, so no prefix-closed assignment exists. If this
+// verdict ever flips, metrics_snapshot() may as well serve ops_total from the
+// scan — the digest word would be dead weight.
+TEST(TelemetrySim, LaneScanReadNotStronglyLinearizable) {
+  auto factory = [](sim::World& w, int n) {
+    return std::make_shared<svc::SimTelemetryCounter>(w, "tops", n,
+                                                      /*scan_read=*/true);
+  };
+  auto scenario = testing::fixed_scenario(
+      factory,
+      {{{"Inc", unit(), 0}}, {{"Inc", unit(), 1}}, {{"Read", unit(), 2}}});
+  verify::CounterSpec spec;
+  auto res = check(scenario, 3, spec, "tops");
+  ASSERT_TRUE(res.decided);
+  EXPECT_FALSE(res.strongly_linearizable)
+      << "the one-pass lane scan verified strongly linearizable — the pinned "
+         "refutation (the reason ops_total reads the FAA digest) is gone";
+}
+
+// --- 2. native exactness ----------------------------------------------------
+
+svc::C2StoreConfig small_config() {
+  svc::C2StoreConfig cfg;
+  cfg.shards = 4;
+  cfg.max_threads = 4;
+  cfg.max_value = 15;
+  cfg.tas_max_resets = 14;
+  return cfg;
+}
+
+TEST(TelemetryNative, CountsEveryInstrumentedOpExactly) {
+  svc::C2Store store(small_config());
+  {
+    svc::C2Session s = store.open_session();
+    svc::MaxRef mx = s.max(uint64_t{1});
+    svc::CounterRef ctr = s.counter(uint64_t{2});
+    svc::TasRef tas = s.tas(uint64_t{3});
+    svc::SetRef set = s.set(uint64_t{4});
+    for (int i = 0; i < 5; ++i) mx.write(i % 15);
+    for (int i = 0; i < 4; ++i) mx.read();
+    for (int i = 0; i < 3; ++i) ctr.inc();
+    for (int i = 0; i < 2; ++i) ctr.read();
+    tas.test_and_set();
+    tas.read();
+    set.put(7);
+    set.take();
+    s.global_max();
+    s.counter_sum();
+  }
+  tel::MetricsSnapshot m = store.metrics_snapshot();
+  ASSERT_TRUE(m.enabled);
+  auto count = [&](tel::TelOp op) { return m.op_counts[static_cast<int>(op)]; };
+  EXPECT_EQ(count(tel::TelOp::kMaxWrite), 5u);
+  EXPECT_EQ(count(tel::TelOp::kMaxRead), 4u);
+  EXPECT_EQ(count(tel::TelOp::kCounterInc), 3u);
+  EXPECT_EQ(count(tel::TelOp::kCounterRead), 2u);
+  EXPECT_EQ(count(tel::TelOp::kTasSet), 1u);
+  EXPECT_EQ(count(tel::TelOp::kTasRead), 1u);
+  EXPECT_EQ(count(tel::TelOp::kSetPut), 1u);
+  EXPECT_EQ(count(tel::TelOp::kSetTake), 1u);
+  EXPECT_EQ(count(tel::TelOp::kGlobalMax), 1u);
+  EXPECT_EQ(count(tel::TelOp::kCounterSum), 1u);
+  EXPECT_EQ(count(tel::TelOp::kSessionOpen), 1u);
+  // The digest saw every instrumented op (21 = the sum above); with all
+  // sessions closed the racy lane scan has quiesced to the same value.
+  EXPECT_EQ(m.ops_total, 21);
+  EXPECT_EQ(m.ops_total_scan, 21u);
+  // `lanes` counts materialised lane BLOCKS (the segmented spine materialises
+  // whole segments), not sessions: at least the one used lane, at most all.
+  EXPECT_GE(m.lanes, 1);
+  EXPECT_LE(m.lanes, 4);
+  // Shard events: 4 distinct keys may collide on <= 4 shards.
+  EXPECT_GE(m.events[static_cast<int>(tel::TelEvent::kShardInit)], 1u);
+  EXPECT_LE(m.events[static_cast<int>(tel::TelEvent::kShardInit)], 4u);
+}
+
+TEST(TelemetryNative, FlightRecorderKeepsLastOpsInOrder) {
+  svc::C2Store store(small_config());
+  svc::C2Session s = store.open_session();
+  svc::MaxRef mx = s.max(uint64_t{1});
+  for (int i = 0; i < 10; ++i) mx.write(i % 15);
+  const tel::LaneTelemetry* lane = store.telemetry().peek_lane(0);
+  ASSERT_NE(lane, nullptr);
+  std::vector<tel::FlightEntry> flight = lane->flight.snapshot();
+  // session_open + 10 writes recorded on lane 0.
+  ASSERT_EQ(flight.size(), 11u);
+  EXPECT_EQ(flight.front().op, tel::TelOp::kSessionOpen);
+  for (size_t i = 1; i < flight.size(); ++i) {
+    EXPECT_EQ(flight[i].op, tel::TelOp::kMaxWrite);
+    EXPECT_EQ(flight[i].seq, flight[i - 1].seq + 1) << "ring out of order";
+    EXPECT_EQ(flight[i].arg, static_cast<int64_t>((i - 1) % 15));
+    EXPECT_GE(flight[i].shard, 0);
+  }
+  // Overflow: the ring keeps only the newest kEntries.
+  for (int i = 0; i < 200; ++i) mx.read();
+  flight = lane->flight.snapshot();
+  ASSERT_EQ(flight.size(), tel::FlightRecorder::kEntries);
+  for (const tel::FlightEntry& e : flight) {
+    EXPECT_EQ(e.op, tel::TelOp::kMaxRead);
+  }
+}
+
+TEST(TelemetryNative, OpenWaitLandsInHistogram) {
+  svc::C2Store store(small_config());
+  {
+    svc::C2Session a = store.open_session();
+    svc::C2Session b = store.open_session();
+  }
+  tel::MetricsSnapshot m = store.metrics_snapshot();
+  EXPECT_EQ(m.open_wait.total(), 2u);
+  EXPECT_EQ(m.op_counts[static_cast<int>(tel::TelOp::kSessionOpen)], 2u);
+  // Uncontended opens wait ~0; the estimate must stay conservative (upper
+  // bounds), so it can never be negative.
+  EXPECT_GE(m.open_wait.quantile_upper_ns(0.5), 0);
+}
+
+TEST(TelemetryNative, ExportersEmitWellFormedDocuments) {
+  svc::C2Store store(small_config());
+  {
+    svc::C2Session s = store.open_session();
+    svc::CounterRef ctr = s.counter(uint64_t{9});
+    for (int i = 0; i < 40; ++i) ctr.inc();  // > one sample period
+  }
+  tel::MetricsSnapshot m = store.metrics_snapshot();
+  std::string json = tel::to_json(m, "telemetry_test");
+  EXPECT_NE(json.find("\"schema\":\"c2sl-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\":\"telemetry_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"telemetry_enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"counter_inc\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"ops_total\":41"), std::string::npos);  // + open
+  EXPECT_NE(json.find("\"session\""), std::string::npos);
+  std::string prom = tel::to_prometheus(m);
+  EXPECT_NE(prom.find("c2sl_ops_total 41"), std::string::npos);
+  EXPECT_NE(prom.find("c2sl_op_count{op=\"counter_inc\"} 40"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE c2sl_ops_total counter"), std::string::npos);
+}
+
+// 1-in-kLatencySamplePeriod ops pay the clock; the histogram must hold
+// exactly the sampled fraction, not every op.
+TEST(TelemetryNative, LatencySamplingIsPeriodic) {
+  svc::C2Store store(small_config());
+  constexpr int kOps = 32 * 4;  // 4 full sample periods
+  {
+    svc::C2Session s = store.open_session();
+    svc::MaxRef mx = s.max(uint64_t{1});
+    for (int i = 0; i < kOps; ++i) mx.read();
+  }
+  tel::MetricsSnapshot m = store.metrics_snapshot();
+  uint64_t sampled =
+      m.op_latency[static_cast<int>(tel::TelOp::kMaxRead)].total();
+  EXPECT_EQ(sampled, kOps / tel::kLatencySamplePeriod);
+}
+
+TEST(TelemetryNative, SnapshotRacesCleanlyWithWriters) {
+  svc::C2Store store(small_config());
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, t] {
+      svc::C2Session s = store.open_session();
+      svc::CounterRef ctr = s.counter(static_cast<uint64_t>(t));
+      for (int i = 0; i < kOps; ++i) ctr.inc();
+    });
+  }
+  // Concurrent snapshot reader: racy by design, must be TSAN-clean and
+  // internally consistent (the digest never trails a quiesced scan).
+  for (int r = 0; r < 50; ++r) {
+    tel::MetricsSnapshot m = store.metrics_snapshot();
+    EXPECT_GE(m.ops_total, 0);
+  }
+  for (std::thread& w : workers) w.join();
+  tel::MetricsSnapshot m = store.metrics_snapshot();
+  // kOps incs + 1 session_open per thread, exactly.
+  EXPECT_EQ(m.ops_total, kThreads * (kOps + 1));
+  EXPECT_EQ(m.op_counts[static_cast<int>(tel::TelOp::kCounterInc)],
+            static_cast<uint64_t>(kThreads) * kOps);
+}
+
+// --- 3. histogram / quantile unit vectors -----------------------------------
+
+TEST(TelemetryHistogram, BucketGeometry) {
+  EXPECT_EQ(tel::hist_bucket_of(-5), 0);
+  EXPECT_EQ(tel::hist_bucket_of(0), 0);
+  EXPECT_EQ(tel::hist_bucket_of(1), 1);
+  EXPECT_EQ(tel::hist_bucket_of(2), 2);
+  EXPECT_EQ(tel::hist_bucket_of(3), 2);
+  EXPECT_EQ(tel::hist_bucket_of(4), 3);
+  EXPECT_EQ(tel::hist_bucket_of(1023), 10);
+  EXPECT_EQ(tel::hist_bucket_of(1024), 11);
+  EXPECT_EQ(tel::hist_bucket_of(INT64_MAX), 63);
+  EXPECT_EQ(tel::hist_bucket_upper(0), 0);
+  EXPECT_EQ(tel::hist_bucket_upper(1), 1);
+  EXPECT_EQ(tel::hist_bucket_upper(2), 3);
+  EXPECT_EQ(tel::hist_bucket_upper(10), 1023);
+  EXPECT_EQ(tel::hist_bucket_upper(63), INT64_MAX);
+  // Every value lands in the bucket whose range contains it.
+  for (int64_t v : {1, 2, 3, 7, 8, 1000, 123456789}) {
+    int b = tel::hist_bucket_of(v);
+    EXPECT_LE(v, tel::hist_bucket_upper(b));
+    EXPECT_GT(v, tel::hist_bucket_upper(b - 1));
+  }
+}
+
+// The PR 4 nearest-rank vectors, via the hoisted shared index rule — the same
+// expectations Latency.NearestRankRuleOnSmallKnownVectors pins through
+// summarize_latencies. If the two drift apart, the bench JSON and the metrics
+// JSON no longer report the same statistic.
+TEST(TelemetryHistogram, NearestRankIndexPinnedVectors) {
+  EXPECT_EQ(tel::nearest_rank_index(4, 0.50), 1u);   // lower middle sample
+  EXPECT_EQ(tel::nearest_rank_index(4, 0.90), 3u);
+  EXPECT_EQ(tel::nearest_rank_index(4, 0.99), 3u);
+  EXPECT_EQ(tel::nearest_rank_index(1, 0.50), 0u);
+  EXPECT_EQ(tel::nearest_rank_index(1, 0.999), 0u);
+  EXPECT_EQ(tel::nearest_rank_index(100, 0.50), 49u);
+  EXPECT_EQ(tel::nearest_rank_index(100, 0.99), 98u);  // 99th, not max
+  EXPECT_EQ(tel::nearest_rank_index(100, 0.999), 99u);
+  EXPECT_EQ(tel::nearest_rank_index(1000, 0.50), 499u);
+  EXPECT_EQ(tel::nearest_rank_index(1000, 0.999), 998u);
+  EXPECT_EQ(tel::nearest_rank_index(10, 0.90), 8u);  // 9th order statistic
+  EXPECT_EQ(tel::nearest_rank_index(0, 0.50), 0u);   // empty guard
+}
+
+TEST(TelemetryHistogram, QuantileUpperBoundsOnKnownCounts) {
+  tel::HistogramSnapshot h;
+  // 4 samples of 10ns (bucket 4: [8,16)), 4 of 100ns (bucket 7: [64,128)),
+  // 2 of 1000ns (bucket 10: [512,1024)).
+  h.counts[tel::hist_bucket_of(10)] = 4;
+  h.counts[tel::hist_bucket_of(100)] = 4;
+  h.counts[tel::hist_bucket_of(1000)] = 2;
+  EXPECT_EQ(h.total(), 10u);
+  // Nearest rank over counts: rank 5 (p50) falls in the 100ns bucket, rank 9
+  // (p90) in the 1000ns bucket; estimates report inclusive bucket uppers.
+  EXPECT_EQ(h.quantile_upper_ns(0.50), 127);
+  EXPECT_EQ(h.quantile_upper_ns(0.90), 1023);
+  EXPECT_EQ(h.quantile_upper_ns(0.99), 1023);
+  EXPECT_EQ(h.max_upper_ns(), 1023);
+  // Conservative: the estimate never under-reports the true sample.
+  EXPECT_GE(h.quantile_upper_ns(0.50), 100);
+  tel::HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile_upper_ns(0.5), 0);
+  EXPECT_EQ(empty.max_upper_ns(), 0);
+}
+
+TEST(TelemetryHistogram, LiveRecordMatchesBucketRule) {
+  tel::LatencyHistogram h;
+  h.record(10);
+  h.record(100);
+  h.record(0);
+  tel::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.counts[tel::hist_bucket_of(10)], 1u);
+  EXPECT_EQ(s.counts[tel::hist_bucket_of(100)], 1u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.total(), 3u);
+}
+
+}  // namespace
+}  // namespace c2sl

@@ -3,6 +3,7 @@
 // end-to-end engine smoke run.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <vector>
