@@ -57,8 +57,10 @@ class CounterSumDigest {
   void add(int lane) {
     C2SL_CHECK(lane >= 0, "lane must be non-negative");
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — lane component write; must precede the total
     lanes_.cell(static_cast<size_t>(lane)).v.fetch_add(1, std::memory_order_seq_cst);
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — linearization point of add (fixed own-step)
     total_.fetch_add(1, std::memory_order_seq_cst);
   }
 
@@ -66,6 +68,7 @@ class CounterSumDigest {
   /// linearizable (the §3.2 single-word-scan move, degenerate sum form).
   int64_t read() {
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — FAA(0) read IS the digest's atomic scan step
     return total_.fetch_add(0, std::memory_order_seq_cst);
   }
 
@@ -74,7 +77,8 @@ class CounterSumDigest {
   int64_t lane_contribution(int lane) const {
     C2SL_CHECK(lane >= 0, "lane must be non-negative");
     const LaneCell* c = lanes_.peek(static_cast<size_t>(lane));
-    return c ? c->v.load(std::memory_order_seq_cst) : 0;
+    // c2sl-atomic: load relaxed — diagnostics-only; never feeds the sum path
+    return c ? c->v.load(std::memory_order_relaxed) : 0;
   }
 
  private:

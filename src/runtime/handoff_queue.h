@@ -88,6 +88,7 @@ class HandoffQueue {
   /// before any later one (FIFO by ticket order).
   size_t enqueue() {
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — Tail ticket IS the enqueue (fixed own-step)
     return static_cast<size_t>(tail_.fetch_add(1, std::memory_order_seq_cst));
   }
 
@@ -103,19 +104,26 @@ class HandoffQueue {
       // pre-read keeps Head from drifting past Tail in the common no-waiter
       // case (mirroring LaneRegistry::try_acquire's dispenser pre-read); the
       // overshoot branch below handles the race it cannot close.
+      // c2sl-atomic: load seq_cst, load seq_cst — Dekker-style guard: the
+      // Head/Tail pre-reads must not reorder or an empty queue leaks tickets
       if (head_.load(std::memory_order_seq_cst) >=
           tail_.load(std::memory_order_seq_cst)) {
         return false;
       }
       C2SL_TEL_PRIM_FAA();
+      // c2sl-atomic: faa seq_cst — Head ticket commits this hand to slot h
       size_t h = static_cast<size_t>(head_.fetch_add(1, std::memory_order_seq_cst));
+      // c2sl-atomic: load seq_cst — overshoot re-check against the real Tail
       if (static_cast<int64_t>(h) >= tail_.load(std::memory_order_seq_cst)) {
         // Overshoot: a concurrent hand() served the waiter the guard saw.
         // Kill slot h so its eventual waiter retries rather than parking on
         // a slot no hand() will ever target again.
         C2SL_TEL_PRIM_SWAP();
+        // c2sl-atomic: swap seq_cst — tombstone deposit; decision step on cell h
         int64_t prev = cell(h).exchange(kCellRevoked, std::memory_order_seq_cst);
+        // c2sl-atomic: faa relaxed noprofile — diagnostics counter, no protocol role
         revocations_.fetch_add(1, std::memory_order_relaxed);
+        // c2sl-atomic: wait-notify n/a — wake the parked waiter to see the tombstone
         if (prev == kCellClaimed) cell(h).notify_one();  // waiter already parked
         // prev == kCellEmpty: the waiter will see the tombstone at its claim.
         // prev == kCellCancelled: the waiter is gone anyway.
@@ -123,9 +131,12 @@ class HandoffQueue {
         return false;
       }
       C2SL_TEL_PRIM_SWAP();
+      // c2sl-atomic: swap seq_cst — value deposit; linearization point of hand
       int64_t prev = cell(h).exchange(encode(value), std::memory_order_seq_cst);
       if (prev == kCellCancelled) continue;  // waiter timed out: next waiter
+      // c2sl-atomic: faa relaxed noprofile — diagnostics counter, no protocol role
       deliveries_.fetch_add(1, std::memory_order_relaxed);
+      // c2sl-atomic: wait-notify n/a — wake the parked waiter to collect
       if (prev == kCellClaimed) cell(h).notify_one();  // waiter parked: wake it
       // prev == kCellEmpty: waiter between its ticket FAA and its claim — its
       // claim exchange will return the value without ever parking.
@@ -139,10 +150,14 @@ class HandoffQueue {
     int64_t claimed = claim(t);
     if (claimed != kCellClaimed) return settle(claimed);
     std::atomic<int64_t>& c = cell(t);
+    // c2sl-atomic: faa relaxed noprofile — diagnostics counter, no protocol role
     parks_.fetch_add(1, std::memory_order_relaxed);
+    // c2sl-atomic: load seq_cst — poll own cell for the deposited value
     int64_t v = c.load(std::memory_order_seq_cst);
     while (v == kCellClaimed) {
-      c.wait(kCellClaimed);  // futex-style park; no busy spin
+      // c2sl-atomic: wait-notify seq_cst — futex-style park; no busy spin
+      c.wait(kCellClaimed);
+      // c2sl-atomic: load seq_cst — re-read after wake (spurious wakes allowed)
       v = c.load(std::memory_order_seq_cst);
     }
     return settle(v);
@@ -157,9 +172,11 @@ class HandoffQueue {
     int64_t claimed = claim(t);
     if (claimed != kCellClaimed) return settle(claimed);
     std::atomic<int64_t>& c = cell(t);
+    // c2sl-atomic: faa relaxed noprofile — diagnostics counter, no protocol role
     parks_.fetch_add(1, std::memory_order_relaxed);
     std::chrono::microseconds backoff{1};
     for (;;) {
+      // c2sl-atomic: load seq_cst — bounded-frequency probe of the own cell
       int64_t v = c.load(std::memory_order_seq_cst);
       if (v != kCellClaimed) return settle(v);
       if (std::chrono::steady_clock::now() >= deadline) return kTimedOut;
@@ -174,6 +191,7 @@ class HandoffQueue {
   /// then owns that value and must not drop it.
   int64_t cancel(size_t t) {
     C2SL_TEL_PRIM_SWAP();
+    // c2sl-atomic: swap seq_cst — cancellation races the deposit; swap decides
     int64_t prev = cell(t).exchange(kCellCancelled, std::memory_order_seq_cst);
     if (prev >= kValueBase) return decode(prev);
     if (prev == kCellRevoked) return kRevoked;
@@ -185,15 +203,22 @@ class HandoffQueue {
   /// report true for waiters that are concurrently cancelling (harmless: the
   /// recovering hand() skips tombstones).
   bool waiters_pending() const {
+    // c2sl-atomic: load seq_cst, load seq_cst — same Dekker discipline as the
+    // hand() guard: the post-fallback re-check must see any committed ticket
     return head_.load(std::memory_order_seq_cst) <
            tail_.load(std::memory_order_seq_cst);
   }
 
   // --- introspection (diagnostics and the no-busy-spin stress bounds) -------
-  int64_t enqueued() const { return tail_.load(std::memory_order_seq_cst); }
-  int64_t hands_started() const { return head_.load(std::memory_order_seq_cst); }
+  // c2sl-atomic: load relaxed — diagnostics-only view of Tail
+  int64_t enqueued() const { return tail_.load(std::memory_order_relaxed); }
+  // c2sl-atomic: load relaxed — diagnostics-only view of Head
+  int64_t hands_started() const { return head_.load(std::memory_order_relaxed); }
+  // c2sl-atomic: load relaxed — diagnostics counter read
   int64_t deliveries() const { return deliveries_.load(std::memory_order_relaxed); }
+  // c2sl-atomic: load relaxed — diagnostics counter read
   int64_t revocations() const { return revocations_.load(std::memory_order_relaxed); }
+  // c2sl-atomic: load relaxed — diagnostics counter read
   int64_t parks() const { return parks_.load(std::memory_order_relaxed); }
 
  private:
@@ -219,6 +244,7 @@ class HandoffQueue {
   /// revocation tombstone) to settle immediately.
   int64_t claim(size_t t) {
     C2SL_TEL_PRIM_SWAP();
+    // c2sl-atomic: swap seq_cst — claim announces the waiter on its own cell
     int64_t prev = cell(t).exchange(kCellClaimed, std::memory_order_seq_cst);
     if (prev == kCellEmpty) return kCellClaimed;
     return prev;  // encoded value or kCellRevoked; never claimed/cancelled

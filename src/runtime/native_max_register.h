@@ -37,6 +37,7 @@ class NativeMaxRegister64 {
     uint64_t k = static_cast<uint64_t>(v);
     if (k <= cell.prev) {
       C2SL_TEL_PRIM_FAA();
+      // c2sl-atomic: faa seq_cst — no-op FAA(0) is still the WriteMax step
       reg_.fetch_add(0, std::memory_order_seq_cst);
       return;
     }
@@ -45,12 +46,14 @@ class NativeMaxRegister64 {
       delta |= uint64_t{1} << (j * static_cast<uint64_t>(n_) + static_cast<uint64_t>(proc));
     }
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — linearization point of WriteMax (§4 encoding)
     reg_.fetch_add(delta, std::memory_order_seq_cst);
     cell.prev = k;
   }
 
   int64_t read_max() {
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — FAA(0) atomically snapshots the whole word
     uint64_t snapshot = reg_.fetch_add(0, std::memory_order_seq_cst);
     int64_t best = 0;
     for (int i = 0; i < n_; ++i) {

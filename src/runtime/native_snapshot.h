@@ -33,12 +33,14 @@ class NativeSnapshot64 {
     uint64_t next = static_cast<uint64_t>(v);
     uint64_t delta = spread(next, proc) - spread(cell.prev, proc);  // wraps safely
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — linearization point of Update (§4 encoding)
     reg_.fetch_add(delta, std::memory_order_seq_cst);
     cell.prev = next;
   }
 
   std::vector<int64_t> scan() {
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — FAA(0) atomically snapshots every component
     uint64_t snapshot = reg_.fetch_add(0, std::memory_order_seq_cst);
     std::vector<int64_t> view(static_cast<size_t>(n_));
     for (int i = 0; i < n_; ++i) {

@@ -53,11 +53,14 @@ class NativeReadableTAS {
   /// Returns 0 to exactly one caller, then 1.
   int64_t test_and_set() {
     C2SL_TEL_PRIM_TAS();
+    // c2sl-atomic: tas seq_cst — the winner decision (Thm 5 readable-TAS)
     int64_t old = ts_.exchange(1, std::memory_order_seq_cst);
+    // c2sl-atomic: store seq_cst — mirror write readers linearize against
     state_.store(1, std::memory_order_seq_cst);
     return old;
   }
 
+  // c2sl-atomic: load seq_cst — the readable-TAS protocol read (Thm 5)
   int64_t read() const { return state_.load(std::memory_order_seq_cst); }
 
  private:
@@ -221,6 +224,7 @@ class NativeSet {
 
   void put(int64_t x) {
     int64_t m = max_.fetch_and_increment();
+    // c2sl-atomic: store seq_cst — item deposit; put linearizes at this write
     items_.cell(static_cast<size_t>(m)).v.store(x, std::memory_order_seq_cst);
   }
 
@@ -228,8 +232,9 @@ class NativeSet {
   /// [hint, Max): cells below the hint are permanently taken (header comment),
   /// so the restriction removes no candidate and moves no linearization point.
   int64_t take() {
+    // c2sl-atomic: load relaxed — advisory hint; any stale value is sound
     const size_t skip =
-        static_cast<size_t>(taken_prefix_.load(std::memory_order_seq_cst));
+        static_cast<size_t>(taken_prefix_.load(std::memory_order_relaxed));
     int64_t taken_old = 0;
     int64_t max_old = 0;
     for (;;) {
@@ -238,9 +243,11 @@ class NativeSet {
       size_t dead = skip;  // [0, dead) verified taken during this sweep
       for (int64_t c = static_cast<int64_t>(skip); c < max_new; ++c) {
         const detail::SetItemCell* item = items_.peek(static_cast<size_t>(c));
+        // c2sl-atomic: load seq_cst — Algorithm 2 sweep read of the item cell
         int64_t x = item ? item->v.load(std::memory_order_seq_cst) : kEmpty;
         if (x != kEmpty) {
           C2SL_TEL_PRIM_TAS();
+          // c2sl-atomic: tas seq_cst — take decision; winner owns item c
           if (ts_.cell(static_cast<size_t>(c)).v.exchange(
                   1, std::memory_order_seq_cst) == 0) {
             if (static_cast<size_t>(c) == dead) ++dead;  // we just killed c too
@@ -268,8 +275,10 @@ class NativeSet {
     // Plain register store: racy by design. Any published value was verified
     // all-taken by its writer and taken flags never clear, so every value in
     // the register is a sound (possibly stale) lower bound.
-    if (dead > static_cast<size_t>(taken_prefix_.load(std::memory_order_seq_cst))) {
-      taken_prefix_.store(static_cast<int64_t>(dead), std::memory_order_seq_cst);
+    // c2sl-atomic: load relaxed — advisory-hint read; monotonicity is best-effort
+    if (dead > static_cast<size_t>(taken_prefix_.load(std::memory_order_relaxed))) {
+      // c2sl-atomic: store relaxed — advisory-hint write; sound even if lost
+      taken_prefix_.store(static_cast<int64_t>(dead), std::memory_order_relaxed);
     }
   }
 

@@ -63,7 +63,8 @@ class SegmentedArray {
   SegmentedArray& operator=(const SegmentedArray&) = delete;
   ~SegmentedArray() {
     for (auto& slot : spine_) {
-      delete[] slot.seg.load(std::memory_order_seq_cst);
+      // c2sl-atomic: load relaxed — destructor runs single-threaded by contract
+      delete[] slot.seg.load(std::memory_order_relaxed);
     }
   }
 
@@ -83,7 +84,9 @@ class SegmentedArray {
   /// losers spin on the pointer — the winner is at most a few stores away).
   T& cell(size_t i) {
     int s = checked_segment_of(i);
-    T* seg = spine_[s].seg.load(std::memory_order_seq_cst);
+    // c2sl-atomic: load acquire — pairs with the release publish; a non-null
+    // pointer carries visibility of every constructed cell behind it
+    T* seg = spine_[s].seg.load(std::memory_order_acquire);
     if (!seg) seg = materialize(s);
     return seg[i - segment_start(s)];
   }
@@ -95,19 +98,23 @@ class SegmentedArray {
   /// load itself is the atomic step that justifies that reading.
   const T* peek(size_t i) const {
     int s = checked_segment_of(i);
-    const T* seg = spine_[s].seg.load(std::memory_order_seq_cst);
+    // c2sl-atomic: load acquire — publication read; per-object coherence keeps
+    // the nullptr ⇒ cells-initial reading sound without seq_cst
+    const T* seg = spine_[s].seg.load(std::memory_order_acquire);
     return seg ? seg + (i - segment_start(s)) : nullptr;
   }
   T* peek(size_t i) {
     int s = checked_segment_of(i);
-    T* seg = spine_[s].seg.load(std::memory_order_seq_cst);
+    // c2sl-atomic: load acquire — publication read (same argument as above)
+    T* seg = spine_[s].seg.load(std::memory_order_acquire);
     return seg ? seg + (i - segment_start(s)) : nullptr;
   }
 
   /// Whether segment s is published (diagnostics and search loops).
   bool segment_published(int s) const {
     C2SL_CHECK(s >= 0 && s < kMaxSegments, "segment index out of spine range");
-    return spine_[s].seg.load(std::memory_order_seq_cst) != nullptr;
+    // c2sl-atomic: load acquire — publication read (diagnostics and sweeps)
+    return spine_[s].seg.load(std::memory_order_acquire) != nullptr;
   }
   /// Number of published segments (diagnostics only; racy by nature).
   int segments_published() const {
@@ -138,6 +145,7 @@ class SegmentedArray {
   T* materialize(int s) {
     Slot& slot = spine_[s];
     C2SL_TEL_PRIM_TAS();
+    // c2sl-atomic: tas seq_cst — init-winner decision for the segment
     if (slot.claim.exchange(1, std::memory_order_seq_cst) == 0) {
       C2SL_TEL_EVENT(tel::TelEvent::kSegmentClaim);
       // Claim won: construct every cell to its initial state, THEN publish.
@@ -146,15 +154,22 @@ class SegmentedArray {
       try {
         seg = new T[segment_size(s)]();
       } catch (...) {
+        // c2sl-atomic: store seq_cst — cold failure flag; cross-checked with
+        // the spine by spinning losers, so it stays at the strongest order
         slot.poisoned.store(true, std::memory_order_seq_cst);
         throw;
       }
-      slot.seg.store(seg, std::memory_order_seq_cst);
+      // c2sl-atomic: store release — the publish: constructed cells become
+      // visible to every acquire spine load
+      slot.seg.store(seg, std::memory_order_release);
       C2SL_TEL_EVENT(tel::TelEvent::kSegmentPublish);
       return seg;
     }
     T* seg = nullptr;
-    while (!(seg = slot.seg.load(std::memory_order_seq_cst))) {
+    // c2sl-atomic: load acquire — loser spin on the publish; pairs with the
+    // release store above
+    while (!(seg = slot.seg.load(std::memory_order_acquire))) {
+      // c2sl-atomic: load seq_cst — cold poison check inside the spin
       C2SL_CHECK(!slot.poisoned.load(std::memory_order_seq_cst),
                  "segment initialization failed in another thread");
     }

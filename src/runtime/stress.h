@@ -39,14 +39,20 @@ inline std::vector<TimedOp> run_stress(
   pool.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
+      // c2sl-atomic: faa seq_cst noprofile — harness start barrier, not an
+      // object under test; profiling it would skew the primitive cost model
       start_gate.fetch_add(1);
+      // c2sl-atomic: load seq_cst — barrier spin; must see every arrival
       while (start_gate.load() < threads) {
       }  // barrier: maximise overlap
       auto& out = per_thread[static_cast<size_t>(t)];
       out.reserve(static_cast<size_t>(ops_per_thread));
       for (int j = 0; j < ops_per_thread; ++j) {
+        // c2sl-atomic: faa seq_cst noprofile — harness clock tick; the total
+        // tick order must agree with real time across threads
         uint64_t inv = clock.fetch_add(1, std::memory_order_seq_cst);
         TimedOp op = body(t, j);
+        // c2sl-atomic: faa seq_cst noprofile — harness clock tick (response)
         uint64_t resp = clock.fetch_add(1, std::memory_order_seq_cst);
         op.thread = t;
         op.inv_seq = inv;

@@ -36,7 +36,8 @@ C2Store::C2Store(const C2StoreConfig& cfg)
 C2Store::~C2Store() {
   tel::uninstall_flight_dump_on_assert(&tel_);
   for (int s = 0; s < router_.shard_count(); ++s) {
-    delete slots_[static_cast<size_t>(s)].objs.load(std::memory_order_seq_cst);
+    // c2sl-atomic: load relaxed — destructor runs single-threaded by contract
+    delete slots_[static_cast<size_t>(s)].objs.load(std::memory_order_relaxed);
   }
 }
 
@@ -68,7 +69,9 @@ C2Session C2Store::open_session_for(std::chrono::nanoseconds timeout) {
 
 ShardObjects& C2Store::shard(int s) {
   ShardSlot& slot = slots_[static_cast<size_t>(s)];
-  ShardObjects* p = slot.objs.load(std::memory_order_seq_cst);
+  // c2sl-atomic: load acquire — publication read; a non-null pointer carries
+  // visibility of the constructed ShardObjects behind it
+  ShardObjects* p = slot.objs.load(std::memory_order_acquire);
   if (p) return *p;
   if (slot.claim.test_and_set() == 0) {
     // We won the readable test&set: construct and publish. The publication is
@@ -79,16 +82,23 @@ ShardObjects& C2Store::shard(int s) {
     try {
       p = new ShardObjects(cfg_);
     } catch (...) {
+      // c2sl-atomic: store seq_cst — cold failure flag; cross-checked with the
+      // slot pointer by spinning losers, so it stays at the strongest order
       slot.poisoned.store(true, std::memory_order_seq_cst);
       throw;
     }
-    slot.objs.store(p, std::memory_order_seq_cst);
+    // c2sl-atomic: store release — the publish: the constructed ShardObjects
+    // becomes visible to every acquire load of the slot pointer
+    slot.objs.store(p, std::memory_order_release);
     C2SL_TEL_EVENT(tel::TelEvent::kShardInit);
     return *p;
   }
   // Another thread won the claim; its publication is at most a few stores
   // away, so losers spin on the pointer.
-  while (!(p = slot.objs.load(std::memory_order_seq_cst))) {
+  // c2sl-atomic: load acquire — loser spin on the publish; pairs with the
+  // release store above
+  while (!(p = slot.objs.load(std::memory_order_acquire))) {
+    // c2sl-atomic: load seq_cst — cold poison check inside the spin
     C2SL_CHECK(!slot.poisoned.load(std::memory_order_seq_cst),
                "shard initialization failed in another thread");
   }

@@ -424,7 +424,8 @@ class C2Store {
   ShardObjects& shard(int s);
   /// Initialized objects or nullptr; never initializes.
   ShardObjects* peek(int s) const {
-    return slots_[static_cast<size_t>(s)].objs.load(std::memory_order_seq_cst);
+    // c2sl-atomic: load acquire — publication read; never initializes
+    return slots_[static_cast<size_t>(s)].objs.load(std::memory_order_acquire);
   }
 
   C2StoreConfig cfg_;

@@ -14,8 +14,11 @@ int LaneRegistry::try_acquire() {
   // registry is already exhausted (every failed try_acquire would otherwise
   // burn a ticket); the fetch_add itself is still the linearization point of
   // a successful fresh acquire — the pre-read is an optimisation, not a gate.
+  // c2sl-atomic: load seq_cst — dispenser pre-read; ordered against take()'s
+  // sweep so an exhausted registry never burns tickets
   if (next_.load(std::memory_order_seq_cst) < max_lanes_) {
     C2SL_TEL_PRIM_FAA();
+    // c2sl-atomic: faa seq_cst — linearization point of a fresh acquire
     int64_t t = next_.fetch_add(1, std::memory_order_seq_cst);
     if (t < max_lanes_) return static_cast<int>(t);
   }

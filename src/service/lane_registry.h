@@ -106,7 +106,8 @@ class LaneRegistry {
 
   int max_lanes() const { return max_lanes_; }
   /// Fresh tickets drawn so far (introspection; >= lanes ever acquired fresh).
-  int64_t tickets_issued() const { return next_.load(std::memory_order_seq_cst); }
+  // c2sl-atomic: load relaxed — diagnostics-only view of the dispenser
+  int64_t tickets_issued() const { return next_.load(std::memory_order_relaxed); }
 
   // --- handoff introspection (diagnostics; the stress bounds ride on these) --
   /// Waiter tickets ever enqueued by blocked acquires.

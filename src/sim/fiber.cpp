@@ -2,6 +2,10 @@
 
 #include <cstdint>
 
+#if C2SL_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 #include "util/assert.h"
 
 namespace c2sl::sim {
@@ -26,6 +30,12 @@ void Fiber::trampoline(unsigned int hi, unsigned int lo) {
 }
 
 void Fiber::run_body() {
+#if C2SL_ASAN_FIBERS
+  // First arrival on this fiber's stack: no fake stack to restore (nullptr),
+  // and learn the caller's stack bounds for the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &caller_stack_bottom_,
+                                  &caller_stack_size_);
+#endif
   try {
     body_();
   } catch (const CrashUnwind&) {
@@ -34,6 +44,12 @@ void Fiber::run_body() {
     exception_ = std::current_exception();
   }
   finished_ = true;
+#if C2SL_ASAN_FIBERS
+  // The fiber is dying: nullptr fake-stack pointer tells ASAN to destroy this
+  // stack's fake frames. Returning resumes uc_link on the caller's stack.
+  __sanitizer_start_switch_fiber(nullptr, caller_stack_bottom_,
+                                 caller_stack_size_);
+#endif
 }
 
 void Fiber::resume() {
@@ -51,7 +67,14 @@ void Fiber::resume() {
                 static_cast<unsigned int>(addr >> 32),
                 static_cast<unsigned int>(addr & 0xffffffffu));
   }
+#if C2SL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&caller_fake_stack_, stack_.data(),
+                                 stack_.size());
+#endif
   C2SL_ASSERT(swapcontext(&caller_, &self_) == 0);
+#if C2SL_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(caller_fake_stack_, nullptr, nullptr);
+#endif
   inside_ = false;
   if (exception_) {
     std::exception_ptr e = exception_;
@@ -62,7 +85,17 @@ void Fiber::resume() {
 
 void Fiber::yield() {
   C2SL_ASSERT_MSG(inside_, "yield() outside the fiber");
+#if C2SL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&fiber_fake_stack_, caller_stack_bottom_,
+                                 caller_stack_size_);
+#endif
   C2SL_ASSERT(swapcontext(&self_, &caller_) == 0);
+#if C2SL_ASAN_FIBERS
+  // Back on the fiber stack; the caller may have moved between resumes, so
+  // refresh its bounds.
+  __sanitizer_finish_switch_fiber(fiber_fake_stack_, &caller_stack_bottom_,
+                                  &caller_stack_size_);
+#endif
 }
 
 }  // namespace c2sl::sim

@@ -13,6 +13,22 @@
 #include <ucontext.h>
 #include <vector>
 
+// AddressSanitizer must be told about every switch onto a user-managed stack,
+// or its shadow bookkeeping (and the unwinder's __asan_handle_no_return on a
+// CrashUnwind throw) operates on the wrong stack and reports false
+// stack-use-after-scope errors. The annotations compile away entirely in
+// non-ASAN builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define C2SL_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define C2SL_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef C2SL_ASAN_FIBERS
+#define C2SL_ASAN_FIBERS 0
+#endif
+
 namespace c2sl::sim {
 
 /// Thrown by Ctx::gate() to unwind a crashed process. Deliberately not derived
@@ -49,6 +65,16 @@ class Fiber {
   ucontext_t self_{};
   ucontext_t caller_{};
   std::vector<char> stack_;
+#if C2SL_ASAN_FIBERS
+  // ASAN fiber-switch protocol state: the fake-stack handles saved when each
+  // side leaves its stack, and the caller's stack bounds as reported by
+  // __sanitizer_finish_switch_fiber on fiber entry (needed to announce the
+  // switch back).
+  void* caller_fake_stack_ = nullptr;
+  void* fiber_fake_stack_ = nullptr;
+  const void* caller_stack_bottom_ = nullptr;
+  size_t caller_stack_size_ = 0;
+#endif
   std::function<void()> body_;
   bool started_ = false;
   bool finished_ = false;

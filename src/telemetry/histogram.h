@@ -112,6 +112,8 @@ class LatencyHistogram {
  public:
   void record(int64_t ns) {
     std::atomic<uint64_t>& cell = counts_[hist_bucket_of(ns)];
+    // c2sl-atomic: store relaxed, load relaxed — single-writer bucket bump;
+    // load+store, never an RMW (the no-CAS discipline applies here too)
     cell.store(cell.load(std::memory_order_relaxed) + 1,
                std::memory_order_relaxed);
   }
@@ -119,6 +121,7 @@ class LatencyHistogram {
   HistogramSnapshot snapshot() const {
     HistogramSnapshot s;
     for (int b = 0; b < kHistBuckets; ++b) {
+      // c2sl-atomic: load relaxed — racy-but-monotone snapshot read
       s.counts[b] = counts_[b].load(std::memory_order_relaxed);
     }
     return s;

@@ -86,6 +86,7 @@ inline std::atomic<uint64_t>& event_counter(TelEvent e) {
 }
 
 inline uint64_t event_count(TelEvent e) {
+  // c2sl-atomic: load relaxed — cold event-counter read (export only)
   return event_counter(e).load(std::memory_order_relaxed);
 }
 
@@ -94,6 +95,8 @@ inline uint64_t event_count(TelEvent e) {
 #define C2SL_TEL_PRIM_FAA() (void)(++::c2sl::tel::this_thread_prims().faa)
 #define C2SL_TEL_PRIM_TAS() (void)(++::c2sl::tel::this_thread_prims().tas)
 #define C2SL_TEL_PRIM_SWAP() (void)(++::c2sl::tel::this_thread_prims().swap)
+// c2sl-atomic: faa relaxed — cold event bump (segment/shard init only); a
+// relaxed RMW on a counter that feeds no decision
 #define C2SL_TEL_EVENT(e) \
   (void)::c2sl::tel::event_counter(e).fetch_add(1, std::memory_order_relaxed)
 

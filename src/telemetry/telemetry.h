@@ -150,12 +150,15 @@ class FlightRecorder {
   static constexpr uint64_t kEntries = 64;  // power of two
 
   void record(TelOp op, int shard, int64_t arg) {
+    // c2sl-atomic: load relaxed — single-writer ring cursor read
     uint64_t seq = seq_.load(std::memory_order_relaxed);
     Slot& s = slots_[static_cast<size_t>(seq & (kEntries - 1))];
     // meta: [seq:48][op:8][shard+1:8]; shard -1 encodes as 0.
     uint64_t meta = (seq << 16) |
                     ((static_cast<uint64_t>(op) & 0xff) << 8) |
                     (static_cast<uint64_t>(shard + 1) & 0xff);
+    // c2sl-atomic: store relaxed, store relaxed, store relaxed — lane-local
+    // ring writes; the racy dump tolerates a torn in-flight entry
     s.meta.store(meta, std::memory_order_relaxed);
     s.arg.store(arg, std::memory_order_relaxed);
     seq_.store(seq + 1, std::memory_order_relaxed);
@@ -163,17 +166,20 @@ class FlightRecorder {
 
   /// Oldest-first decoded entries (racy read; diagnostics only).
   std::vector<FlightEntry> snapshot() const {
+    // c2sl-atomic: load relaxed — documented-racy diagnostic read
     uint64_t seq = seq_.load(std::memory_order_relaxed);
     uint64_t count = seq < kEntries ? seq : kEntries;
     std::vector<FlightEntry> out;
     out.reserve(static_cast<size_t>(count));
     for (uint64_t k = seq - count; k < seq; ++k) {
       const Slot& s = slots_[static_cast<size_t>(k & (kEntries - 1))];
+      // c2sl-atomic: load relaxed — documented-racy diagnostic read
       uint64_t meta = s.meta.load(std::memory_order_relaxed);
       FlightEntry e;
       e.seq = meta >> 16;
       e.op = static_cast<TelOp>((meta >> 8) & 0xff);
       e.shard = static_cast<int>(meta & 0xff) - 1;
+      // c2sl-atomic: load relaxed — documented-racy diagnostic read
       e.arg = s.arg.load(std::memory_order_relaxed);
       out.push_back(e);
     }
@@ -206,12 +212,15 @@ struct alignas(128) LaneTelemetry {
   // documented-racy diagnostic, not a hot path).
   void bump(TelOp op) {
     std::atomic<uint64_t>& c = op_counts[static_cast<int>(op)];
+    // c2sl-atomic: store relaxed, load relaxed — single-writer plain-register
+    // cell; atomic only so the racy aggregating reader is defined
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
 
   uint64_t total_ops_cell() const {
     uint64_t sum = 0;
     for (int k = 0; k < kTelOpCount; ++k) {
+      // c2sl-atomic: load relaxed — documented-racy scan-side read
       sum += op_counts[k].load(std::memory_order_relaxed);
     }
     return sum;
@@ -234,11 +243,14 @@ class StoreTelemetry {
   /// The digest add — the instrumented op's fixed linearization point in the
   /// telemetry facet. One fetch&add, seq_cst, exactly CounterSumDigest::add's
   /// total-word half.
+  // c2sl-atomic: faa seq_cst — digest-add half; the op's telemetry-facet
+  // linearization point
   void bump_ops_total() { ops_total_.fetch_add(1, std::memory_order_seq_cst); }
 
   /// Strongly linearizable exact read: fetch&add(0) linearizes at its own
   /// step (prefix-closed — the checker-verified path).
   int64_t ops_total() {
+    // c2sl-atomic: faa seq_cst — FAA(0) exact read; linearizes at its own step
     return ops_total_.fetch_add(0, std::memory_order_seq_cst);
   }
 
@@ -276,6 +288,7 @@ class StoreTelemetry {
       if (lt == nullptr) continue;
       ++s.lanes;
       for (int k = 0; k < kTelOpCount; ++k) {
+        // c2sl-atomic: load relaxed — documented-racy scan-side read
         s.op_counts[k] += lt->op_counts[k].load(std::memory_order_relaxed);
         s.op_latency[k].merge(lt->op_hist[k].snapshot());
       }
@@ -301,7 +314,9 @@ class OpScope {
           int64_t arg)
       : lane_(lane), op_(op) {
     std::atomic<uint64_t>& c = lane->op_counts[static_cast<int>(op)];
+    // c2sl-atomic: load relaxed — single-writer cell read (sampling decision)
     uint64_t prev = c.load(std::memory_order_relaxed);
+    // c2sl-atomic: store relaxed — single-writer cell bump
     c.store(prev + 1, std::memory_order_relaxed);
     lane->flight.record(op, shard, arg);
     store.bump_ops_total();

@@ -32,17 +32,22 @@ inline FailureHookSlot& failure_hook() {
 
 inline void set_failure_hook(void (*fn)(void*), void* ctx) {
   FailureHookSlot& slot = failure_hook();
-  slot.ctx.store(ctx, std::memory_order_seq_cst);
-  slot.fn.store(fn, std::memory_order_seq_cst);
+  // c2sl-atomic: store relaxed — ctx publishes via the release store of fn
+  slot.ctx.store(ctx, std::memory_order_relaxed);
+  // c2sl-atomic: store release — publishes fn+ctx to a racing assert_fail
+  slot.fn.store(fn, std::memory_order_release);
 }
 
 /// Clears the hook iff it still points at `ctx` (a dying owner must not
 /// clobber a successor's registration).
 inline void clear_failure_hook(void* ctx) {
   FailureHookSlot& slot = failure_hook();
-  if (slot.ctx.load(std::memory_order_seq_cst) == ctx) {
-    slot.fn.store(nullptr, std::memory_order_seq_cst);
-    slot.ctx.store(nullptr, std::memory_order_seq_cst);
+  // c2sl-atomic: load acquire — pairs with set_failure_hook's release
+  if (slot.ctx.load(std::memory_order_acquire) == ctx) {
+    // c2sl-atomic: store relaxed — disarm fn first; ctx is dead once fn is null
+    slot.fn.store(nullptr, std::memory_order_relaxed);
+    // c2sl-atomic: store relaxed — best-effort slot scrub on the owner's exit
+    slot.ctx.store(nullptr, std::memory_order_relaxed);
   }
 }
 
@@ -51,8 +56,10 @@ inline void clear_failure_hook(void* ctx) {
   std::fprintf(stderr, "c2sl assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
                line, msg.c_str());
   FailureHookSlot& slot = failure_hook();
-  if (auto* fn = slot.fn.load(std::memory_order_seq_cst)) {
-    fn(slot.ctx.load(std::memory_order_seq_cst));
+  // c2sl-atomic: load acquire — observing fn also makes its ctx visible
+  if (auto* fn = slot.fn.load(std::memory_order_acquire)) {
+    // c2sl-atomic: load relaxed — ordered after fn by the acquire above
+    fn(slot.ctx.load(std::memory_order_relaxed));
   }
   std::abort();
 }

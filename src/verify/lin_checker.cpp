@@ -14,7 +14,9 @@ class Search {
  public:
   Search(const std::vector<sim::OpRecord>& ops, const Spec& spec, const LinOptions& opts)
       : ops_(ops), spec_(spec), opts_(opts) {
-    for (size_t i = 0; i < ops_.size(); ++i) {
+    // Only the first 64 ops fit the bitmask; run() refuses longer histories
+    // before the mask is ever consulted, so don't shift past the word here.
+    for (size_t i = 0; i < ops_.size() && i < 64; ++i) {
       if (ops_[i].complete) complete_mask_ |= uint64_t{1} << i;
     }
   }

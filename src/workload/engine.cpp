@@ -96,7 +96,9 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
       // alone — exactly what the blocking-vs-try ablation measures; the one
       // counter op inside the session keeps the cycle honest (a lane is
       // actually used) without drowning the metric.
+      // c2sl-atomic: faa seq_cst — harness start barrier (not under test)
       start_gate.fetch_add(1);
+      // c2sl-atomic: load seq_cst — barrier spin; must see every arrival
       while (start_gate.load() < threads) {
       }
       t_start[static_cast<size_t>(wid)] = Clock::now();
@@ -157,7 +159,9 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
       }
     }
 
+    // c2sl-atomic: faa seq_cst — harness start barrier (not under test)
     start_gate.fetch_add(1);
+    // c2sl-atomic: load seq_cst — barrier spin; must see every arrival
     while (start_gate.load() < threads) {
     }
     t_start[static_cast<size_t>(wid)] = Clock::now();

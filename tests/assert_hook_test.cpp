@@ -1,0 +1,145 @@
+// The failure-hook contract (util/assert.h + telemetry/export.h): a failing
+// C2SL_ASSERT must ship the per-lane flight rings to stderr before aborting,
+// and the hook slot must survive the install/uninstall races its comment
+// promises to tolerate (last installer wins; a dying owner never clobbers a
+// successor's registration).
+//
+// The death tests fork (gtest "fast" style — each test file is its own
+// single-threaded binary here, so forking is safe) and match the child's
+// stderr: the dump header, the lane line, and the recorded ops must all be
+// present — and must be ABSENT once the owning store has been destroyed,
+// proving ~C2Store really disarms the hook rather than leaving a dangling
+// context behind for the next assert to chase.
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "service/c2store.h"
+#include "telemetry/export.h"
+#include "util/assert.h"
+
+namespace c2sl {
+namespace {
+
+using ::testing::AllOf;
+using ::testing::HasSubstr;
+using ::testing::Not;
+
+svc::C2StoreConfig small_config() {
+  svc::C2StoreConfig cfg;
+  cfg.shards = 4;
+  cfg.max_threads = 4;
+  cfg.max_value = 15;
+  cfg.tas_max_resets = 14;
+  return cfg;
+}
+
+#if C2SL_TELEMETRY
+
+TEST(AssertHookDeathTest, FailingAssertDumpsFlightRings) {
+  EXPECT_DEATH(
+      {
+        svc::C2Store store(small_config());
+        svc::C2Session s = store.open_session();
+        svc::MaxRef mx = s.max(uint64_t{1});
+        for (int i = 0; i < 3; ++i) mx.write(i);
+        s.counter(uint64_t{2}).inc();
+        C2SL_ASSERT(false && "deliberate: flight ring must ship with this");
+      },
+      AllOf(HasSubstr("c2sl assertion failed"),
+            HasSubstr("c2sl flight recorder"), HasSubstr("lane 0"),
+            HasSubstr("session_open"), HasSubstr("max_write"),
+            HasSubstr("counter_inc")));
+}
+
+TEST(AssertHookDeathTest, DumpCarriesOpArguments) {
+  // The ring stores the written value; the dump must render it, not just the
+  // op name — that is what makes a post-mortem actionable.
+  EXPECT_DEATH(
+      {
+        svc::C2Store store(small_config());
+        svc::C2Session s = store.open_session();
+        s.max(uint64_t{1}).write(13);
+        C2SL_ASSERT(false);
+      },
+      AllOf(HasSubstr("max_write"), HasSubstr("arg=13")));
+}
+
+TEST(AssertHookDeathTest, DestroyedStoreDisarmsTheDump) {
+  EXPECT_DEATH(
+      {
+        {
+          svc::C2Store store(small_config());
+          svc::C2Session s = store.open_session();
+          s.max(uint64_t{1}).write(7);
+        }  // ~C2Store runs uninstall_flight_dump_on_assert
+        C2SL_ASSERT(false && "no store alive: assert must not dump");
+      },
+      AllOf(HasSubstr("c2sl assertion failed"),
+            Not(HasSubstr("c2sl flight recorder"))));
+}
+
+TEST(AssertHookDeathTest, LastInstallerWinsAcrossTwoStores) {
+  // Two live stores: the younger one owns the hook. Ops recorded on the
+  // OLDER store's lanes must not appear (its rings are not the dump target),
+  // while the younger store's ops must.
+  EXPECT_DEATH(
+      {
+        svc::C2Store older(small_config());
+        {
+          svc::C2Session s = older.open_session();
+          s.max(uint64_t{1}).write(1);
+        }
+        svc::C2Store younger(small_config());
+        svc::C2Session s = younger.open_session();
+        s.counter(uint64_t{9}).inc();
+        C2SL_ASSERT(false);
+      },
+      AllOf(HasSubstr("c2sl flight recorder"), HasSubstr("counter_inc"),
+            Not(HasSubstr("max_write"))));
+}
+
+#endif  // C2SL_TELEMETRY
+
+// --- hook slot semantics (no forking needed) --------------------------------
+
+void hook_a(void*) {}
+void hook_b(void*) {}
+
+struct SlotGuard {  // leave the process-wide slot clean for other tests
+  ~SlotGuard() {
+    failure_hook().fn.store(nullptr, std::memory_order_relaxed);
+    failure_hook().ctx.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+TEST(FailureHookSlot, SetPublishesFnAndCtx) {
+  SlotGuard guard;
+  int ctx = 0;
+  set_failure_hook(&hook_a, &ctx);
+  EXPECT_EQ(failure_hook().fn.load(std::memory_order_acquire), &hook_a);
+  EXPECT_EQ(failure_hook().ctx.load(std::memory_order_relaxed), &ctx);
+}
+
+TEST(FailureHookSlot, ClearOnlyWhenCtxMatches) {
+  SlotGuard guard;
+  int mine = 0, other = 0;
+  set_failure_hook(&hook_a, &mine);
+  clear_failure_hook(&other);  // wrong owner: must be a no-op
+  EXPECT_EQ(failure_hook().fn.load(std::memory_order_acquire), &hook_a);
+  clear_failure_hook(&mine);
+  EXPECT_EQ(failure_hook().fn.load(std::memory_order_acquire), nullptr);
+  EXPECT_EQ(failure_hook().ctx.load(std::memory_order_relaxed), nullptr);
+}
+
+TEST(FailureHookSlot, DyingOwnerNeverClobbersSuccessor) {
+  SlotGuard guard;
+  int first = 0, second = 0;
+  set_failure_hook(&hook_a, &first);
+  set_failure_hook(&hook_b, &second);  // last installer wins
+  clear_failure_hook(&first);          // first owner dies late
+  EXPECT_EQ(failure_hook().fn.load(std::memory_order_acquire), &hook_b);
+  EXPECT_EQ(failure_hook().ctx.load(std::memory_order_relaxed), &second);
+}
+
+}  // namespace
+}  // namespace c2sl

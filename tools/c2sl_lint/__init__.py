@@ -1,0 +1,30 @@
+"""c2sl_lint — the no-CAS conformance linter behind tools/atomics_audit.py.
+
+A small, dependency-free static analysis package for the repo's concurrency
+surface:
+
+  * tokenizer  — a real C++ lexer (comment / string / char / raw-string safe),
+                 so identifier rules never fire on prose or string payloads;
+  * scanner    — extracts every std::atomic operation site (fetch_add,
+                 exchange, load, store, wait/notify, compare_exchange_*) with
+                 its enclosing symbol, memory order, and adjacent
+                 `// c2sl-atomic:` annotation;
+  * rules      — the four CI-enforced rules: no-CAS outside the allowlist,
+                 annotation presence + kind/order agreement, checked-in
+                 inventory drift, and C2SL_TEL_PRIM_* profile-hook parity.
+
+The package is imported by tools/atomics_audit.py (the CLI) and
+tools/atomics_audit_test.py (the fixture suite, a ctest entry).
+"""
+
+from .tokenizer import Token, tokenize  # noqa: F401
+from .scanner import AtomicSite, Annotation, scan_file, scan_tree  # noqa: F401
+from .rules import (  # noqa: F401
+    Finding,
+    check_annotations,
+    check_inventory,
+    check_no_cas,
+    check_profile_parity,
+    inventory_payload,
+    run_all,
+)

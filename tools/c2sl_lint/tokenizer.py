@@ -1,0 +1,200 @@
+"""A comment/string/raw-string-safe C++ tokenizer.
+
+The linter's rules are identifier rules ("no `compare_exchange_*` token
+outside the allowlist", "this `.exchange(` call's memory order is ...").
+Running them on raw text would fire on prose in comments, on string payloads,
+and on raw-string literals — precisely the false positives a grep-based check
+cannot avoid. This lexer does the minimal honest job instead:
+
+  * line comments (`//...`), block comments (`/*...*/`), ordinary string and
+    character literals (with escape handling), and raw strings
+    (`R"delim(...)delim"`, any delimiter) are consumed as single units and
+    NEVER produce identifier tokens;
+  * comments are retained (with line numbers) on a side channel, because the
+    `// c2sl-atomic:` annotations the audit enforces live there;
+  * everything else becomes (kind, text, line, col) tokens: identifiers,
+    numbers, and punctuation. Preprocessor lines are tokenized like code
+    (a CAS hidden in a macro body must still be caught) with line
+    continuations honoured.
+
+No external dependencies; the grammar subset is exactly what the rules need.
+"""
+
+from dataclasses import dataclass
+
+IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+IDENT_CONT = IDENT_START | frozenset("0123456789")
+
+# Multi-char punctuators the scanner cares about (`->` for member calls,
+# `::` for qualified names). Everything else can split into single chars.
+PUNCT2 = ("->", "::")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "punct"
+    text: str
+    line: int  # 1-based
+    col: int   # 0-based
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str       # comment body, delimiters stripped
+    line: int       # line the comment STARTS on
+    end_line: int   # line the comment ends on (== line for `//`)
+    trailing: bool  # True when code tokens precede it on its start line
+
+
+RAW_PREFIXES = frozenset(("R", "uR", "UR", "LR", "u8R"))
+
+
+def tokenize(src):
+    """Tokenizes C++ source. Returns (tokens, comments)."""
+    tokens = []
+    comments = []
+    line_has_code = {}  # line -> True once a code token landed there
+
+    i = 0
+    n = len(src)
+    line = 1
+    col = 0
+
+    def advance_over(text):
+        nonlocal line, col
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                col = 0
+            else:
+                col += 1
+
+    while i < n:
+        ch = src[i]
+
+        if ch == "\n":
+            line += 1
+            col = 0
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            col += 1
+            i += 1
+            continue
+        # Line continuation: backslash-newline glues lines (macro bodies).
+        if ch == "\\" and i + 1 < n and src[i + 1] == "\n":
+            line += 1
+            col = 0
+            i += 2
+            continue
+
+        # Comments.
+        if ch == "/" and i + 1 < n and src[i + 1] == "/":
+            j = src.find("\n", i)
+            if j < 0:
+                j = n
+            body = src[i + 2:j]
+            comments.append(Comment(body.strip(), line, line,
+                                    bool(line_has_code.get(line))))
+            col += j - i
+            i = j
+            continue
+        if ch == "/" and i + 1 < n and src[i + 1] == "*":
+            j = src.find("*/", i + 2)
+            if j < 0:
+                j = n
+                end = n
+            else:
+                end = j + 2
+            body = src[i + 2:j]
+            start_line = line
+            advance_over(src[i:end])
+            comments.append(Comment(body.strip(), start_line, line,
+                                    bool(line_has_code.get(start_line))))
+            i = end
+            continue
+
+        # Raw strings: R"delim( ... )delim" (prefix R/uR/UR/LR/u8R was just
+        # emitted as an identifier token immediately before this quote).
+        if ch == '"':
+            raw = (tokens and tokens[-1].kind == "ident"
+                   and tokens[-1].text in RAW_PREFIXES
+                   and tokens[-1].line == line
+                   and tokens[-1].col + len(tokens[-1].text) == col)
+            if raw:
+                tokens.pop()  # the prefix is part of the literal, not code
+                close = src.find("(", i + 1)
+                if close < 0:
+                    advance_over(src[i:])
+                    i = n
+                    continue
+                delim = src[i + 1:close]
+                terminator = ")" + delim + '"'
+                j = src.find(terminator, close + 1)
+                end = n if j < 0 else j + len(terminator)
+                advance_over(src[i:end])
+                i = end
+                continue
+            # Ordinary string literal.
+            j = i + 1
+            while j < n and src[j] != '"':
+                if src[j] == "\\":
+                    j += 1
+                j += 1
+            end = min(j + 1, n)
+            advance_over(src[i:end])
+            i = end
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and src[j] != "'":
+                if src[j] == "\\":
+                    j += 1
+                j += 1
+            end = min(j + 1, n)
+            advance_over(src[i:end])
+            i = end
+            continue
+
+        # Identifiers / keywords.
+        if ch in IDENT_START:
+            j = i
+            while j < n and src[j] in IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", src[i:j], line, col))
+            line_has_code[line] = True
+            col += j - i
+            i = j
+            continue
+
+        # Numbers (good enough: digits + number-ish continuation chars,
+        # including C++14 digit separators so 1'000 never opens a char
+        # literal).
+        if ch.isdigit():
+            j = i
+            while j < n and (src[j] in IDENT_CONT or src[j] == "."
+                             or (src[j] in "+-" and src[j - 1] in "eEpP")
+                             or (src[j] == "'" and j + 1 < n
+                                 and src[j + 1] in IDENT_CONT)):
+                j += 1
+            tokens.append(Token("number", src[i:j], line, col))
+            line_has_code[line] = True
+            col += j - i
+            i = j
+            continue
+
+        # Punctuation.
+        two = src[i:i + 2]
+        if two in PUNCT2:
+            tokens.append(Token("punct", two, line, col))
+            line_has_code[line] = True
+            col += 2
+            i += 2
+            continue
+        tokens.append(Token("punct", ch, line, col))
+        line_has_code[line] = True
+        col += 1
+        i += 1
+
+    return tokens, comments
