@@ -1,11 +1,11 @@
 // C2Store service benchmark: thread-scaling sweep (1..hardware_concurrency),
-// shard-count ablation, and the five canonical op mixes, driven through the
+// shard-count ablation, and the canonical op mixes, driven through the
 // workload engine. Emits one c2sl-bench-v1 suite document (BENCH_c2store.json
 // by default) and a human-readable summary on stdout.
 //
 //   $ ./bench_c2store [--quick] [--out FILE] [--ops N] [--threads-max N]
 //                     [--bind cached|per_op] [--keys int|string] [--key-space N]
-//                     [--sum-impl digest|scan]
+//                     [--sum-impl digest|scan] [--snap-impl digest|loop]
 //
 // --quick shrinks op counts for CI smoke runs. --bind selects the ref binding
 // mode for every entry (bench names stay identical across modes), so two runs
@@ -47,6 +47,27 @@
 //   $ tools/bench_diff.py BENCH_acquire_try.json BENCH_acquire_block.json
 //         --bench-filter '^mix/session_churn$' --threshold 0.30
 //         --metrics throughput_ops_per_s,latency_ns.p50   (one shell line)
+//
+// --snap-impl selects how mix/snapshot_heavy's kSnapshot ops read the
+// multi-key aggregate: the strongly linearizable journal-replay SnapshotRef
+// ("digest", default) or the naive per-key read loop ("loop") — not even
+// linearizable as one operation (the sim layer pins the refutation); it is
+// the what-strong-linearizability-costs baseline. It costs nothing: the
+// loop pays shard_count per-key digest reads per snapshot while the
+// journal replay is one tail FAA plus the entries since the session's
+// cursor, so digest WINS (2.3x locally at 4 threads) and CI gates it as an
+// improvement requirement with a NEGATIVE threshold:
+//
+//   $ ./bench_c2store --snap-impl loop   --out BENCH_snap_loop.json
+//   $ ./bench_c2store --snap-impl digest --out BENCH_snap_digest.json
+//   $ tools/bench_diff.py BENCH_snap_loop.json BENCH_snap_digest.json
+//         --bench-filter '^mix/snapshot_heavy$' --threshold=-0.10
+//         --metrics throughput_ops_per_s   (one shell line)
+//
+// mix/transfer_audit (concurrent transfers + live conservation-checked
+// snapshots) always runs snap_impl=digest — the loop cannot conserve, which
+// is the refutation, not an ablation — so that entry is identical across
+// --snap-impl runs.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -73,6 +94,7 @@ struct Args {
   std::string keys = "int";
   std::string sum_impl = "digest";
   std::string acquire = "block";
+  std::string snap_impl = "digest";
   uint64_t key_space = 4096;
   /// c2sl-metrics-v1 JSON snapshot of the mix/mixed run's store telemetry
   /// (plus the primitive-op calibration profile); empty = don't write. CI's
@@ -103,6 +125,8 @@ Args parse(int argc, char** argv) {
       a.sum_impl = argv[++i];
     } else if (arg == "--acquire" && i + 1 < argc) {
       a.acquire = argv[++i];
+    } else if (arg == "--snap-impl" && i + 1 < argc) {
+      a.snap_impl = argv[++i];
     } else if (arg == "--key-space" && i + 1 < argc) {
       a.key_space = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -114,6 +138,7 @@ Args parse(int argc, char** argv) {
                    "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]"
                    " [--bind cached|per_op] [--keys int|string] [--key-space N]"
                    " [--sum-impl digest|scan] [--acquire block|try]"
+                   " [--snap-impl digest|loop]"
                    " [--metrics-out FILE] [--prom-out FILE]\n",
                    argv[0]);
       std::exit(1);
@@ -165,6 +190,7 @@ int main(int argc, char** argv) {
   w.field("keys", args.keys);
   w.field("sum_impl", args.sum_impl);
   w.field("acquire", args.acquire);
+  w.field("snap_impl", args.snap_impl);
   w.field("key_space", args.key_space);
   w.end_object();
   w.key("results").begin_array();
@@ -204,7 +230,8 @@ int main(int argc, char** argv) {
   // (the same entry the CI overhead-ablation gate diffs ON-vs-OFF).
   tel::MetricsSnapshot metrics;
   for (const char* mix :
-       {"read_heavy", "write_heavy", "mixed", "aggregate_scan", "sum_heavy"}) {
+       {"read_heavy", "write_heavy", "mixed", "aggregate_scan", "sum_heavy",
+        "snapshot_heavy", "transfer_audit"}) {
     wl::WorkloadConfig cfg;
     cfg.threads = max_threads;
     cfg.ops_per_thread = args.ops;
@@ -214,6 +241,11 @@ int main(int argc, char** argv) {
     cfg.bind = args.bind;
     cfg.keys = args.keys;
     cfg.sum_impl = args.sum_impl;
+    // transfer_audit pins digest: the loop cannot pass its live
+    // conservation check (that impossibility is the sim layer's pinned
+    // refutation, not an ablation axis).
+    cfg.snap_impl =
+        std::strcmp(mix, "transfer_audit") == 0 ? "digest" : args.snap_impl;
     cfg.store.shards = 16;
     wl::WorkloadResult r = run_one(w, std::string("mix/") + mix, cfg);
     if (std::strcmp(mix, "mixed") == 0) metrics = r.metrics;

@@ -168,6 +168,31 @@ int64_t C2Store::counter_sum_scan() {
   return sum;
 }
 
+// Replays journal entries [r.cursor, tail) into the session-local per-shard
+// accumulators. Deterministic: entry content is fixed at ticket time, so every
+// replayer that reaches `tail` computes the same vectors regardless of how its
+// cursor got there — which is what makes two same-tail snapshots identical and
+// the FAA(0) tail read a legitimate linearization point.
+void C2Store::replay_journal(detail::SnapReplay& r, int64_t tail) {
+  for (int64_t t = r.cursor; t < tail; ++t) {
+    rt::KeyedVersionDigest::EntryView e = journal_.entry(t);
+    switch (e.kind) {
+      case rt::KeyedVersionDigest::Kind::kCounterInc:
+        r.ctr_net[static_cast<size_t>(e.shard_a)] += e.v;
+        break;
+      case rt::KeyedVersionDigest::Kind::kMaxWrite:
+        r.max_seen[static_cast<size_t>(e.shard_a)] =
+            std::max(r.max_seen[static_cast<size_t>(e.shard_a)], e.v);
+        break;
+      case rt::KeyedVersionDigest::Kind::kTransfer:
+        r.ctr_net[static_cast<size_t>(e.shard_a)] -= e.v;
+        r.ctr_net[static_cast<size_t>(e.shard_b)] += e.v;
+        break;
+    }
+  }
+  r.cursor = tail;
+}
+
 int C2Store::initialized_shards() const {
   int count = 0;
   for (int s = 0; s < router_.shard_count(); ++s) {

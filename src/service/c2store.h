@@ -79,6 +79,22 @@
 //     kScanRetryRounds collects and then fall back to the corresponding
 //     digest read — still linearizable (the digest step is inside the scan's
 //     interval), and bounded instead of livelocking under sustained writes.
+//
+// Between the per-key ops and the whole-store aggregates sits the MULTI-KEY
+// surface: session.snapshot(keys) returns a consistent vector over chosen
+// counter/max keys, strongly linearizable as ONE operation, and
+// session.transfer(a, b, d) atomically moves d between two counter keys'
+// ledger balances. Both ride the store's write journal
+// (runtime/keyed_version_digest.h): every keyed write appends one entry whose
+// tail fetch&add is its linearization point, and a snapshot linearizes at a
+// single tail FAA(0), then deterministically replays the journal prefix into
+// session-local per-shard accumulators. Counter keys snapshot to their LEDGER
+// balance (#incs + net transfers — transfers exist only on this facet, since
+// the Thm 9 counter is inc-only); max keys snapshot to the running max of
+// journaled writes. At quiescence: snapshot(counter k) == counter_read(k) +
+// net transfers into k's shard, and snapshot(max k) == max_read(k)
+// (tests/snapshot_service_test.cpp pins both identities). Snapshots never
+// materialise shards — an untouched key reads as 0.
 #pragma once
 
 #include <atomic>
@@ -86,8 +102,11 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "runtime/counter_sum_digest.h"
+#include "runtime/keyed_version_digest.h"
 #include "runtime/native_tas_family.h"
 #include "service/lane_registry.h"
 #include "service/shard_router.h"
@@ -211,6 +230,65 @@ class SetRef : public detail::ShardRef {
   using ShardRef::ShardRef;
 };
 
+/// Key classes a snapshot component can observe. Counter keys report the
+/// LEDGER balance (incs + net transfers); max keys report the running max of
+/// journaled writes (== the shard max register at quiescence).
+enum class SnapKind : int { kCounter = 0, kMax = 1 };
+
+/// One snapshot component: a typed key. Build with SnapKey::counter /
+/// SnapKey::max (keys collapse to shards exactly like the typed refs: keys
+/// that hash together share a component).
+struct SnapKey {
+  SnapKind kind;
+  uint64_t key;
+  static SnapKey counter(uint64_t k) { return {SnapKind::kCounter, k}; }
+  static SnapKey max(uint64_t k) { return {SnapKind::kMax, k}; }
+};
+
+namespace detail {
+/// Session-local journal replay state: the cursor (journal prefix already
+/// folded in) and the per-shard accumulators it folded into. O(shards), not
+/// O(journal): replay cost is paid once per journal entry per session, no
+/// matter how many snapshots are taken. A fresh session starts at cursor 0
+/// and replays the full journal on its first snapshot (the close/reopen
+/// continuity test rides on exactly that).
+struct SnapReplay {
+  explicit SnapReplay(int shards)
+      : ctr_net(static_cast<size_t>(shards), 0),
+        max_seen(static_cast<size_t>(shards), 0) {}
+  int64_t cursor = 0;
+  std::vector<int64_t> ctr_net;   ///< per-shard ledger balance
+  std::vector<int64_t> max_seen;  ///< per-shard max of journaled writes
+};
+}  // namespace detail
+
+/// Bound multi-key snapshot over the write journal
+/// (runtime/keyed_version_digest.h). Binding routes every key ONCE
+/// (duplicates allowed, order preserved; the empty list is valid and reads as
+/// the empty vector). read() is strongly linearizable as ONE operation: it
+/// linearizes at its single tail FAA(0) and deterministically replays the
+/// journal prefix below it. Reads never materialise shards — an untouched
+/// key reads as 0 and initialized_shards() is unchanged. A borrowed view like
+/// the typed refs: it must not outlive its session.
+class SnapshotRef {
+ public:
+  /// One value per bound key, consistent as of a single linearization point.
+  inline std::vector<int64_t> read();
+  int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  friend class C2Session;
+  SnapshotRef(C2Store* store, detail::SnapReplay* replay,
+              tel::LaneTelemetry* tel,
+              std::vector<std::pair<SnapKind, int>> slots)
+      : store_(store), replay_(replay), tel_(tel), slots_(std::move(slots)) {}
+
+  C2Store* store_;
+  detail::SnapReplay* replay_;  ///< the owning session's replay state
+  tel::LaneTelemetry* tel_;
+  std::vector<std::pair<SnapKind, int>> slots_;  ///< bound (kind, shard)
+};
+
 /// RAII lane handle and the store's entire per-key surface. Obtained from
 /// C2Store::open_session(); the lane is released back to the registry on
 /// destruction (or close()). Move-only. A session is a single-client handle:
@@ -220,7 +298,10 @@ class C2Session {
  public:
   C2Session() = default;  ///< invalid (valid() == false) until move-assigned
   C2Session(C2Session&& o) noexcept
-      : store_(o.store_), tel_lane_(o.tel_lane_), lane_(o.lane_) {
+      : store_(o.store_),
+        tel_lane_(o.tel_lane_),
+        snap_(std::move(o.snap_)),
+        lane_(o.lane_) {
     o.store_ = nullptr;
     o.tel_lane_ = nullptr;
     o.lane_ = -1;
@@ -236,6 +317,7 @@ class C2Session {
       }
       store_ = o.store_;
       tel_lane_ = o.tel_lane_;
+      snap_ = std::move(o.snap_);
       lane_ = o.lane_;
       o.store_ = nullptr;
       o.tel_lane_ = nullptr;
@@ -292,6 +374,23 @@ class C2Session {
   int64_t set_take(uint64_t key) { return set(key).take(); }
   int64_t set_take(std::string_view key) { return set(key).take(); }
 
+  // --- multi-key snapshots and transfers (journal-backed; see SnapshotRef) ---
+  /// Binds a reusable snapshot over `keys` (route once, snapshot many).
+  inline SnapshotRef snapshot_ref(const std::vector<SnapKey>& keys);
+  /// One-shot bind + read (the per-op routing cost, like the one-shot refs).
+  inline std::vector<int64_t> snapshot(const std::vector<SnapKey>& keys);
+  /// All-counters convenience: one ledger balance per key.
+  inline std::vector<int64_t> snapshot_counters(const std::vector<uint64_t>& keys);
+  /// Atomically moves `amount` from `from_key`'s to `to_key`'s ledger balance
+  /// — ONE journal entry, so every snapshot sees either both sides or
+  /// neither (the transfer_audit conservation invariant). Balances may go
+  /// negative; a negative amount transfers the other way. Visible only on the
+  /// snapshot facet (the Thm 9 counter is inc-only). Returns the journal
+  /// ticket (diagnostics).
+  inline int64_t transfer(uint64_t from_key, uint64_t to_key, int64_t amount);
+  inline int64_t transfer(std::string_view from_key, std::string_view to_key,
+                          int64_t amount);
+
   // --- aggregates, forwarded to the store ---
   inline int64_t global_max();
   inline int64_t global_max_scan();
@@ -302,8 +401,12 @@ class C2Session {
   friend class C2Store;
   inline C2Session(C2Store* store, int lane);  // defined after C2Store
 
+  /// Lazily-created replay state shared by every SnapshotRef bound here.
+  inline detail::SnapReplay& snap_state();
+
   C2Store* store_ = nullptr;
   tel::LaneTelemetry* tel_lane_ = nullptr;  ///< cached lane telemetry block
+  std::unique_ptr<detail::SnapReplay> snap_;
   int lane_ = -1;
 };
 
@@ -389,6 +492,9 @@ class C2Store {
   int64_t lane_counter_adds(int lane) const {
     return sum_digest_.lane_contribution(lane);
   }
+  /// Journal tickets issued so far (diagnostics; may exceed the published
+  /// prefix while deposits are in flight — see keyed_version_digest.h).
+  int64_t journal_tickets() const { return journal_.tickets_issued(); }
 
   // --- telemetry (src/telemetry/; all of it compiles out under
   // --- C2SL_TELEMETRY=0) ---
@@ -408,6 +514,7 @@ class C2Store {
   friend class CounterRef;
   friend class TasRef;
   friend class SetRef;
+  friend class SnapshotRef;
 
   struct alignas(128) ShardSlot {
     rt::NativeReadableTAS claim;           // Thm 5 readable test&set: init winner
@@ -419,6 +526,11 @@ class C2Store {
 
   int route(uint64_t key) const { return router_.shard_of(key); }
   int route(std::string_view key) const { return router_.shard_of(key); }
+
+  /// Folds journal entries [r.cursor, tail) into r's accumulators; replay is
+  /// a deterministic function of `tail`, which is what makes every snapshot's
+  /// tail FAA(0) its linearization point (defined in c2store.cpp).
+  void replay_journal(detail::SnapReplay& r, int64_t tail);
 
   /// Get-or-lazily-initialize the slot's objects (readable-TAS guarded).
   ShardObjects& shard(int s);
@@ -440,6 +552,12 @@ class C2Store {
   /// the total is 63-bit bounded and the per-lane cells ride on a segmented
   /// spine (runtime/counter_sum_digest.h).
   rt::CounterSumDigest sum_digest_;
+  /// The write journal behind session.snapshot()/transfer(): every keyed
+  /// write appends one entry AFTER its shard-object and digest updates (the
+  /// journal never leads the keyed read paths — the same pinned cross-facet
+  /// order as the digests; tests/snapshot_sim_test.cpp). Unbounded, like the
+  /// other segmented spines.
+  rt::KeyedVersionDigest journal_;
   /// Lane-local metrics + the shared ops-total FAA digest (telemetry.h). An
   /// empty shell under C2SL_TELEMETRY=0. Mutable: ref hot paths reach it
   /// through const-agnostic session state, and its lane blocks are
@@ -462,10 +580,12 @@ inline ShardObjects& ShardRef::ensure() {
 
 inline void MaxRef::write(int64_t v) {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxWrite, shard_, v);
-  // Shard register FIRST, digest second: the digest must never run ahead of
-  // every shard register (pinned cross-facet invariant; see global_max()).
+  // Shard register FIRST, digest second, journal LAST: neither derived facet
+  // ever runs ahead of the shard registers (pinned cross-facet invariants;
+  // see global_max() and tests/snapshot_sim_test.cpp).
   ensure().max.write_max(lane_, v);
   store_->digest_.write_max(lane_, v);
+  store_->journal_.append(rt::KeyedVersionDigest::Kind::kMaxWrite, shard_, 0, v);
 }
 inline int64_t MaxRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxRead, shard_, 0);
@@ -475,11 +595,13 @@ inline int64_t MaxRef::read() {
 
 inline int64_t CounterRef::inc() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kCounterInc, shard_, 0);
-  // Shard counter FIRST, sum digest second: the digest must never run ahead
-  // of any keyed counter read (pinned cross-facet invariant, mirroring
-  // MaxRef::write; see C2Store::counter_sum()).
+  // Shard counter FIRST, sum digest second, journal LAST: neither derived
+  // facet ever runs ahead of any keyed counter read (pinned cross-facet
+  // invariant, mirroring MaxRef::write; see C2Store::counter_sum() and
+  // tests/snapshot_sim_test.cpp).
   int64_t prev = ensure().counter.fetch_and_increment();
   store_->sum_digest_.add(lane_);
+  store_->journal_.append(rt::KeyedVersionDigest::Kind::kCounterInc, shard_, 0, 1);
   return prev;
 }
 inline int64_t CounterRef::read() {
@@ -523,6 +645,7 @@ inline void C2Session::close() {
     store_->lanes_.release(lane_);
     store_ = nullptr;
     tel_lane_ = nullptr;
+    snap_.reset();  // replay state dies with the session (refs are invalid now)
     lane_ = -1;
   }
 }
@@ -558,6 +681,71 @@ inline SetRef C2Session::set(uint64_t key) {
 inline SetRef C2Session::set(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
   return SetRef(store_, lane_, store_->route(key), tel_lane_);
+}
+
+// --- snapshots and transfers ------------------------------------------------
+
+inline detail::SnapReplay& C2Session::snap_state() {
+  if (!snap_) snap_ = std::make_unique<detail::SnapReplay>(store_->shard_count());
+  return *snap_;
+}
+
+inline SnapshotRef C2Session::snapshot_ref(const std::vector<SnapKey>& keys) {
+  C2SL_CHECK(valid(), "session is closed");
+  std::vector<std::pair<SnapKind, int>> slots;
+  slots.reserve(keys.size());
+  for (const SnapKey& k : keys) {
+    C2SL_CHECK(k.kind == SnapKind::kCounter || k.kind == SnapKind::kMax,
+               "unknown snapshot key kind");
+    slots.emplace_back(k.kind, store_->route(k.key));
+  }
+  return SnapshotRef(store_, &snap_state(), tel_lane_, std::move(slots));
+}
+
+inline std::vector<int64_t> C2Session::snapshot(const std::vector<SnapKey>& keys) {
+  return snapshot_ref(keys).read();
+}
+
+inline std::vector<int64_t> C2Session::snapshot_counters(
+    const std::vector<uint64_t>& keys) {
+  std::vector<SnapKey> ks;
+  ks.reserve(keys.size());
+  for (uint64_t k : keys) ks.push_back(SnapKey::counter(k));
+  return snapshot(ks);
+}
+
+inline int64_t C2Session::transfer(uint64_t from_key, uint64_t to_key,
+                                   int64_t amount) {
+  C2SL_CHECK(valid(), "session is closed");
+  tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kTransfer, -1, amount);
+  return store_->journal_.append(rt::KeyedVersionDigest::Kind::kTransfer,
+                                 store_->route(from_key), store_->route(to_key),
+                                 amount);
+}
+inline int64_t C2Session::transfer(std::string_view from_key,
+                                   std::string_view to_key, int64_t amount) {
+  C2SL_CHECK(valid(), "session is closed");
+  tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kTransfer, -1, amount);
+  return store_->journal_.append(rt::KeyedVersionDigest::Kind::kTransfer,
+                                 store_->route(from_key), store_->route(to_key),
+                                 amount);
+}
+
+inline std::vector<int64_t> SnapshotRef::read() {
+  tel::OpScope t(store_->tel_, tel_, tel::TelOp::kSnapshot, -1,
+                 static_cast<int64_t>(slots_.size()));
+  // The single tail FAA(0) IS the snapshot's linearization point; everything
+  // after is a deterministic function of its result.
+  int64_t tail = store_->journal_.version();
+  store_->replay_journal(*replay_, tail);
+  std::vector<int64_t> out;
+  out.reserve(slots_.size());
+  for (const auto& [kind, shard] : slots_) {
+    out.push_back(kind == SnapKind::kCounter
+                      ? replay_->ctr_net[static_cast<size_t>(shard)]
+                      : replay_->max_seen[static_cast<size_t>(shard)]);
+  }
+  return out;
 }
 
 // Aggregates carry session telemetry (store-level calls made without a

@@ -195,6 +195,132 @@ Val SimTelemetryCounter::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
   return unit();
 }
 
+// --- SimKeyedSnapshot (the snapshot write journal) --------------------------
+
+namespace {
+/// Journal entry packing, mirroring rt::KeyedVersionDigest: kind in the low
+/// 2 bits (1 = Inc, 2 = WriteMax, 3 = Xfer; 0 is "not deposited" — here the
+/// cell simply still holds ⊥), shard indices in 3 bits each, value above.
+constexpr int64_t pack_entry(int kind, int a, int b, int64_t v) {
+  return kind | (int64_t{a} << 2) | (int64_t{b} << 5) | (v << 8);
+}
+}  // namespace
+
+SimKeyedSnapshot::SimKeyedSnapshot(sim::World& world, std::string name, int n,
+                                   int shards, bool naive_loop)
+    : name_(std::move(name)), shards_(shards), naive_loop_(naive_loop) {
+  C2SL_CHECK(shards >= 1 && shards <= 8, "spec packing supports up to 8 shards");
+  for (int s = 0; s < shards; ++s) {
+    ts_.push_back(std::make_unique<core::AtomicReadableTasArray>(
+        world, name_ + ".M" + std::to_string(s)));
+    ctrs_.push_back(std::make_unique<core::FetchIncrement>(
+        name_ + ".ctr" + std::to_string(s), *ts_.back()));
+    regs_.push_back(std::make_unique<core::MaxRegisterFAA>(
+        world, name_ + ".reg" + std::to_string(s), n));
+  }
+  tail_ = world.add<prim::FetchAddInt>(name_ + ".tail");
+  entries_ = world.add<prim::RegArray>(name_ + ".entries");
+}
+
+void SimKeyedSnapshot::journal_append(sim::Ctx& ctx, int kind, int a, int b,
+                                      int64_t v) {
+  // The tail fetch&add is the keyed write's linearization point on the
+  // snapshot facet; the entry write below only publishes content that was
+  // fixed here (the native deposit's release store).
+  int64_t t = ctx.world->get(tail_).fetch_add(ctx, 1);
+  ctx.world->get(entries_).write(ctx, static_cast<size_t>(t),
+                                 num(pack_entry(kind, a, b, v)));
+}
+
+void SimKeyedSnapshot::inc(sim::Ctx& ctx, int s) {
+  // Shard object FIRST, journal LAST — the pinned cross-facet order shared
+  // with the max/sum digests: the journal never runs ahead of the keyed reads.
+  ctrs_[static_cast<size_t>(s)]->fetch_and_increment(ctx);
+  journal_append(ctx, 1, s, 0, 1);
+}
+
+void SimKeyedSnapshot::write_max(sim::Ctx& ctx, int s, int64_t v) {
+  regs_[static_cast<size_t>(s)]->write_max(ctx, v);
+  journal_append(ctx, 2, s, 0, v);
+}
+
+void SimKeyedSnapshot::transfer(sim::Ctx& ctx, int from, int to, int64_t d) {
+  // Journal-only: the ONE entry is what makes the debit and credit
+  // inseparable at every snapshot cut (the conservation contract).
+  journal_append(ctx, 3, from, to, d);
+}
+
+std::vector<int64_t> SimKeyedSnapshot::snap(sim::Ctx& ctx) {
+  std::vector<int64_t> view(static_cast<size_t>(2 * shards_), 0);
+  if (naive_loop_) {
+    // Negative control: one pass of direct per-shard reads. Each read is
+    // individually fine; the VECTOR is torn by any write landing between two
+    // of them — the checker refutes this (not even linearizable).
+    for (int s = 0; s < shards_; ++s) {
+      view[static_cast<size_t>(s)] = ctrs_[static_cast<size_t>(s)]->read(ctx);
+    }
+    for (int s = 0; s < shards_; ++s) {
+      view[static_cast<size_t>(shards_ + s)] =
+          regs_[static_cast<size_t>(s)]->read_max(ctx);
+    }
+    return view;
+  }
+  // The FAA(0) tail read IS the snapshot: everything below is a deterministic
+  // replay of entries whose content was fixed at their ticket fetch&add.
+  int64_t t_end = ctx.world->get(tail_).read(ctx);
+  prim::RegArray& entries = ctx.world->get(entries_);
+  for (int64_t t = 0; t < t_end; ++t) {
+    Val e = entries.read(ctx, static_cast<size_t>(t));
+    while (!std::holds_alternative<int64_t>(e)) {
+      // Ticket drawn, deposit in flight: poll, like the native acquire-spin.
+      e = entries.read(ctx, static_cast<size_t>(t));
+    }
+    int64_t p = as_num(e);
+    int kind = static_cast<int>(p & 3);
+    size_t a = static_cast<size_t>((p >> 2) & 7);
+    size_t b = static_cast<size_t>((p >> 5) & 7);
+    int64_t v = p >> 8;
+    if (kind == 1) {
+      view[a] += v;
+    } else if (kind == 2) {
+      view[static_cast<size_t>(shards_) + a] =
+          std::max(view[static_cast<size_t>(shards_) + a], v);
+    } else {
+      view[a] -= v;
+      view[b] += v;
+    }
+  }
+  return view;
+}
+
+int64_t SimKeyedSnapshot::read_shard(sim::Ctx& ctx, int s) {
+  C2SL_CHECK(s >= 0 && s < shards_, "shard index out of range");
+  return ctrs_[static_cast<size_t>(s)]->read(ctx);
+}
+
+Val SimKeyedSnapshot::apply(sim::Ctx& ctx, const verify::Invocation& inv) {
+  if (inv.name == "Inc") {
+    this->inc(ctx, static_cast<int>(as_num(inv.args)));
+    return unit();
+  }
+  if (inv.name == "WriteMax") {
+    int64_t p = as_num(inv.args);
+    write_max(ctx, static_cast<int>(p & 7), p >> 3);
+    return unit();
+  }
+  if (inv.name == "Xfer") {
+    int64_t p = as_num(inv.args);
+    transfer(ctx, static_cast<int>(p & 7), static_cast<int>((p >> 3) & 7), p >> 6);
+    return unit();
+  }
+  if (inv.name == "Snap") return vec(snap(ctx));
+  if (inv.name == "ReadShard") {
+    return num(read_shard(ctx, static_cast<int>(as_num(inv.args))));
+  }
+  C2SL_CHECK(false, "unknown operation on keyed snapshot: " + inv.name);
+  return unit();
+}
+
 // --- SimLaneRegistry --------------------------------------------------------
 
 SimLaneRegistry::SimLaneRegistry(sim::World& world, std::string name, int max_lanes)

@@ -198,6 +198,56 @@ class SimTelemetryCounter : public core::ConcurrentObject {
   sim::Handle<prim::FetchAddInt> digest_; ///< the ops-total FAA digest
 };
 
+/// Sim twin of the write journal behind C2Session::snapshot()
+/// (runtime/keyed_version_digest.h): keyed writes land on their per-shard
+/// paper construction FIRST and then append one immutable entry to a
+/// ticket-indexed journal — the tail fetch&add IS the write's linearization
+/// point on the snapshot facet. Snap reads the tail once (FAA(0) — its own
+/// fixed step) and deterministically replays entries below that ticket into
+/// per-shard accumulators, polling a not-yet-deposited entry exactly like the
+/// native replayer (entry CONTENT is fixed at ticket time, so the replay is a
+/// pure function of the tail read). Xfer appends ONE entry moving value
+/// between two shard balances — which is why every snapshot conserves the
+/// transferred sum: no cut can separate the debit from the credit.
+///
+/// With `naive_loop` Snap instead does the obvious thing — one pass of direct
+/// per-shard reads — and the checker REFUTES it (not even linearizable: a
+/// write landing between two of the loop's reads tears the vector). That
+/// pinned refutation is the reason C2Session::snapshot replays a journal
+/// instead of looping over keyed reads (tests/snapshot_sim_test.cpp).
+///
+/// All ops are recorded on ONE facet (`name`), checkable against
+/// verify::KeyedSnapshotSpec. Args use the spec's packed-int encoding;
+/// "ReadShard"(s) exposes the direct shard-counter read for the cross-facet
+/// order pins (shard first, journal last — same contract as the digests).
+class SimKeyedSnapshot : public core::ConcurrentObject {
+ public:
+  SimKeyedSnapshot(sim::World& world, std::string name, int n, int shards,
+                   bool naive_loop = false);
+
+  void inc(sim::Ctx& ctx, int s);                      ///< shard ctr, then journal
+  void write_max(sim::Ctx& ctx, int s, int64_t v);     ///< shard reg, then journal
+  void transfer(sim::Ctx& ctx, int from, int to, int64_t d);  ///< journal only
+  std::vector<int64_t> snap(sim::Ctx& ctx);  ///< tail FAA(0) + replay (or loop)
+  int64_t read_shard(sim::Ctx& ctx, int s);  ///< direct shard counter read
+
+  std::string object_name() const override { return name_; }
+  Val apply(sim::Ctx& ctx, const verify::Invocation& inv) override;
+
+ private:
+  /// One tail fetch&add (the append's linearization point) + the entry write.
+  void journal_append(sim::Ctx& ctx, int kind, int a, int b, int64_t v);
+
+  std::string name_;
+  int shards_;
+  bool naive_loop_;
+  std::vector<std::unique_ptr<core::AtomicReadableTasArray>> ts_;
+  std::vector<std::unique_ptr<core::FetchIncrement>> ctrs_;
+  std::vector<std::unique_ptr<core::MaxRegisterFAA>> regs_;
+  sim::Handle<prim::FetchAddInt> tail_;   ///< journal tickets; FAA(0) = snapshot
+  sim::Handle<prim::RegArray> entries_;   ///< ticket-indexed write-once entries
+};
+
 /// Sim twin of svc::LaneRegistry (see header comment above). Methods record
 /// themselves as high-level ops, SimKeyedStore-style: spawn fibers that call
 /// acquire/release directly.

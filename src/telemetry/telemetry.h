@@ -61,6 +61,8 @@ enum class TelOp : int {
   kCounterSum,
   kCounterSumScan,
   kSessionOpen,
+  kSnapshot,
+  kTransfer,
   kCount,
 };
 
@@ -82,6 +84,8 @@ inline const char* to_string(TelOp op) {
     case TelOp::kCounterSum: return "counter_sum";
     case TelOp::kCounterSumScan: return "counter_sum_scan";
     case TelOp::kSessionOpen: return "session_open";
+    case TelOp::kSnapshot: return "snapshot";
+    case TelOp::kTransfer: return "transfer";
     default: return "unknown_op";
   }
 }

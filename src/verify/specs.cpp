@@ -113,6 +113,45 @@ std::vector<Transition> SnapshotSpec::next(const std::string& state,
   return {};
 }
 
+// -------------------------------------------------------------- keyed snapshot
+
+std::string KeyedSnapshotSpec::initial() const {
+  return render_list(std::vector<int64_t>(static_cast<size_t>(2 * shards_), 0));
+}
+
+std::vector<Transition> KeyedSnapshotSpec::next(const std::string& state,
+                                                const Invocation& inv) const {
+  std::vector<int64_t> view = parse_list(state);
+  C2SL_ASSERT(static_cast<int>(view.size()) == 2 * shards_);
+  if (inv.name == "Inc") {
+    int64_t s = as_num(inv.args);
+    C2SL_ASSERT(s >= 0 && s < shards_);
+    view[static_cast<size_t>(s)] += 1;
+    return {{render_list(view), unit()}};
+  }
+  if (inv.name == "WriteMax") {
+    int64_t p = as_num(inv.args);
+    size_t s = static_cast<size_t>(p & 7);
+    C2SL_ASSERT(static_cast<int>(s) < shards_);
+    size_t slot = static_cast<size_t>(shards_) + s;
+    view[slot] = std::max(view[slot], p >> 3);
+    return {{render_list(view), unit()}};
+  }
+  if (inv.name == "Xfer") {
+    int64_t p = as_num(inv.args);
+    size_t from = static_cast<size_t>(p & 7);
+    size_t to = static_cast<size_t>((p >> 3) & 7);
+    C2SL_ASSERT(static_cast<int>(from) < shards_ && static_cast<int>(to) < shards_);
+    view[from] -= p >> 6;
+    view[to] += p >> 6;  // one transition: debit and credit are inseparable
+    return {{render_list(view), unit()}};
+  }
+  if (inv.name == "Snap") {
+    return {{state, vec(view)}};
+  }
+  return {};
+}
+
 // --------------------------------------------------------------------- counter
 
 std::string CounterSpec::initial() const { return "0"; }

@@ -40,6 +40,30 @@ class SnapshotSpec : public Spec {
   int n_;
 };
 
+/// Multi-key snapshot over `shards` counter slots and `shards` max slots —
+/// the sequential spec behind C2Session::snapshot (sim twin:
+/// svc::SimKeyedSnapshot). State: the 2*shards vector
+/// [ctr_0..ctr_{s-1}, max_0..max_{s-1}]. Args are packed ints (3 bits per
+/// shard index, so shards <= 8):
+///   Inc(s) -> ()                    ctr_s += 1
+///   WriteMax(s | v<<3) -> ()        max_s = max(max_s, v)
+///   Xfer(from | to<<3 | d<<6) -> () ctr_from -= d; ctr_to += d  (atomic!)
+///   Snap() -> [ctr.., max..]        the whole vector, one instant
+/// Xfer moving both cells in ONE transition is the conservation contract a
+/// torn implementation cannot meet — the checker refutes any snapshot that
+/// can observe the debit without the credit.
+class KeyedSnapshotSpec : public Spec {
+ public:
+  explicit KeyedSnapshotSpec(int shards) : shards_(shards) {}
+  std::string name() const override { return "keyed_snapshot"; }
+  std::string initial() const override;
+  std::vector<Transition> next(const std::string& state,
+                               const Invocation& inv) const override;
+
+ private:
+  int shards_;
+};
+
 class CounterSpec : public Spec {
  public:
   std::string name() const override { return "counter"; }

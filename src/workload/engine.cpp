@@ -45,6 +45,13 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   const bool sum_scan = cfg.sum_impl == "scan";
   C2SL_CHECK(sum_scan || cfg.sum_impl == "digest",
              "sum impl must be \"digest\" or \"scan\"");
+  const bool snap_loop = cfg.snap_impl == "loop";
+  C2SL_CHECK(snap_loop || cfg.snap_impl == "digest",
+             "snap impl must be \"digest\" or \"loop\"");
+  const bool audit = cfg.mix.name == "transfer_audit";
+  C2SL_CHECK(!(audit && snap_loop),
+             "transfer_audit requires snap_impl=digest: the per-key loop "
+             "cannot conserve the transferred sum under concurrency");
   const bool churn = cfg.mix.name == "session_churn";
   const bool acquire_block = cfg.acquire == "block";
   C2SL_CHECK(acquire_block || cfg.acquire == "try",
@@ -57,6 +64,27 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
 
   svc::C2Store store(result.cfg.store);
   std::unique_ptr<KeyDist> dist = make_dist(cfg.dist, cfg.key_space, cfg.zipf_theta);
+
+  // Snapshot/transfer key set: one representative integer key per shard.
+  // Keys collapse to shards, so these cover the whole aggregate state — and
+  // auditing exactly one key per shard is what makes the transfer
+  // conservation sum exact (two keys on one shard would double-count it).
+  std::vector<uint64_t> snap_keys;
+  std::vector<svc::SnapKey> snap_slots;
+  {
+    std::vector<bool> covered(static_cast<size_t>(store.shard_count()), false);
+    int remaining = store.shard_count();
+    for (uint64_t k = 0; remaining > 0; ++k) {
+      int s = store.shard_of(k);
+      if (!covered[static_cast<size_t>(s)]) {
+        covered[static_cast<size_t>(s)] = true;
+        snap_keys.push_back(k);
+        --remaining;
+      }
+    }
+    snap_slots.reserve(snap_keys.size());
+    for (uint64_t k : snap_keys) snap_slots.push_back(svc::SnapKey::counter(k));
+  }
 
   const int threads = cfg.threads;
   const uint64_t ops = cfg.ops_per_thread;
@@ -159,6 +187,11 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
       }
     }
 
+    // Each worker holds one SnapshotRef over the per-shard representatives:
+    // its replay cursor advances incrementally across the worker's snapshots
+    // instead of re-replaying the whole journal every time.
+    svc::SnapshotRef snap_ref = session.snapshot_ref(snap_slots);
+
     // c2sl-atomic: faa seq_cst — harness start barrier (not under test)
     start_gate.fetch_add(1);
     // c2sl-atomic: load seq_cst — barrier spin; must see every arrival
@@ -256,6 +289,37 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
         case OpKind::kSessionChurn:
           C2SL_CHECK(false, "kSessionChurn only runs in the session_churn mix");
           break;
+        case OpKind::kSnapshot: {
+          if (snap_loop) {
+            // Naive per-key read loop: the ablation baseline. NOT
+            // linearizable as one operation — the sim layer pins its
+            // refutation — so no invariant is (or can be) asserted here.
+            int64_t sum = 0;
+            for (uint64_t k : snap_keys) sum += session.counter_read(k);
+            (void)sum;
+          } else {
+            std::vector<int64_t> view = snap_ref.read();
+            if (audit) {
+              // The live conservation audit: transfers are single journal
+              // entries, so EVERY cut must balance. This is the check the
+              // sanitizer CI jobs run natively under TSAN/ASAN.
+              int64_t sum = 0;
+              for (int64_t v : view) sum += v;
+              C2SL_CHECK(sum == 0,
+                         "transfer_audit: snapshot observed a torn transfer");
+            }
+          }
+          break;
+        }
+        case OpKind::kTransfer: {
+          C2SL_CHECK(snap_keys.size() >= 2,
+                     "transfers need at least two shards");
+          size_t from = static_cast<size_t>(rng.next_below(snap_keys.size()));
+          size_t to = static_cast<size_t>(rng.next_below(snap_keys.size() - 1));
+          if (to >= from) ++to;  // distinct pair, uniform
+          session.transfer(snap_keys[from], snap_keys[to], rng.next_in(1, 3));
+          break;
+        }
       }
       auto t1 = std::chrono::steady_clock::now();
       my_lat.push_back(
@@ -318,6 +382,15 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   // with the digest exactly; read through the configured impl anyway so the
   // ablation artifact reports the path it measured.
   result.final_counter_sum = sum_scan ? store.counter_sum_scan() : store.counter_sum();
+  result.journal_tickets = store.journal_tickets();
+  if (audit) {
+    // Quiescent audit from a fresh replay cursor: a full journal replay must
+    // conserve, independently of the incremental cursors the workers held.
+    svc::C2Session s = store.open_session();
+    int64_t sum = 0;
+    for (int64_t v : s.snapshot_counters(snap_keys)) sum += v;
+    C2SL_CHECK(sum == 0, "transfer_audit: quiescent full replay did not conserve");
+  }
   result.metrics = store.metrics_snapshot();
   return result;
 }
@@ -372,6 +445,18 @@ void profile_primitives(tel::MetricsSnapshot& snap) {
     profile(tel::TelOp::kGlobalMaxScan, [&](int) { s.global_max_scan(); });
     profile(tel::TelOp::kCounterSum, [&](int) { s.counter_sum(); });
     profile(tel::TelOp::kCounterSumScan, [&](int) { s.counter_sum_scan(); });
+    // Snapshot steady state: the first read drains the journal entries the
+    // profiles above appended; after that each read is one tail FAA plus a
+    // replay of whatever landed since — nothing, here, so the profile is the
+    // irreducible per-snapshot cost (the fan-out to keys is free).
+    svc::SnapshotRef snap = s.snapshot_ref(
+        {svc::SnapKey::counter(uint64_t{2}), svc::SnapKey::max(uint64_t{1})});
+    snap.read();
+    profile(tel::TelOp::kSnapshot, [&](int) { snap.read(); });
+    // Alternating signs keep the profiled balances bounded.
+    profile(tel::TelOp::kTransfer, [&](int i) {
+      s.transfer(uint64_t{2}, uint64_t{4}, (i % 2) ? 1 : -1);
+    });
   }
   profile(tel::TelOp::kSessionOpen, [&](int) {
     svc::C2Session s = store.open_session();  // full open/close cycle
@@ -394,6 +479,7 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
   w.field("keys", r.cfg.keys);
   w.field("sum_impl", r.cfg.sum_impl);
   w.field("acquire", r.cfg.acquire);
+  w.field("snap_impl", r.cfg.snap_impl);
   w.field("lanes", r.cfg.store.max_threads);
   w.field("seed", r.cfg.seed);
   w.end_object();
@@ -435,6 +521,7 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
   w.field("initialized_shards", r.initialized_shards);
   w.field("global_max", r.final_global_max);
   w.field("counter_sum", r.final_counter_sum);
+  w.field("journal_tickets", r.journal_tickets);
   w.end_object();
   w.end_object();  // metrics
   w.end_object();  // entry

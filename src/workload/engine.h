@@ -57,6 +57,14 @@ struct WorkloadConfig {
   /// block must not lose to try-poll at threads > lanes. Ignored by every
   /// other mix (workers there hold one session throughout).
   std::string acquire = "block";
+  /// session.snapshot implementation for kSnapshot ops: "digest" reads the
+  /// strongly linearizable journal-replay SnapshotRef; "loop" runs the naive
+  /// one-pass per-key read loop — NOT even linearizable as one operation
+  /// (the sim layer pins its refutation), kept as the ablation baseline
+  /// bench_c2store emits under --snap-impl, gated by tools/bench_diff in CI
+  /// on the snapshot_heavy mix. The transfer_audit mix refuses "loop": its
+  /// live conservation check is exactly what the loop cannot satisfy.
+  std::string snap_impl = "digest";
   /// Shard layout etc. The engine clamps max_threads / max_value /
   /// tas_max_resets (the 63-bit lane-packing budgets) so any
   /// (threads, ops_per_thread) fits; nothing else needs sizing — the store's
@@ -86,6 +94,9 @@ struct WorkloadResult {
   int initialized_shards = 0;
   int64_t final_global_max = 0;
   int64_t final_counter_sum = 0;
+  /// Keyed writes journaled during the run (counter incs, max writes,
+  /// transfers — snapshots and reads never journal).
+  int64_t journal_tickets = 0;
   /// Populated only by the session_churn mix (waiters == 0 otherwise).
   WaitSpread wait_spread;
   /// The store's telemetry at workload end (enabled == false under

@@ -30,6 +30,10 @@ const char* to_string(OpKind k) {
       return "CounterSum";
     case OpKind::kSessionChurn:
       return "SessionChurn";
+    case OpKind::kSnapshot:
+      return "Snapshot";
+    case OpKind::kTransfer:
+      return "Transfer";
   }
   return "?";
 }
@@ -118,6 +122,31 @@ OpMix OpMix::session_churn() {
   return {"session_churn", {{OpKind::kSessionChurn, 1.0}}};
 }
 
+OpMix OpMix::snapshot_heavy() {
+  // Counter ingest with frequent multi-key snapshots. Deliberately NO
+  // transfers: a transfer is invisible to the naive per-key loop's result
+  // only when it happens to not tear — including them would make the A/B
+  // unfair in the loop's favour (it never pays a journal replay). With incs
+  // only, both impls answer the same query and the digest-vs-loop bench
+  // gate (bench_c2store --snap-impl, tools/bench_diff in CI) compares cost,
+  // not correctness.
+  return {"snapshot_heavy",
+          {{OpKind::kCounterInc, 0.50},
+           {OpKind::kSnapshot, 0.40},
+           {OpKind::kCounterRead, 0.10}}};
+}
+
+OpMix OpMix::transfer_audit() {
+  // The conservation suite as a workload: concurrent transfers between
+  // per-shard representative keys, audited live — every snapshot asserts
+  // the balances sum to zero (C2SL_CHECK in the engine, so the sanitizer CI
+  // jobs fail loudly on a torn cut). Requires snap_impl == "digest": the
+  // naive loop CANNOT conserve under concurrency, which is the point of the
+  // pinned sim refutation, not something to stress natively.
+  return {"transfer_audit",
+          {{OpKind::kTransfer, 0.70}, {OpKind::kSnapshot, 0.30}}};
+}
+
 OpMix OpMix::by_name(const std::string& name) {
   if (name == "read_heavy") return read_heavy();
   if (name == "write_heavy") return write_heavy();
@@ -125,6 +154,8 @@ OpMix OpMix::by_name(const std::string& name) {
   if (name == "aggregate_scan") return aggregate_scan();
   if (name == "sum_heavy") return sum_heavy();
   if (name == "session_churn") return session_churn();
+  if (name == "snapshot_heavy") return snapshot_heavy();
+  if (name == "transfer_audit") return transfer_audit();
   C2SL_CHECK(false, "unknown op mix: " + name);
   return mixed();
 }

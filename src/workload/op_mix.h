@@ -34,8 +34,19 @@ enum class OpKind : int {
   /// latency is the OPEN latency alone — the metric the blocking-vs-try
   /// acquisition ablation gates on.
   kSessionChurn,
+  /// Multi-key snapshot over one representative counter key per shard
+  /// (keys collapse to shards, so per-shard representatives cover the whole
+  /// aggregate state). WorkloadConfig::snap_impl picks the implementation:
+  /// the journal-replay SnapshotRef ("digest") or the naive per-key read
+  /// loop ("loop") — the loop is the strong-linearizability ablation
+  /// baseline the CI bench gate runs against on the snapshot_heavy mix.
+  kSnapshot,
+  /// session.transfer between two distinct per-shard representative keys:
+  /// one journal entry moves the amount, so every concurrent snapshot must
+  /// see the balances sum to zero (the transfer_audit conservation check).
+  kTransfer,
 };
-inline constexpr int kOpKindCount = 12;
+inline constexpr int kOpKindCount = 14;
 
 const char* to_string(OpKind k);
 
@@ -57,8 +68,10 @@ struct OpMix {
   static OpMix aggregate_scan();
   static OpMix sum_heavy();
   static OpMix session_churn();
+  static OpMix snapshot_heavy();
+  static OpMix transfer_audit();
   /// "read_heavy" | "write_heavy" | "mixed" | "aggregate_scan" | "sum_heavy"
-  /// | "session_churn".
+  /// | "session_churn" | "snapshot_heavy" | "transfer_audit".
   static OpMix by_name(const std::string& name);
 
  private:

@@ -64,6 +64,23 @@ TEST(AssertHookDeathTest, DumpCarriesOpArguments) {
       AllOf(HasSubstr("max_write"), HasSubstr("arg=13")));
 }
 
+TEST(AssertHookDeathTest, SnapshotAndTransferRideTheFlightRing) {
+  // The snapshot surface is instrumented like every other session op: a
+  // transfer records its amount, a snapshot records its key count. Both must
+  // land in the post-mortem dump — a conservation-check C2SL_CHECK firing
+  // under the transfer_audit workload is exactly when this dump is read.
+  EXPECT_DEATH(
+      {
+        svc::C2Store store(small_config());
+        svc::C2Session s = store.open_session();
+        s.transfer(uint64_t{1}, uint64_t{2}, 5);
+        s.snapshot_counters({uint64_t{1}, uint64_t{2}, uint64_t{3}});
+        C2SL_ASSERT(false && "deliberate: snapshot ops must ship with this");
+      },
+      AllOf(HasSubstr("c2sl flight recorder"), HasSubstr("transfer"),
+            HasSubstr("arg=5"), HasSubstr("snapshot"), HasSubstr("arg=3")));
+}
+
 TEST(AssertHookDeathTest, DestroyedStoreDisarmsTheDump) {
   EXPECT_DEATH(
       {

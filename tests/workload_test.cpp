@@ -317,6 +317,52 @@ TEST(Engine, AggregateScanMixExercisesGlobalPaths) {
   EXPECT_LE(r.final_global_max, r.cfg.store.max_value);
 }
 
+TEST(Engine, TransferAuditMixConservesUnderConcurrency) {
+  // The conservation suite at engine level: the kSnapshot case itself
+  // C2SL_CHECKs that every cut balances, and run_workload re-audits a full
+  // replay at quiescence — reaching the end of this test IS the assertion.
+  // (TSAN/ASAN CI runs this file, so the audit also runs sanitized.)
+  wl::WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 400;
+  cfg.key_space = 64;
+  cfg.dist = "uniform";
+  cfg.mix = wl::OpMix::transfer_audit();
+  cfg.seed = 11;
+  cfg.store.shards = 8;
+  wl::WorkloadResult r = wl::run_workload(cfg);
+  EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kTransfer)], 0u);
+  EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kSnapshot)], 0u);
+  // Only transfers journal in this mix; snapshots and reads never do.
+  EXPECT_EQ(r.journal_tickets,
+            static_cast<int64_t>(r.per_kind[static_cast<int>(wl::OpKind::kTransfer)]));
+  // Transfers move balance but never create it.
+  EXPECT_EQ(r.final_counter_sum, 0);
+}
+
+TEST(Engine, SnapshotHeavyMixRunsBothImplementations) {
+  for (const char* impl : {"digest", "loop"}) {
+    wl::WorkloadConfig cfg;
+    cfg.threads = 2;
+    cfg.ops_per_thread = 300;
+    cfg.key_space = 64;
+    cfg.dist = "uniform";
+    cfg.mix = wl::OpMix::snapshot_heavy();
+    cfg.snap_impl = impl;
+    cfg.seed = 13;
+    cfg.store.shards = 8;
+    wl::WorkloadResult r = wl::run_workload(cfg);
+    EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kSnapshot)], 0u) << impl;
+    // Incs journal; snapshots do not (in either implementation).
+    EXPECT_EQ(r.journal_tickets,
+              static_cast<int64_t>(r.per_kind[static_cast<int>(wl::OpKind::kCounterInc)]))
+        << impl;
+    EXPECT_EQ(r.final_counter_sum, static_cast<int64_t>(r.per_kind[static_cast<int>(
+                                       wl::OpKind::kCounterInc)]))
+        << impl;
+  }
+}
+
 TEST(Engine, JsonEntryCarriesTheSchema) {
   wl::WorkloadConfig cfg;
   cfg.threads = 1;
