@@ -68,6 +68,20 @@
 // snapshots) always runs snap_impl=digest — the loop cannot conserve, which
 // is the refutation, not an ablation — so that entry is identical across
 // --snap-impl runs.
+//
+// --resize-impl selects how mix/resize_storm serves its live shard resizes
+// (worker 0 doubles the shard count every --resize-every of its ops, from 4
+// shards up to the engine cap): "inplace" is the epoch hand-off — resizes run
+// concurrently with data ops; "rebuild" is the stop-the-world baseline —
+// every data op holds a reader lock and the resizer drains the store under
+// the writer lock first. Two runs give the resize ablation CI gates on that
+// entry with a NEGATIVE threshold (in-place must win):
+//
+//   $ ./bench_c2store --resize-impl rebuild --out BENCH_resize_rebuild.json
+//   $ ./bench_c2store --resize-impl inplace --out BENCH_resize_inplace.json
+//   $ tools/bench_diff.py BENCH_resize_rebuild.json BENCH_resize_inplace.json
+//         --bench-include mix/resize_storm --threshold=-0.10
+//         --metrics throughput_ops_per_s   (one shell line)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +109,11 @@ struct Args {
   std::string sum_impl = "digest";
   std::string acquire = "block";
   std::string snap_impl = "digest";
+  std::string resize_impl = "inplace";
+  /// Worker 0's resize cadence for the mix/resize_storm entry (ops between
+  /// shard-count doublings); 0 picks ops/8 so every run resizes a few times
+  /// regardless of --ops / --quick.
+  uint64_t resize_every = 0;
   uint64_t key_space = 4096;
   /// c2sl-metrics-v1 JSON snapshot of the mix/mixed run's store telemetry
   /// (plus the primitive-op calibration profile); empty = don't write. CI's
@@ -127,6 +146,10 @@ Args parse(int argc, char** argv) {
       a.acquire = argv[++i];
     } else if (arg == "--snap-impl" && i + 1 < argc) {
       a.snap_impl = argv[++i];
+    } else if (arg == "--resize-impl" && i + 1 < argc) {
+      a.resize_impl = argv[++i];
+    } else if (arg == "--resize-every" && i + 1 < argc) {
+      a.resize_every = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--key-space" && i + 1 < argc) {
       a.key_space = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -139,6 +162,7 @@ Args parse(int argc, char** argv) {
                    " [--bind cached|per_op] [--keys int|string] [--key-space N]"
                    " [--sum-impl digest|scan] [--acquire block|try]"
                    " [--snap-impl digest|loop]"
+                   " [--resize-impl inplace|rebuild] [--resize-every N]"
                    " [--metrics-out FILE] [--prom-out FILE]\n",
                    argv[0]);
       std::exit(1);
@@ -153,7 +177,7 @@ wl::WorkloadResult run_one(wl::JsonWriter& w, const std::string& bench,
   wl::WorkloadResult r = wl::run_workload(cfg);
   wl::append_result_entry(w, bench, r);
   std::printf("%-32s threads=%-2d shards=%-3d  %10.0f ops/s  p50=%6lld ns  p99=%8lld ns\n",
-              bench.c_str(), cfg.threads, cfg.store.shards, r.throughput_ops_s,
+              bench.c_str(), cfg.threads, cfg.store.initial_shards, r.throughput_ops_s,
               static_cast<long long>(r.latency.p50_ns),
               static_cast<long long>(r.latency.p99_ns));
   if (r.wait_spread.waiters > 0) {
@@ -191,6 +215,7 @@ int main(int argc, char** argv) {
   w.field("sum_impl", args.sum_impl);
   w.field("acquire", args.acquire);
   w.field("snap_impl", args.snap_impl);
+  w.field("resize_impl", args.resize_impl);
   w.field("key_space", args.key_space);
   w.end_object();
   w.key("results").begin_array();
@@ -206,7 +231,7 @@ int main(int argc, char** argv) {
     cfg.bind = args.bind;
     cfg.keys = args.keys;
     cfg.sum_impl = args.sum_impl;
-    cfg.store.shards = 16;
+    cfg.store.initial_shards = 16;
     run_one(w, "sweep/threads=" + std::to_string(t), cfg);
   }
 
@@ -221,7 +246,7 @@ int main(int argc, char** argv) {
     cfg.bind = args.bind;
     cfg.keys = args.keys;
     cfg.sum_impl = args.sum_impl;
-    cfg.store.shards = shards;
+    cfg.store.initial_shards = shards;
     run_one(w, "ablation/shards=" + std::to_string(shards), cfg);
   }
 
@@ -246,7 +271,7 @@ int main(int argc, char** argv) {
     // refutation, not an ablation axis).
     cfg.snap_impl =
         std::strcmp(mix, "transfer_audit") == 0 ? "digest" : args.snap_impl;
-    cfg.store.shards = 16;
+    cfg.store.initial_shards = 16;
     wl::WorkloadResult r = run_one(w, std::string("mix/") + mix, cfg);
     if (std::strcmp(mix, "mixed") == 0) metrics = r.metrics;
   }
@@ -268,9 +293,35 @@ int main(int argc, char** argv) {
     cfg.keys = args.keys;
     cfg.sum_impl = args.sum_impl;
     cfg.acquire = args.acquire;
-    cfg.store.shards = 16;
+    cfg.store.initial_shards = 16;
     cfg.store.max_threads = std::max(1, max_threads / 2);  // lanes < threads
     run_one(w, "mix/session_churn", cfg);
+  }
+
+  // --- resize storm: keyed traffic under live shard resizing ---
+  // Worker 0 doubles the shard count on a fixed cadence while every worker
+  // keeps writing/reading; --resize-impl picks the epoch hand-off vs the
+  // stop-the-world reader/writer-lock baseline. Starts at 4 shards so the
+  // schedule gets several doublings before the engine cap. The conservation
+  // check (counter_sum == total incs across every cut) runs inside the
+  // engine on this entry.
+  {
+    wl::WorkloadConfig cfg;
+    cfg.threads = max_threads;
+    cfg.ops_per_thread = args.ops;
+    cfg.key_space = args.key_space;
+    cfg.dist = "zipfian";
+    cfg.mix = wl::OpMix::resize_storm();
+    cfg.bind = args.bind;
+    cfg.keys = args.keys;
+    cfg.sum_impl = "digest";  // post-resize slot scans over-approximate
+    cfg.resize_impl = args.resize_impl;
+    cfg.resize_every =
+        args.resize_every > 0 ? args.resize_every : std::max<uint64_t>(1, args.ops / 8);
+    cfg.store.initial_shards = 4;
+    wl::WorkloadResult r = run_one(w, "mix/resize_storm", cfg);
+    std::printf("%-32s resizes=%lld  final_shards=%d\n", "  resize-storm",
+                static_cast<long long>(r.resizes_done), r.final_shards);
   }
 
   for (const char* dist : {"uniform", "hotburst"}) {
@@ -283,7 +334,7 @@ int main(int argc, char** argv) {
     cfg.bind = args.bind;
     cfg.keys = args.keys;
     cfg.sum_impl = args.sum_impl;
-    cfg.store.shards = 16;
+    cfg.store.initial_shards = 16;
     run_one(w, std::string("dist/") + dist, cfg);
   }
 

@@ -37,7 +37,7 @@ int main(int argc, char** argv) try {
   cfg.key_space = 4096;
   cfg.dist = "zipfian";
   cfg.mix = wl::OpMix::mixed();
-  cfg.store.shards = 16;
+  cfg.store.initial_shards = 16;
 
   // Direct API taste: open a session (RAII lane), bind typed key-bound refs
   // once, then operate through the cached handles. String keys route through
@@ -61,7 +61,7 @@ int main(int argc, char** argv) try {
       "workload: %llu ops on %d threads x %d shards in %.3fs  (%.0f ops/s)\n"
       "  latency ns: p50=%lld p90=%lld p99=%lld max=%lld\n"
       "  final: shards_touched=%d global_max=%lld counter_sum=%lld\n",
-      static_cast<unsigned long long>(r.total_ops), cfg.threads, cfg.store.shards,
+      static_cast<unsigned long long>(r.total_ops), cfg.threads, cfg.store.initial_shards,
       r.seconds, r.throughput_ops_s, static_cast<long long>(r.latency.p50_ns),
       static_cast<long long>(r.latency.p90_ns), static_cast<long long>(r.latency.p99_ns),
       static_cast<long long>(r.latency.max_ns), r.initialized_shards,

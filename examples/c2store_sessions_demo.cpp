@@ -66,7 +66,7 @@ int main(int argc, char** argv) try {
   const int ops = pos.size() > 2 ? std::atoi(pos[2]) : 2000;
 
   svc::C2StoreConfig cfg;
-  cfg.shards = 16;
+  cfg.initial_shards = 16;
   cfg.max_threads = lanes;  // workers > lanes: joins must wait their turn
   cfg.max_value = 63 / lanes;
   cfg.tas_max_resets = 63 / lanes - 1;  // lane-packing budget scales down too

@@ -62,6 +62,11 @@ class KeyedVersionDigest {
     kCounterInc = 1,  ///< +1 on shard_a's ledger balance
     kMaxWrite = 2,    ///< max-merge v into shard_a's max
     kTransfer = 3,    ///< move v from shard_a's to shard_b's ledger balance
+    kResize = 4,      ///< routing grew to v shard slots (appended after the
+                      ///< migration replay, before the epoch publish).
+                      ///< INFORMATIONAL: the snapshot facet is bucketed under
+                      ///< the INITIAL mask forever, so replayers skip this
+                      ///< marker — it exists for audit tools and tests.
   };
 
   struct EntryView {
@@ -109,9 +114,9 @@ class KeyedVersionDigest {
     // release store in append
     while ((m = c.meta.load(std::memory_order_acquire)) == 0) {
     }
-    return EntryView{static_cast<Kind>(m & 0x3u),
-                     static_cast<int>((m >> 2) & kShardMask),
-                     static_cast<int>((m >> (2 + kShardBits)) & kShardMask),
+    return EntryView{static_cast<Kind>(m & 0x7u),
+                     static_cast<int>((m >> 3) & kShardMask),
+                     static_cast<int>((m >> (3 + kShardBits)) & kShardMask),
                      c.v};
   }
 
@@ -128,8 +133,8 @@ class KeyedVersionDigest {
 
   static uint64_t pack(Kind kind, int shard_a, int shard_b) {
     return static_cast<uint64_t>(kind) |
-           (static_cast<uint64_t>(shard_a) << 2) |
-           (static_cast<uint64_t>(shard_b) << (2 + kShardBits));
+           (static_cast<uint64_t>(shard_a) << 3) |
+           (static_cast<uint64_t>(shard_b) << (3 + kShardBits));
   }
 
   /// Write-once entry cell. meta == 0 is the uninitialised state the

@@ -11,7 +11,24 @@ namespace c2sl::svc {
 // Runs in the init list, before any member construction: every config error
 // surfaces here with a service-level message, and ShardObjects construction
 // below can no longer throw for config reasons (only bad_alloc remains).
-const C2StoreConfig& C2Store::validate(const C2StoreConfig& cfg) {
+// Returns a NORMALISED copy: the deprecated `shards` alias (PR 1 name) is
+// resolved into initial_shards — when set, the alias wins, so existing
+// call sites keep their meaning for the one-release deprecation window.
+C2StoreConfig C2Store::validate(C2StoreConfig cfg) {
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  if (cfg.shards != C2StoreConfig::kShardsUnset) {
+    cfg.initial_shards = cfg.shards;
+    cfg.shards = C2StoreConfig::kShardsUnset;
+  }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  C2SL_CHECK(cfg.initial_shards > 0 &&
+                 (cfg.initial_shards & (cfg.initial_shards - 1)) == 0,
+             "initial_shards must be a power of two");
   C2SL_CHECK(cfg.max_threads >= 1, "need at least one session lane");
   C2SL_CHECK(cfg.max_value >= 1, "max_value must be at least 1");
   C2SL_CHECK(cfg.tas_max_resets >= 0, "tas_max_resets must be non-negative");
@@ -24,10 +41,11 @@ const C2StoreConfig& C2Store::validate(const C2StoreConfig& cfg) {
 
 C2Store::C2Store(const C2StoreConfig& cfg)
     : cfg_(validate(cfg)),
-      router_(cfg.shards),
-      slots_(std::make_unique<ShardSlot[]>(static_cast<size_t>(cfg.shards))),
-      lanes_(cfg.max_threads),
-      digest_(cfg.max_threads, cfg.max_value) {
+      epochs_(cfg_.initial_shards),
+      router_(&epochs_),
+      initial_mask_(static_cast<uint64_t>(cfg_.initial_shards) - 1),
+      lanes_(cfg_.max_threads),
+      digest_(cfg_.max_threads, cfg_.max_value) {
   // Route assert failures through this store's flight recorder (last store
   // constructed wins the slot; a no-op under C2SL_TELEMETRY=0).
   tel::install_flight_dump_on_assert(&tel_, cfg_.max_threads);
@@ -35,9 +53,14 @@ C2Store::C2Store(const C2StoreConfig& cfg)
 
 C2Store::~C2Store() {
   tel::uninstall_flight_dump_on_assert(&tel_);
-  for (int s = 0; s < router_.shard_count(); ++s) {
+  // Sweep up to the NEWEST epoch's count, published or not: an abandoned or
+  // poisoned install may have materialised slots beyond the published range.
+  int total = epochs_.shards_of(rt::RoutingEpoch::newest_epoch(epochs_.stamp()));
+  for (int s = 0; s < total; ++s) {
+    ShardSlot* sl = slots_.peek(static_cast<size_t>(s));
+    if (!sl) continue;  // segment never materialised: nothing to free
     // c2sl-atomic: load relaxed — destructor runs single-threaded by contract
-    delete slots_[static_cast<size_t>(s)].objs.load(std::memory_order_relaxed);
+    delete sl->objs.load(std::memory_order_relaxed);
   }
 }
 
@@ -68,7 +91,7 @@ C2Session C2Store::open_session_for(std::chrono::nanoseconds timeout) {
 }
 
 ShardObjects& C2Store::shard(int s) {
-  ShardSlot& slot = slots_[static_cast<size_t>(s)];
+  ShardSlot& slot = slots_.cell(static_cast<size_t>(s));
   // c2sl-atomic: load acquire — publication read; a non-null pointer carries
   // visibility of the constructed ShardObjects behind it
   ShardObjects* p = slot.objs.load(std::memory_order_acquire);
@@ -103,6 +126,64 @@ ShardObjects& C2Store::shard(int s) {
                "shard initialization failed in another thread");
   }
   return *p;
+}
+
+// --- online resizing (PR 9) --------------------------------------------------
+
+ResizeStatus C2Store::resize(int new_shards) {
+  C2Session s = open_session();
+  return s.resize(new_shards);
+}
+
+ResizeStatus C2Store::resize_with_lane(int lane, int new_shards) {
+  rt::RoutingEpoch::Claim claim;
+  ResizeStatus st = epochs_.try_begin(new_shards, claim);
+  if (st != ResizeStatus::kInstalled) return st;
+  // We own the installing epoch. From the install store on, every writer's
+  // post-op Dekker recheck dual-applies under the new mask, so the replay
+  // below plus the dual-write window covers every concurrent write
+  // (docs/PROOFS.md, "epoch hand-off"). A throw during migration poisons the
+  // claim — the store keeps serving the published epoch, and later resizes
+  // report kPoisoned instead of wedging.
+  try {
+    migrate(lane, claim);
+  } catch (...) {
+    epochs_.poison(claim);
+    throw;
+  }
+  // Journal the resize (after the replay, before the publish). The marker is
+  // INFORMATIONAL: snapshot replay buckets under the initial mask forever and
+  // skips it — it exists for audit tools and tests (keyed_version_digest.h).
+  journal_.append(rt::KeyedVersionDigest::Kind::kResize, 0, 0,
+                  static_cast<int64_t>(claim.shards));
+  epochs_.publish(claim);
+  return ResizeStatus::kInstalled;
+}
+
+// Migration replay: for every NEW slot j in [old_count, new_count), fold the
+// monotone state of its parent slot (j masked down to the old count) in.
+// Idempotent by monotonicity — write_max re-merge, counter re-add, TAS
+// set-ness re-set — so racing writers that dual-apply the same state are
+// harmless on every VALUE facet. Old slots intentionally keep their state
+// (mask nesting makes them valid lower bounds; the duplication is why
+// counter_sum_scan over-approximates after a resize while the lane-keyed
+// digests stay exact). Unmaterialised parents are skipped: nothing to move,
+// and the replay never materialises slots.
+void C2Store::migrate(int lane, const rt::RoutingEpoch::Claim& claim) {
+  int old_count = epochs_.shards_of(claim.epoch - 1);
+  for (int j = old_count; j < claim.shards; ++j) {
+    ShardObjects* src = peek(j & (old_count - 1));
+    if (!src) continue;
+    int64_t mx = src->max.read_max();
+    int64_t cnt = src->counter.read();
+    int64_t set = src->tas.read();
+    if (mx == 0 && cnt == 0 && set == 0) continue;  // nothing to move
+    ShardObjects& dst = shard(j);
+    if (mx > 0) dst.max.write_max(lane, mx);
+    for (int64_t i = 0; i < cnt; ++i) dst.counter.fetch_and_increment();
+    if (set != 0) dst.tas.test_and_set(lane);
+    C2SL_TEL_EVENT(tel::TelEvent::kKeysMigrated);
+  }
 }
 
 // Double-collect over a monotone per-shard read. Uninitialised shards read as
@@ -141,28 +222,37 @@ int64_t C2Store::global_max() { return digest_.read_max(); }
 int64_t C2Store::counter_sum() { return sum_digest_.read(); }
 
 int64_t C2Store::global_max_scan() {
+  // The scanned range is the shard count read ONCE here; counts only grow, so
+  // an unchanged count after the collect certifies no epoch published
+  // mid-scan (the resize-stale guard below).
+  int shards = shard_count();
   std::vector<int64_t> view;
   bool stable = stable_collect(
-      router_.shard_count(), 0,
+      shards, 0,
       [this](int s) {
         ShardObjects* p = peek(s);
         return p ? p->max.read_max() : 0;
       },
       kScanRetryRounds, view);
-  if (!stable) return global_max();  // documented fallback: the digest read
+  // Fallbacks (both documented): unstable collect, or a resize published
+  // mid-scan (the collected range is stale — newer slots were never read).
+  // The digest step sits inside the scan's interval, so the scan stays
+  // linearizable either way.
+  if (!stable || shard_count() != shards) return global_max();
   return *std::max_element(view.begin(), view.end());
 }
 
 int64_t C2Store::counter_sum_scan() {
+  int shards = shard_count();  // read once; see global_max_scan
   std::vector<int64_t> view;
   bool stable = stable_collect(
-      router_.shard_count(), 0,
+      shards, 0,
       [this](int s) {
         ShardObjects* p = peek(s);
         return p ? p->counter.read() : 0;
       },
       kScanRetryRounds, view);
-  if (!stable) return counter_sum();  // documented fallback: the digest read
+  if (!stable || shard_count() != shards) return counter_sum();
   int64_t sum = 0;
   for (int64_t v : view) sum += v;
   return sum;
@@ -172,7 +262,9 @@ int64_t C2Store::counter_sum_scan() {
 // accumulators. Deterministic: entry content is fixed at ticket time, so every
 // replayer that reaches `tail` computes the same vectors regardless of how its
 // cursor got there — which is what makes two same-tail snapshots identical and
-// the FAA(0) tail read a legitimate linearization point.
+// the FAA(0) tail read a legitimate linearization point. Bucket indices are
+// INITIAL-mask for every entry kind (the snapshot facet is epoch-independent),
+// so no entry can ever index outside the fixed accumulator vectors.
 void C2Store::replay_journal(detail::SnapReplay& r, int64_t tail) {
   for (int64_t t = r.cursor; t < tail; ++t) {
     rt::KeyedVersionDigest::EntryView e = journal_.entry(t);
@@ -188,6 +280,10 @@ void C2Store::replay_journal(detail::SnapReplay& r, int64_t tail) {
         r.ctr_net[static_cast<size_t>(e.shard_a)] -= e.v;
         r.ctr_net[static_cast<size_t>(e.shard_b)] += e.v;
         break;
+      case rt::KeyedVersionDigest::Kind::kResize:
+        // Informational marker (the new slot count in v) — the snapshot facet
+        // buckets under the initial mask forever, so there is nothing to fold.
+        break;
     }
   }
   r.cursor = tail;
@@ -195,7 +291,7 @@ void C2Store::replay_journal(detail::SnapReplay& r, int64_t tail) {
 
 int C2Store::initialized_shards() const {
   int count = 0;
-  for (int s = 0; s < router_.shard_count(); ++s) {
+  for (int s = 0; s < shard_count(); ++s) {
     if (peek(s)) ++count;
   }
   return count;

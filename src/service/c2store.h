@@ -2,15 +2,16 @@
 // (std::atomic) constructions of the paper, using NO primitive stronger than
 // consensus number 2: exchange (test&set / swap) and fetch&add only; there is
 // no compare&swap anywhere in the service plumbing either (grep-enforced by
-// tests/c2store_test.cpp).
+// tests/c2store_test.cpp and machine-checked by tools/atomics_audit.py).
 //
 // Public surface (the session redesign):
 //
 //   C2Store store(cfg);
 //   C2Session s = store.open_session();      // RAII lane acquisition
-//   MaxRef score = s.max("user:1042/score"); // hash-route ONCE, cache the slot
+//   MaxRef score = s.max("user:1042/score"); // hash ONCE, route per epoch
 //   score.write(5);                          // cached-pointer op from here on
 //   s.counter("hits").inc();
+//   s.resize(64);                            // grow the store, live (PR 9)
 //
 // All lane-indexed constructions (max-register unary lanes, TAS reset
 // writers) need a caller lane below cfg.max_threads. That lane is no longer a
@@ -25,20 +26,51 @@
 // (runtime/handoff_queue.h): a closing session hands its lane directly to the
 // oldest waiter, FIFO-fair, instead of racing opportunistic reopeners.
 //
-// Typed key-bound refs — MaxRef / CounterRef / TasRef / SetRef — are the
-// per-key surface. Binding hashes the key onto a shard once and caches the
-// slot, turning the hot path from hash+route+dispatch per op into one cached
-// pointer indirection (the win is largest for string keys, whose FNV pass is
-// the routing cost). One-shot conveniences (session.max_write(key, v), ...)
-// bind-and-op in one call: that is exactly the old per-op routing cost, kept
-// as the comparison baseline for bench_c2store's bind-mode ablation.
+// ROUTING EPOCHS (PR 9). The shard count is a starting hint, not a capacity
+// commitment: C2Session::resize(new_shards) grows the store under live
+// traffic. Routing state lives on a RoutingEpoch spine
+// (runtime/routing_epoch.h): each epoch is a wider power-of-two table, a
+// resize claims the next epoch cell with a one-shot exchange, migrates the
+// per-shard state it moves by idempotent monotone replay (write_max / counter
+// re-add / TAS set-ness merge), then register-publishes the epoch. Because
+// masks nest (a key either keeps its slot or moves to a fresh one >= the old
+// count), old slots remain valid lower bounds and the replay needs no
+// "remove" — the per-key objects are monotone, which is the whole trick.
 //
-// Shape: `shards` cache-line-padded slots; a key (int or string) is hashed
-// onto a slot (lock-striping style — keys that collide share the slot's
-// objects, which is the documented semantics: the store serves `shards`
-// independent instances of each object type and keys *name* them through
-// hashing). Each slot lazily materialises one instance of each shardable
-// object type on first touch:
+// Typed key-bound refs — MaxRef / CounterRef / TasRef / SetRef — are the
+// per-key surface. Binding hashes the key ONCE and caches the routed slot
+// pointer, stamped with the routing epoch it routed under. The hot path
+// revalidates with one RELAXED stamp load (advisory: a stale read only delays
+// a rebind, never breaks correctness — see the Dekker note below) and rebinds
+// only on an actual epoch publish, so the steady-state cost stays the PR 2
+// cached-pointer path: no re-hash, no re-route. Mutating ops additionally
+// end with one seq_cst stamp recheck — the writer half of a Dekker handshake
+// with the resizer's install store: if a migration raced the op, the op
+// re-applies itself under the newest mask (idempotent for the same monotone
+// reason the migration replay is), so a write can never fall between the
+// migration's replay and the new epoch's publish. SetRef does NOT follow
+// epochs: take() is not monotone, so set routing is pinned to the INITIAL
+// mask forever (documented below).
+//
+// What survives a resize, exactly: the monotone VALUE facets — max reads,
+// counter counts (lower bounds; slot-scan sums over-approximate after a
+// resize because replay duplicates in-window increments, while counter_sum()
+// stays exact), TAS set-ness — never regress across the cut, and the
+// epoch hand-off on the value facets is checker-verified strongly
+// linearizable (SimRoutingEpoch; the serve-before-replay variant is pinned
+// refuted). DECISION outputs — TAS winner identity, fetch&increment tickets —
+// are per-epoch, exactly like the documented key-collision semantics: a
+// resize changes which slot a key NAMES, so uniqueness tokens from different
+// epochs of a key are tokens of different slot objects. Callers needing a
+// cross-resize unique decision should serialise resizes with those decisions
+// (the same advisory contract as TAS resets).
+//
+// Shape: cache-line-padded slots on a lazily-grown SegmentedArray spine; a
+// key (int or string) is hashed onto a slot (lock-striping style — keys that
+// collide share the slot's objects, which is the documented semantics: the
+// store serves `shards` independent instances of each object type and keys
+// *name* them through hashing). Each slot lazily materialises one instance of
+// each shardable object type on first touch:
 //   * NativeMaxRegister64  (Thm 1)  — MaxRef
 //   * NativeFetchIncrement (Thm 9)  — CounterRef
 //   * NativeMultishotTAS   (Thm 6)  — TasRef
@@ -63,7 +95,10 @@
 //     MaxRef::write lands there too), counter_sum a CounterSumDigest (every
 //     CounterRef::inc also fetch_adds the digest word) — so each global read
 //     is a single fetch&add(0): wait-free and strongly linearizable, exactly
-//     the paper's "pack it into one FAA word" move (§3.1/§3.2).
+//     the paper's "pack it into one FAA word" move (§3.1/§3.2). The digests
+//     are keyed by LANE, not by slot, so they are EPOCH-INDEPENDENT: a
+//     resize cannot tear them, and they stay exact across any number of
+//     migrations (the in-window slot duplication never reaches them).
 //   * global_max_scan() / counter_sum_scan() scan the per-shard read paths
 //     with a double-collect stabilisation loop (repeat until two consecutive
 //     collects of the monotone per-shard values coincide). A naive one-pass
@@ -79,6 +114,9 @@
 //     kScanRetryRounds collects and then fall back to the corresponding
 //     digest read — still linearizable (the digest step is inside the scan's
 //     interval), and bounded instead of livelocking under sustained writes.
+//     A scan that observes a grown shard count also falls back to its digest
+//     (the collected range is stale); counter_sum_scan over-approximates
+//     after a resize (replay duplication) — the digest is the exact read.
 //
 // Between the per-key ops and the whole-store aggregates sits the MULTI-KEY
 // surface: session.snapshot(keys) returns a consistent vector over chosen
@@ -88,13 +126,19 @@
 // (runtime/keyed_version_digest.h): every keyed write appends one entry whose
 // tail fetch&add is its linearization point, and a snapshot linearizes at a
 // single tail FAA(0), then deterministically replays the journal prefix into
-// session-local per-shard accumulators. Counter keys snapshot to their LEDGER
-// balance (#incs + net transfers — transfers exist only on this facet, since
-// the Thm 9 counter is inc-only); max keys snapshot to the running max of
-// journaled writes. At quiescence: snapshot(counter k) == counter_read(k) +
-// net transfers into k's shard, and snapshot(max k) == max_read(k)
-// (tests/snapshot_service_test.cpp pins both identities). Snapshots never
-// materialise shards — an untouched key reads as 0.
+// session-local per-shard accumulators. The journal facet is EPOCH-
+// INDEPENDENT BY CONSTRUCTION: entries and snapshot components are bucketed
+// under the INITIAL mask forever, so the snapshot/transfer story never reads
+// routing state at all — resizes appear in the journal only as informational
+// kResize markers. (Consequence: snapshot key-collision classes are fixed at
+// cfg.initial_shards; two keys that a resize separates on the slot facet keep
+// sharing a snapshot bucket.) Counter keys snapshot to their LEDGER balance
+// (#incs + net transfers — transfers exist only on this facet, since the
+// Thm 9 counter is inc-only); max keys snapshot to the running max of
+// journaled writes. At quiescence with no resizes: snapshot(counter k) ==
+// counter_read(k) + net transfers into k's bucket, and snapshot(max k) ==
+// max_read(k) (tests/snapshot_service_test.cpp pins both identities).
+// Snapshots never materialise shards — an untouched key reads as 0.
 #pragma once
 
 #include <atomic>
@@ -108,27 +152,51 @@
 #include "runtime/counter_sum_digest.h"
 #include "runtime/keyed_version_digest.h"
 #include "runtime/native_tas_family.h"
+#include "runtime/routing_epoch.h"
+#include "runtime/segmented_array.h"
 #include "service/lane_registry.h"
 #include "service/shard_router.h"
 #include "telemetry/telemetry.h"
 
 namespace c2sl::svc {
 
-/// No capacity knobs: counters, sets and lane recycling are backed by
-/// segmented, lazily-grown arrays (runtime/segmented_array.h) and are
-/// unbounded — a store and its sessions can run indefinitely. The two
-/// remaining numeric bounds are 63-bit lane-PACKING limits of the fetch&add
-/// max registers (§6 width discussion), not array capacities.
+/// No capacity knobs: counters, sets, lane recycling AND (since PR 9) the
+/// shard table itself are backed by segmented, lazily-grown arrays
+/// (runtime/segmented_array.h) and are unbounded — a store and its sessions
+/// can run indefinitely, and resize() grows the shard count under live
+/// traffic. The two remaining numeric bounds are 63-bit lane-PACKING limits
+/// of the fetch&add max registers (§6 width discussion), not array
+/// capacities.
+// The pragma pair suppresses -Wdeprecated-declarations INSIDE the struct
+// only: GCC attributes the implicit constructors' "use" of the deprecated
+// member's default initializer to the struct itself, so merely constructing
+// a config would otherwise warn. Call sites that touch .shards still warn.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 struct C2StoreConfig {
-  int shards = 16;      ///< power of two
-  int max_threads = 8;  ///< maximum CONCURRENT sessions (lane owners)
+  /// Sentinel for the deprecated `shards` alias below.
+  static constexpr int kShardsUnset = -1;
+
+  int initial_shards = 16;  ///< power of two; a starting hint — see resize()
+  int max_threads = 8;      ///< maximum CONCURRENT sessions (lane owners)
 
   /// Per-shard max register bound; max_threads * max_value must fit in 63 bits.
   int64_t max_value = 7;
   /// Per-shard multi-shot TAS reset budget; max_threads * (tas_max_resets + 1)
   /// must fit in 63 bits.
   int64_t tas_max_resets = 6;
+
+  /// Deprecated PR 1 name for `initial_shards`, kept one release for source
+  /// compatibility (see README "Migrating to resizable stores"). When set
+  /// (!= kShardsUnset) it wins over initial_shards.
+  [[deprecated("use initial_shards; the count is a starting hint now")]]
+  int shards = kShardsUnset;
 };
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 /// Typed outcome of TasRef::reset(). The budget gate is advisory under
 /// concurrency: callers that might consume the LAST reset generation
@@ -137,6 +205,10 @@ enum class ResetResult {
   kOk,          ///< the TAS was recycled (a reset generation was consumed)
   kBudgetSpent  ///< the shard's reset budget is exhausted; nothing was done
 };
+
+/// Outcome of a resize (re-exported from the runtime spine): kInstalled means
+/// THIS caller migrated and published the new epoch.
+using ResizeStatus = rt::RoutingEpoch::ResizeStatus;
 
 class C2Store;
 class C2Session;
@@ -155,24 +227,50 @@ struct ShardObjects {
 };
 
 namespace detail {
-/// Common state of the typed key-bound refs: the routing decision (shard
-/// index) is made ONCE at bind time and the shard's object pointer is cached
-/// on first resolution, so steady-state per-op cost is a null check plus the
-/// object operation — no re-hash, no re-route. A ref is a borrowed view: it
-/// must not outlive its session (the lane it carries is recycled when the
-/// session closes) or the store.
+/// Common state of the typed key-bound refs: the key is hashed ONCE at bind
+/// time; the routed slot and its object pointer are cached, stamped with the
+/// routing epoch they were computed under. Ops revalidate the stamp with one
+/// relaxed load (rebind only on an epoch publish — re-route without
+/// re-hashing), and mutating ops settle with a seq_cst stamp recheck (the
+/// Dekker handshake with a concurrent resize; see settle()). A ref is a
+/// borrowed view: it must not outlive its session (the lane it carries is
+/// recycled when the session closes) or the store.
 class ShardRef {
  public:
   int shard() const { return shard_; }
 
  protected:
-  ShardRef(C2Store* store, int lane, int shard, tel::LaneTelemetry* tel)
-      : store_(store), tel_(tel), lane_(lane), shard_(shard) {}
+  inline ShardRef(C2Store* store, int lane, uint64_t hash,
+                  tel::LaneTelemetry* tel);
+  /// Tag ctor for refs whose routing NEVER follows epochs (SetRef: take() is
+  /// not monotone, so set state cannot be migrated — pinned to the initial
+  /// mask, documented in the header).
+  struct PinInitialRouting {};
+  inline ShardRef(C2Store* store, int lane, uint64_t hash,
+                  tel::LaneTelemetry* tel, PinInitialRouting);
 
   /// Cached objects, or nullptr while the shard is unmaterialised.
   inline ShardObjects* resolved();
   /// Cached objects, materialising the shard (readable-TAS claim) on demand.
   inline ShardObjects& ensure();
+  /// Epoch revalidation, the hot-path prefix of every epoch-following op: one
+  /// RELAXED stamp load against the cached epoch; on mismatch, re-route from
+  /// the cached hash under the current published mask (a seq_cst stamp read —
+  /// cold, once per resize per ref). The relaxed load is advisory: if it is
+  /// stale the op simply runs against the older slot and settle() repairs
+  /// (writers) or the read linearizes before the publish (readers — any
+  /// happens-before edge from a newer-epoch write forces a fresh stamp by
+  /// coherence, so a genuinely-completed-before write is never missed).
+  inline void revalidate();
+  /// The writer-side Dekker recheck, run AFTER the primary slot application:
+  /// one seq_cst stamp load; while it exposes an epoch newer than the last
+  /// one applied under, re-apply the op (idempotent monotone merge) to the
+  /// key's slot under the newest mask and re-load. In the seq_cst total
+  /// order either the migration's replay read captured the primary write, or
+  /// this recheck sees the install and re-applies — a write can never fall
+  /// through a migration (docs/PROOFS.md works the two cases).
+  template <typename Apply>
+  inline void settle(const Apply& apply);
 
   C2Store* store_;
   /// The owning session's lane-local telemetry block (single-writer — the
@@ -180,6 +278,8 @@ class ShardRef {
   /// the C2SL_TELEMETRY=0 flavour, where tel::OpScope ignores it.
   tel::LaneTelemetry* tel_;
   ShardObjects* objs_ = nullptr;
+  uint64_t hash_;   ///< hashed once at bind; rebinds re-mask, never re-hash
+  int64_t epoch_;   ///< routing epoch shard_ was computed under
   int lane_;
   int shard_;
 };
@@ -219,7 +319,9 @@ class TasRef : public detail::ShardRef {
   using ShardRef::ShardRef;
 };
 
-/// Key-bound unordered set (Thm 10, Algorithm 2).
+/// Key-bound unordered set (Thm 10, Algorithm 2). Routing is PINNED to the
+/// initial mask: take() is not monotone, so set contents cannot be migrated
+/// by idempotent replay — a resize never changes which slot a set key names.
 class SetRef : public detail::ShardRef {
  public:
   inline void put(int64_t item);
@@ -232,12 +334,13 @@ class SetRef : public detail::ShardRef {
 
 /// Key classes a snapshot component can observe. Counter keys report the
 /// LEDGER balance (incs + net transfers); max keys report the running max of
-/// journaled writes (== the shard max register at quiescence).
+/// journaled writes (== the shard max register at quiescence, absent resizes).
 enum class SnapKind : int { kCounter = 0, kMax = 1 };
 
 /// One snapshot component: a typed key. Build with SnapKey::counter /
-/// SnapKey::max (keys collapse to shards exactly like the typed refs: keys
-/// that hash together share a component).
+/// SnapKey::max. Keys collapse to buckets under the INITIAL mask — the
+/// snapshot facet is epoch-independent, so its collision classes never change
+/// (keys that hash together under cfg.initial_shards share a component).
 struct SnapKey {
   SnapKind kind;
   uint64_t key;
@@ -247,29 +350,33 @@ struct SnapKey {
 
 namespace detail {
 /// Session-local journal replay state: the cursor (journal prefix already
-/// folded in) and the per-shard accumulators it folded into. O(shards), not
+/// folded in) and the per-bucket accumulators it folded into. O(buckets), not
 /// O(journal): replay cost is paid once per journal entry per session, no
 /// matter how many snapshots are taken. A fresh session starts at cursor 0
 /// and replays the full journal on its first snapshot (the close/reopen
-/// continuity test rides on exactly that).
+/// continuity test rides on exactly that). Bucket space is the INITIAL shard
+/// count, fixed for the store's lifetime (the journal facet is
+/// epoch-independent; kResize markers are informational).
 struct SnapReplay {
-  explicit SnapReplay(int shards)
-      : ctr_net(static_cast<size_t>(shards), 0),
-        max_seen(static_cast<size_t>(shards), 0) {}
+  explicit SnapReplay(int buckets)
+      : ctr_net(static_cast<size_t>(buckets), 0),
+        max_seen(static_cast<size_t>(buckets), 0) {}
   int64_t cursor = 0;
-  std::vector<int64_t> ctr_net;   ///< per-shard ledger balance
-  std::vector<int64_t> max_seen;  ///< per-shard max of journaled writes
+  std::vector<int64_t> ctr_net;   ///< per-bucket ledger balance
+  std::vector<int64_t> max_seen;  ///< per-bucket max of journaled writes
 };
 }  // namespace detail
 
 /// Bound multi-key snapshot over the write journal
-/// (runtime/keyed_version_digest.h). Binding routes every key ONCE
-/// (duplicates allowed, order preserved; the empty list is valid and reads as
-/// the empty vector). read() is strongly linearizable as ONE operation: it
-/// linearizes at its single tail FAA(0) and deterministically replays the
-/// journal prefix below it. Reads never materialise shards — an untouched
-/// key reads as 0 and initialized_shards() is unchanged. A borrowed view like
-/// the typed refs: it must not outlive its session.
+/// (runtime/keyed_version_digest.h). Binding routes every key ONCE under the
+/// initial mask (duplicates allowed, order preserved; the empty list is valid
+/// and reads as the empty vector). read() is strongly linearizable as ONE
+/// operation: it linearizes at its single tail FAA(0) and deterministically
+/// replays the journal prefix below it — it never reads routing state, so it
+/// is trivially resize-proof (no torn table reads are even expressible).
+/// Reads never materialise shards — an untouched key reads as 0 and
+/// initialized_shards() is unchanged. A borrowed view like the typed refs: it
+/// must not outlive its session.
 class SnapshotRef {
  public:
   /// One value per bound key, consistent as of a single linearization point.
@@ -286,7 +393,7 @@ class SnapshotRef {
   C2Store* store_;
   detail::SnapReplay* replay_;  ///< the owning session's replay state
   tel::LaneTelemetry* tel_;
-  std::vector<std::pair<SnapKind, int>> slots_;  ///< bound (kind, shard)
+  std::vector<std::pair<SnapKind, int>> slots_;  ///< bound (kind, bucket)
 };
 
 /// RAII lane handle and the store's entire per-key surface. Obtained from
@@ -344,7 +451,7 @@ class C2Session {
   /// The acquired lane (< cfg.max_threads); exposed for diagnostics only.
   int lane() const { return lane_; }
 
-  // --- typed key-bound refs: hash-route once, then cached-pointer ops ---
+  // --- typed key-bound refs: hash once, then cached-pointer ops ---
   inline MaxRef max(uint64_t key);
   inline MaxRef max(std::string_view key);
   inline CounterRef counter(uint64_t key);
@@ -373,6 +480,20 @@ class C2Session {
   void set_put(std::string_view key, int64_t item) { set(key).put(item); }
   int64_t set_take(uint64_t key) { return set(key).take(); }
   int64_t set_take(std::string_view key) { return set(key).take(); }
+
+  // --- online resizing (PR 9) ---
+  /// Grows the store to `new_shards` slots (power of two), live: claims the
+  /// next routing epoch, migrates moved per-shard state by idempotent
+  /// monotone replay ON THIS SESSION'S LANE, journals a kResize marker, then
+  /// publishes. Concurrent traffic keeps running throughout (the dual-write
+  /// Dekker in the refs covers the window). Returns kInstalled when this call
+  /// did the migration; kNoop when new_shards <= the current count;
+  /// kInFlight when another resize holds the epoch claim (including an
+  /// ABANDONED claim — a resizer that died mid-migration wedges future
+  /// resizes, never the data path); kPoisoned when an earlier migration
+  /// threw. Uses this session's lane because migration replays write_max /
+  /// test&set as a lane-indexed writer.
+  inline ResizeStatus resize(int new_shards);
 
   // --- multi-key snapshots and transfers (journal-backed; see SnapshotRef) ---
   /// Binds a reusable snapshot over `keys` (route once, snapshot many).
@@ -441,6 +562,20 @@ class C2Store {
   /// session is valid) — lanes are never dropped.
   C2Session open_session_for(std::chrono::nanoseconds timeout);
 
+  // --- online resizing (PR 9) ---
+  /// Convenience wrapper around C2Session::resize: opens its own (blocking)
+  /// session for the migration lane. Prefer the session method inside worker
+  /// code — this one can block on lane exhaustion like open_session().
+  ResizeStatus resize(int new_shards);
+  /// TEST ONLY: claims the next epoch and abandons it without migrating or
+  /// publishing — models a resizer killed mid-flight. The store keeps serving
+  /// the published epoch; later resizes return kInFlight forever (the
+  /// documented recovery contract, pinned by tests/resize_test.cpp).
+  ResizeStatus debug_abandon_resize(int new_shards) {
+    rt::RoutingEpoch::Claim c;
+    return epochs_.try_begin(new_shards, c);
+  }
+
   // --- aggregates ---
   /// Bound on double-collect retries in the *_scan aggregates: after this
   /// many collects without two consecutive ones coinciding, the scan falls
@@ -450,33 +585,42 @@ class C2Store {
   static constexpr int kScanRetryRounds = 64;
 
   /// Digest read: one fetch&add(0); wait-free, strongly linearizable as its
-  /// own facet. Cross-facet caveat: MaxRef::write updates the shard register
-  /// BEFORE the digest, so a client that reads a value via MaxRef::read can
-  /// briefly observe global_max() lagging behind it while the writer is
-  /// between its two updates; each facet is individually consistent. The
-  /// write order (shard first, digest never ahead of any shard) is pinned by
+  /// own facet, and epoch-independent (lane-keyed — exact across resizes).
+  /// Cross-facet caveat: MaxRef::write updates the shard register BEFORE the
+  /// digest, so a client that reads a value via MaxRef::read can briefly
+  /// observe global_max() lagging behind it while the writer is between its
+  /// two updates; each facet is individually consistent. The write order
+  /// (shard first, digest never ahead of any shard) is pinned by
   /// tests/service_sim_test.cpp — reordering it fails loudly there.
   int64_t global_max();
   /// Sum digest read: one fetch&add(0) on the CounterSumDigest word —
   /// wait-free, strongly linearizable as its own facet (checker-verified via
-  /// the sim twin). Same cross-facet contract as global_max(): CounterRef::inc
-  /// updates the shard counter BEFORE the digest, so the digest never leads
-  /// any keyed counter read, and may briefly lag one (both directions pinned
-  /// by tests/service_sim_test.cpp).
+  /// the sim twin), and epoch-independent (exact across resizes — the only
+  /// exact whole-store count once a resize has duplicated in-window
+  /// increments on the slot facet). Same cross-facet contract as
+  /// global_max(): CounterRef::inc updates the shard counter BEFORE the
+  /// digest, so the digest never leads any keyed counter read, and may
+  /// briefly lag one (both directions pinned by tests/service_sim_test.cpp).
   int64_t counter_sum();
   /// Double-collect scans over per-shard read paths: linearizable, NOT
   /// strongly linearizable (pinned refutations in tests/service_sim_test).
   /// Retained as the measured ablation baseline (bench_c2store --sum-impl);
-  /// bounded by kScanRetryRounds with a digest fallback.
+  /// bounded by kScanRetryRounds with a digest fallback, which also covers a
+  /// shard count grown mid-scan. counter_sum_scan over-approximates after a
+  /// resize (migration replay duplicates in-window increments across parent
+  /// and child slots); counter_sum() is the exact read.
   int64_t global_max_scan();
   int64_t counter_sum_scan();
 
   // --- introspection ---
+  /// Shard count of the newest PUBLISHED routing epoch (grows over time).
   int shard_count() const { return router_.shard_count(); }
   int initialized_shards() const;
   const C2StoreConfig& config() const { return cfg_; }
   int shard_of(uint64_t key) const { return router_.shard_of(key); }
   int shard_of(std::string_view key) const { return router_.shard_of(key); }
+  /// The published routing epoch (0 until the first successful resize).
+  int64_t routing_epoch() const { return epochs_.current_epoch(); }
   /// Fresh lane tickets issued so far (diagnostics).
   int64_t lane_tickets_issued() const { return lanes_.tickets_issued(); }
   /// Lanes handed directly from a closing session to a blocked open_session()
@@ -522,41 +666,71 @@ class C2Store {
     std::atomic<bool> poisoned{false};     // claim winner threw before publishing
   };
 
-  static const C2StoreConfig& validate(const C2StoreConfig& cfg);
+  /// Normalises the config (resolves the deprecated `shards` alias into
+  /// initial_shards) and validates it; every config error surfaces here with
+  /// a service-level message, before any member construction.
+  static C2StoreConfig validate(C2StoreConfig cfg);
 
   int route(uint64_t key) const { return router_.shard_of(key); }
   int route(std::string_view key) const { return router_.shard_of(key); }
+  /// Key's slot under `epoch`'s mask (the epoch must have been exposed by a
+  /// stamp read — see RoutingEpoch::shards_of).
+  int slot_under(uint64_t hash, int64_t epoch) const {
+    return static_cast<int>(
+        hash & (static_cast<uint64_t>(epochs_.shards_of(epoch)) - 1));
+  }
+  /// Key's journal/snapshot bucket: the INITIAL mask, forever (the journal
+  /// facet is epoch-independent by construction).
+  int journal_slot(uint64_t hash) const {
+    return static_cast<int>(hash & initial_mask_);
+  }
 
   /// Folds journal entries [r.cursor, tail) into r's accumulators; replay is
   /// a deterministic function of `tail`, which is what makes every snapshot's
   /// tail FAA(0) its linearization point (defined in c2store.cpp).
   void replay_journal(detail::SnapReplay& r, int64_t tail);
 
+  /// The claimed-epoch migration: for every NEW slot, replay its parent
+  /// slot's monotone state (write_max / counter re-add / TAS set-ness) on
+  /// `lane`, then journal the kResize marker. Defined in c2store.cpp.
+  ResizeStatus resize_with_lane(int lane, int new_shards);
+  void migrate(int lane, const rt::RoutingEpoch::Claim& claim);
+
   /// Get-or-lazily-initialize the slot's objects (readable-TAS guarded).
   ShardObjects& shard(int s);
-  /// Initialized objects or nullptr; never initializes.
+  /// Initialized objects or nullptr; never initializes (and never
+  /// materialises the slot's spine segment either).
   ShardObjects* peek(int s) const {
+    const ShardSlot* sl = slots_.peek(static_cast<size_t>(s));
     // c2sl-atomic: load acquire — publication read; never initializes
-    return slots_[static_cast<size_t>(s)].objs.load(std::memory_order_acquire);
+    return sl ? sl->objs.load(std::memory_order_acquire) : nullptr;
   }
 
   C2StoreConfig cfg_;
-  ShardRouter router_;
-  std::unique_ptr<ShardSlot[]> slots_;
+  /// The routing-epoch spine: published shard counts, resize claims, and the
+  /// stamp word the refs' revalidation/Dekker reads ride on.
+  rt::RoutingEpoch epochs_;
+  ShardRouter router_;  ///< live mode: masks under the published epoch
+  uint64_t initial_mask_;
+  /// Shard slots on a lazily-grown segmented spine — resize() extends the
+  /// index range; low slots are PHYSICALLY SHARED across epochs (mask
+  /// nesting: a key that stays keeps its exact slot object).
+  rt::SegmentedArray<ShardSlot> slots_;
   LaneRegistry lanes_;
   /// Store-level max digest; MaxRef::write updates it after the shard write so
-  /// global_max() is a single-word read.
+  /// global_max() is a single-word read. Lane-keyed: epoch-independent.
   rt::NativeMaxRegister64 digest_;
   /// Store-level sum digest; CounterRef::inc updates it after the shard
   /// counter win so counter_sum() is a single-word read. No configuration:
   /// the total is 63-bit bounded and the per-lane cells ride on a segmented
-  /// spine (runtime/counter_sum_digest.h).
+  /// spine (runtime/counter_sum_digest.h). Lane-keyed: epoch-independent.
   rt::CounterSumDigest sum_digest_;
   /// The write journal behind session.snapshot()/transfer(): every keyed
   /// write appends one entry AFTER its shard-object and digest updates (the
   /// journal never leads the keyed read paths — the same pinned cross-facet
   /// order as the digests; tests/snapshot_sim_test.cpp). Unbounded, like the
-  /// other segmented spines.
+  /// other segmented spines. Bucketed under the initial mask: epoch-
+  /// independent.
   rt::KeyedVersionDigest journal_;
   /// Lane-local metrics + the shared ops-total FAA digest (telemetry.h). An
   /// empty shell under C2SL_TELEMETRY=0. Mutable: ref hot paths reach it
@@ -568,6 +742,19 @@ class C2Store {
 // --- inline hot paths -------------------------------------------------------
 
 namespace detail {
+inline ShardRef::ShardRef(C2Store* store, int lane, uint64_t hash,
+                          tel::LaneTelemetry* tel)
+    : store_(store), tel_(tel), hash_(hash), lane_(lane) {
+  // Bind under the published epoch of a seq_cst stamp read (the read also
+  // carries visibility of that epoch's table entry).
+  epoch_ = rt::RoutingEpoch::published_epoch(store_->epochs_.stamp());
+  shard_ = store_->slot_under(hash_, epoch_);
+}
+inline ShardRef::ShardRef(C2Store* store, int lane, uint64_t hash,
+                          tel::LaneTelemetry* tel, PinInitialRouting)
+    : store_(store), tel_(tel), hash_(hash), epoch_(-1), lane_(lane),
+      shard_(store->journal_slot(hash)) {}
+
 inline ShardObjects* ShardRef::resolved() {
   if (!objs_) objs_ = store_->peek(shard_);
   return objs_;
@@ -576,54 +763,111 @@ inline ShardObjects& ShardRef::ensure() {
   if (!objs_) objs_ = &store_->shard(shard_);
   return *objs_;
 }
+inline void ShardRef::revalidate() {
+  if (rt::RoutingEpoch::published_epoch(store_->epochs_.stamp_relaxed()) ==
+      epoch_) {
+    return;  // hot path: one relaxed load, no re-hash, no re-route
+  }
+  // Epoch changed (or the relaxed load raced a publish): rebind from the
+  // cached hash under the current published mask. Cold — once per resize per
+  // ref; the seq_cst read orders the new epoch's table entry.
+  epoch_ = rt::RoutingEpoch::published_epoch(store_->epochs_.stamp());
+  int s = store_->slot_under(hash_, epoch_);
+  if (s != shard_) {
+    shard_ = s;
+    objs_ = nullptr;  // new slot: drop the cached object pointer
+  }
+}
+template <typename Apply>
+inline void ShardRef::settle(const Apply& apply) {
+  int64_t applied_epoch = epoch_;
+  int applied_slot = shard_;
+  // c2sl annotation lives in RoutingEpoch::stamp(); this loop is the writer
+  // half of the install/recheck Dekker pair (see class comment).
+  int64_t st = store_->epochs_.stamp();
+  while (rt::RoutingEpoch::newest_epoch(st) != applied_epoch) {
+    applied_epoch = rt::RoutingEpoch::newest_epoch(st);
+    int s = store_->slot_under(hash_, applied_epoch);
+    if (s != applied_slot) {
+      applied_slot = s;
+      apply(store_->shard(s));
+    }
+    // Confirm no newer install slipped in between the re-application and
+    // here; a stable stamp proves (in the seq_cst total order) that any later
+    // migration's replay must observe the re-applied slot state.
+    st = store_->epochs_.stamp();
+  }
+}
 }  // namespace detail
 
 inline void MaxRef::write(int64_t v) {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxWrite, shard_, v);
+  revalidate();
   // Shard register FIRST, digest second, journal LAST: neither derived facet
   // ever runs ahead of the shard registers (pinned cross-facet invariants;
-  // see global_max() and tests/snapshot_sim_test.cpp).
+  // see global_max() and tests/snapshot_sim_test.cpp). The Dekker settle
+  // runs after all three — its re-applications are idempotent merges.
   ensure().max.write_max(lane_, v);
   store_->digest_.write_max(lane_, v);
-  store_->journal_.append(rt::KeyedVersionDigest::Kind::kMaxWrite, shard_, 0, v);
+  store_->journal_.append(rt::KeyedVersionDigest::Kind::kMaxWrite,
+                          store_->journal_slot(hash_), 0, v);
+  settle([&](ShardObjects& o) { o.max.write_max(lane_, v); });
 }
 inline int64_t MaxRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxRead, shard_, 0);
+  revalidate();
   ShardObjects* p = resolved();
   return p ? p->max.read_max() : 0;
 }
 
 inline int64_t CounterRef::inc() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kCounterInc, shard_, 0);
+  revalidate();
   // Shard counter FIRST, sum digest second, journal LAST: neither derived
   // facet ever runs ahead of any keyed counter read (pinned cross-facet
   // invariant, mirroring MaxRef::write; see C2Store::counter_sum() and
-  // tests/snapshot_sim_test.cpp).
+  // tests/snapshot_sim_test.cpp). The settle re-application below reaches
+  // only the SLOT facet — digest and journal see exactly one increment, which
+  // is why they stay exact across resizes while slot scans over-approximate.
   int64_t prev = ensure().counter.fetch_and_increment();
   store_->sum_digest_.add(lane_);
-  store_->journal_.append(rt::KeyedVersionDigest::Kind::kCounterInc, shard_, 0, 1);
+  store_->journal_.append(rt::KeyedVersionDigest::Kind::kCounterInc,
+                          store_->journal_slot(hash_), 0, 1);
+  settle([&](ShardObjects& o) { o.counter.fetch_and_increment(); });
   return prev;
 }
 inline int64_t CounterRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kCounterRead, shard_, 0);
+  revalidate();
   ShardObjects* p = resolved();
   return p ? p->counter.read() : 0;
 }
 
 inline int64_t TasRef::test_and_set() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasSet, shard_, 0);
-  return ensure().tas.test_and_set(lane_);
+  revalidate();
+  int64_t won = ensure().tas.test_and_set(lane_);
+  // Set-ness (monotone) migrates; the WINNER decision is per-epoch, like the
+  // key-collision semantics (see header: "what survives a resize").
+  settle([&](ShardObjects& o) { o.tas.test_and_set(lane_); });
+  return won;
 }
 inline int64_t TasRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasRead, shard_, 0);
+  revalidate();
   ShardObjects* p = resolved();
   return p ? p->tas.read() : 0;
 }
 inline ResetResult TasRef::reset() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasReset, shard_, 0);
+  revalidate();
   ShardObjects& o = ensure();
   if (o.tas.generation() >= o.tas.max_resets()) return ResetResult::kBudgetSpent;
   o.tas.reset(lane_);
+  // No settle: a reset is not a monotone merge. A reset racing a resize may
+  // be absorbed by the migration replay (the replay re-sets set-ness it read
+  // before the reset) — folded under the existing "serialize resets
+  // externally" advisory above.
   return ResetResult::kOk;
 }
 
@@ -652,41 +896,50 @@ inline void C2Session::close() {
 
 inline MaxRef C2Session::max(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return MaxRef(store_, lane_, store_->route(key), tel_lane_);
+  return MaxRef(store_, lane_, hash_key(key), tel_lane_);
 }
 inline MaxRef C2Session::max(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return MaxRef(store_, lane_, store_->route(key), tel_lane_);
+  return MaxRef(store_, lane_, hash_key(key), tel_lane_);
 }
 inline CounterRef C2Session::counter(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return CounterRef(store_, lane_, store_->route(key), tel_lane_);
+  return CounterRef(store_, lane_, hash_key(key), tel_lane_);
 }
 inline CounterRef C2Session::counter(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return CounterRef(store_, lane_, store_->route(key), tel_lane_);
+  return CounterRef(store_, lane_, hash_key(key), tel_lane_);
 }
 inline TasRef C2Session::tas(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return TasRef(store_, lane_, store_->route(key), tel_lane_);
+  return TasRef(store_, lane_, hash_key(key), tel_lane_);
 }
 inline TasRef C2Session::tas(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return TasRef(store_, lane_, store_->route(key), tel_lane_);
+  return TasRef(store_, lane_, hash_key(key), tel_lane_);
 }
 inline SetRef C2Session::set(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return SetRef(store_, lane_, store_->route(key), tel_lane_);
+  return SetRef(store_, lane_, hash_key(key), tel_lane_,
+                detail::ShardRef::PinInitialRouting{});
 }
 inline SetRef C2Session::set(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return SetRef(store_, lane_, store_->route(key), tel_lane_);
+  return SetRef(store_, lane_, hash_key(key), tel_lane_,
+                detail::ShardRef::PinInitialRouting{});
+}
+
+inline ResizeStatus C2Session::resize(int new_shards) {
+  C2SL_CHECK(valid(), "session is closed");
+  return store_->resize_with_lane(lane_, new_shards);
 }
 
 // --- snapshots and transfers ------------------------------------------------
 
 inline detail::SnapReplay& C2Session::snap_state() {
-  if (!snap_) snap_ = std::make_unique<detail::SnapReplay>(store_->shard_count());
+  if (!snap_) {
+    snap_ = std::make_unique<detail::SnapReplay>(store_->cfg_.initial_shards);
+  }
   return *snap_;
 }
 
@@ -697,7 +950,7 @@ inline SnapshotRef C2Session::snapshot_ref(const std::vector<SnapKey>& keys) {
   for (const SnapKey& k : keys) {
     C2SL_CHECK(k.kind == SnapKind::kCounter || k.kind == SnapKind::kMax,
                "unknown snapshot key kind");
-    slots.emplace_back(k.kind, store_->route(k.key));
+    slots.emplace_back(k.kind, store_->journal_slot(hash_key(k.key)));
   }
   return SnapshotRef(store_, &snap_state(), tel_lane_, std::move(slots));
 }
@@ -719,7 +972,8 @@ inline int64_t C2Session::transfer(uint64_t from_key, uint64_t to_key,
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kTransfer, -1, amount);
   return store_->journal_.append(rt::KeyedVersionDigest::Kind::kTransfer,
-                                 store_->route(from_key), store_->route(to_key),
+                                 store_->journal_slot(hash_key(from_key)),
+                                 store_->journal_slot(hash_key(to_key)),
                                  amount);
 }
 inline int64_t C2Session::transfer(std::string_view from_key,
@@ -727,7 +981,8 @@ inline int64_t C2Session::transfer(std::string_view from_key,
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kTransfer, -1, amount);
   return store_->journal_.append(rt::KeyedVersionDigest::Kind::kTransfer,
-                                 store_->route(from_key), store_->route(to_key),
+                                 store_->journal_slot(hash_key(from_key)),
+                                 store_->journal_slot(hash_key(to_key)),
                                  amount);
 }
 

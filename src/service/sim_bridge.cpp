@@ -526,6 +526,120 @@ int64_t SimSegmentedTasArray::read(sim::Ctx& ctx, size_t idx) {
   return as_num(r);
 }
 
+// --- SimRoutingEpoch (the PR 9 epoch hand-off) ------------------------------
+
+SimRoutingEpoch::SimRoutingEpoch(sim::World& world, std::string name, int n,
+                                 int initial_shards, int max_shards,
+                                 bool publish_before_replay)
+    : name_(std::move(name)),
+      initial_shards_(initial_shards),
+      max_shards_(max_shards),
+      publish_before_replay_(publish_before_replay) {
+  C2SL_CHECK(initial_shards > 0 && (initial_shards & (initial_shards - 1)) == 0,
+             "shard count must be a power of two");
+  C2SL_CHECK(max_shards >= initial_shards &&
+                 (max_shards & (max_shards - 1)) == 0,
+             "max shard count must be a power of two >= initial");
+  claims_ = world.add<prim::TasArray>(name_ + ".claims", /*readable=*/false);
+  counts_ = world.add<prim::RegArray>(name_ + ".counts");
+  stamp_ = world.add<prim::RegArray>(name_ + ".stamp");
+  for (int s = 0; s < max_shards; ++s) {
+    regs_.push_back(std::make_unique<core::MaxRegisterFAA>(
+        world, name_ + ".slot" + std::to_string(s), n));
+  }
+}
+
+std::string SimRoutingEpoch::key_object(uint64_t key) const {
+  return name_ + ".k" + std::to_string(key);
+}
+
+int64_t SimRoutingEpoch::stamp_read(sim::Ctx& ctx) {
+  // ⊥ (never written) is stamp 0: epoch 0 published, nothing installing —
+  // the native atomic's zero-initialisation.
+  Val v = ctx.world->get(stamp_).read(ctx, 0);
+  return std::holds_alternative<int64_t>(v) ? as_num(v) : 0;
+}
+
+int SimRoutingEpoch::shards_of(sim::Ctx& ctx, int64_t epoch) {
+  // Epoch 0's count is a construction-time constant (the native constructor's
+  // happens-before edge); later epochs read the installed count — only ever
+  // called for epochs exposed by a stamp read, so the cell is never ⊥.
+  if (epoch == 0) return initial_shards_;
+  Val v = ctx.world->get(counts_).read(ctx, static_cast<size_t>(epoch));
+  C2SL_CHECK(std::holds_alternative<int64_t>(v),
+             "epoch count read before its install");
+  return static_cast<int>(as_num(v));
+}
+
+void SimRoutingEpoch::write_max(sim::Ctx& ctx, uint64_t key, int64_t v) {
+  sim::record_op(ctx, key_object(key), "WriteMax", num(v), [&] {
+    // Bind under the published epoch of one stamp read (ShardRef's bind),
+    // primary slot write, then the Dekker settle loop (ShardRef::settle).
+    int64_t st = stamp_read(ctx);
+    int64_t applied = st >> 1;  // published epoch
+    int slot = static_cast<int>(
+        key & (static_cast<uint64_t>(shards_of(ctx, applied)) - 1));
+    regs_[static_cast<size_t>(slot)]->write_max(ctx, v);
+    st = stamp_read(ctx);
+    while (((st + 1) >> 1) != applied) {
+      applied = (st + 1) >> 1;  // newest installed epoch
+      int s2 = static_cast<int>(
+          key & (static_cast<uint64_t>(shards_of(ctx, applied)) - 1));
+      if (s2 != slot) {
+        slot = s2;
+        regs_[static_cast<size_t>(s2)]->write_max(ctx, v);
+      }
+      st = stamp_read(ctx);
+    }
+    return unit();
+  });
+}
+
+int64_t SimRoutingEpoch::read_max(sim::Ctx& ctx, uint64_t key) {
+  Val r = sim::record_op(ctx, key_object(key), "ReadMax", unit(), [&] {
+    int64_t ep = stamp_read(ctx) >> 1;  // published epoch
+    int slot = static_cast<int>(
+        key & (static_cast<uint64_t>(shards_of(ctx, ep)) - 1));
+    return num(regs_[static_cast<size_t>(slot)]->read_max(ctx));
+  });
+  return as_num(r);
+}
+
+void SimRoutingEpoch::resize(sim::Ctx& ctx, int new_shards) {
+  C2SL_CHECK(new_shards <= max_shards_, "resize beyond max_shards");
+  C2SL_CHECK((new_shards & (new_shards - 1)) == 0,
+             "shard count must be a power of two");
+  sim::record_op(ctx, name_ + ".resize", "Resize", num(new_shards), [&]() -> Val {
+    int64_t st = stamp_read(ctx);
+    if ((st & 1) != 0) return str("INFLIGHT");
+    int64_t e = st >> 1;
+    int old_count = shards_of(ctx, e);
+    if (new_shards <= old_count) return str("NOOP");
+    int64_t next = e + 1;
+    if (ctx.world->get(claims_).test_and_set(ctx, static_cast<size_t>(next)) != 0) {
+      return str("LOST");
+    }
+    // Install: count first, then the stamp transition 2e -> 2e+1 (opens the
+    // writers' dual-write window), replay, publish 2e+1 -> 2e+2. The broken
+    // variant publishes BEFORE the replay — serve-before-replay — and the
+    // checker refutes it: a fresh reader routes to a new slot and misses a
+    // completed write.
+    ctx.world->get(counts_).write(ctx, static_cast<size_t>(next), num(new_shards));
+    ctx.world->get(stamp_).write(ctx, 0, num(2 * next - 1));
+    if (publish_before_replay_) {
+      ctx.world->get(stamp_).write(ctx, 0, num(2 * next));
+    }
+    for (int j = old_count; j < new_shards; ++j) {
+      int64_t mv = regs_[static_cast<size_t>(j & (old_count - 1))]->read_max(ctx);
+      if (mv > 0) regs_[static_cast<size_t>(j)]->write_max(ctx, mv);
+    }
+    if (!publish_before_replay_) {
+      ctx.world->get(stamp_).write(ctx, 0, num(2 * next));
+    }
+    return str("OK");
+  });
+}
+
 // --- SimShardedMaxRegister (aggregate-scan experiment) ----------------------
 
 SimShardedMaxRegister::SimShardedMaxRegister(sim::World& world, std::string name, int n,

@@ -340,6 +340,66 @@ class SimSegmentedTasArray {
   sim::Handle<prim::SwapRegArray> cells_;
 };
 
+/// Sim twin of the PR 9 routing-epoch hand-off (runtime/routing_epoch.h +
+/// the epoch-stamped refs in service/c2store.h), at base-object step
+/// granularity. One stamp register drives the whole protocol, exactly like
+/// the native spine (2e = epoch e published, 2e+1 = epoch e+1 installing);
+/// claims are per-epoch one-shot test&sets, counts live in a register spine,
+/// and per-slot state is a Thm 1 max register per slot. Routing is the
+/// identity mask (slot = key & (count-1)), which preserves the nesting
+/// property the migration relies on while keeping the trees small.
+///
+///   * WriteMax(key, v): route under the PUBLISHED epoch of one stamp read,
+///     slot write_max, then the writer-side Dekker settle loop — re-read the
+///     stamp and re-apply under any newer mask until it is stable (the native
+///     detail::ShardRef::settle verbatim).
+///   * ReadMax(key): route under the published epoch of one stamp read, read
+///     the slot register. (Reads never settle — the linearize-early argument
+///     in the c2store.h header.)
+///   * Resize(new): claim test&set -> count install -> stamp 2e+1 -> replay
+///     parent slots into new slots by write_max -> stamp 2e+2.
+///
+/// Ops record on PER-KEY facet objects (`key_object`), so the checker
+/// verifies each key's max-register facet strongly linearizable ACROSS the
+/// migration cut — the epoch hand-off theorem, mechanised. The
+/// `publish_before_replay` variant publishes the new epoch before replaying
+/// (the serve-before-replay bug): a freshly-bound reader routes to the new
+/// slot and reads 0 after a completed write — not even linearizable; the
+/// checker REFUTES it (tests/service_sim_test.cpp pins both verdicts).
+/// Resize itself records on a separate admin facet no spec checks.
+class SimRoutingEpoch {
+ public:
+  SimRoutingEpoch(sim::World& world, std::string name, int n,
+                  int initial_shards, int max_shards,
+                  bool publish_before_replay = false);
+
+  /// Recorded as "WriteMax"(v) on key_object(key).
+  void write_max(sim::Ctx& ctx, uint64_t key, int64_t v);
+  /// Recorded as "ReadMax" on key_object(key).
+  int64_t read_max(sim::Ctx& ctx, uint64_t key);
+  /// Recorded as "Resize"(new_shards) -> OK|NOOP|LOST|INFLIGHT on the admin
+  /// facet (`name`.resize); the replay steps are the caller's own base steps.
+  void resize(sim::Ctx& ctx, int new_shards);
+
+  std::string key_object(uint64_t key) const;
+
+ private:
+  int64_t stamp_read(sim::Ctx& ctx);
+  /// Identity-mask routing (slot = key & (count-1)) preserves the nesting
+  /// property — a key either keeps its slot or moves to an index >= the old
+  /// count — with no hashing noise in the trees.
+  int shards_of(sim::Ctx& ctx, int64_t epoch);
+
+  std::string name_;
+  int initial_shards_;
+  int max_shards_;
+  bool publish_before_replay_;
+  sim::Handle<prim::TasArray> claims_;  ///< per-epoch one-shot resize claim
+  sim::Handle<prim::RegArray> counts_;  ///< epoch -> shard count (install)
+  sim::Handle<prim::RegArray> stamp_;   ///< cell 0: the stamp word (⊥ = 0)
+  std::vector<std::unique_ptr<core::MaxRegisterFAA>> regs_;  ///< per-slot Thm 1
+};
+
 class SimShardedMaxRegister : public core::ConcurrentObject {
  public:
   SimShardedMaxRegister(sim::World& world, std::string name, int n, int shards,

@@ -50,7 +50,10 @@ enum class TelEvent : int {
   kSegmentClaim = 0,    ///< SegmentedArray claim TAS won (materialisation race)
   kSegmentPublish = 1,  ///< SegmentedArray segment pointer published
   kShardInit = 2,       ///< C2Store shard lazily initialised
-  kCount = 3,
+  kResizeClaim = 3,     ///< RoutingEpoch resize claim won (install started)
+  kEpochPublish = 4,    ///< RoutingEpoch epoch published (migration complete)
+  kKeysMigrated = 5,    ///< one shard slot's state replayed into a new bucket
+  kCount = 6,
 };
 
 inline const char* to_string(TelEvent e) {
@@ -58,6 +61,9 @@ inline const char* to_string(TelEvent e) {
     case TelEvent::kSegmentClaim: return "segment_claims";
     case TelEvent::kSegmentPublish: return "segment_publishes";
     case TelEvent::kShardInit: return "shard_inits";
+    case TelEvent::kResizeClaim: return "resize_claims";
+    case TelEvent::kEpochPublish: return "epochs_published";
+    case TelEvent::kKeysMigrated: return "migrated_keys";
     default: return "unknown_event";
   }
 }

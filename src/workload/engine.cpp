@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -53,6 +55,17 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
              "transfer_audit requires snap_impl=digest: the per-key loop "
              "cannot conserve the transferred sum under concurrency");
   const bool churn = cfg.mix.name == "session_churn";
+  const bool resizing = cfg.resize_every > 0;
+  const bool rebuild = cfg.resize_impl == "rebuild";
+  C2SL_CHECK(rebuild || cfg.resize_impl == "inplace",
+             "resize impl must be \"inplace\" or \"rebuild\"");
+  C2SL_CHECK(!(resizing && churn),
+             "resize_every needs a stable resizer session; the session_churn "
+             "mix reopens sessions every op");
+  C2SL_CHECK(!(resizing && sum_scan),
+             "resize_every requires sum_impl=digest: post-resize slot scans "
+             "over-approximate (migration replays duplicate state), only the "
+             "epoch-independent digest stays exact");
   const bool acquire_block = cfg.acquire == "block";
   C2SL_CHECK(acquire_block || cfg.acquire == "try",
              "acquire mode must be \"block\" or \"try\"");
@@ -103,6 +116,16 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
   std::vector<std::vector<uint64_t>> counts(
       static_cast<size_t>(threads), std::vector<uint64_t>(kOpKindCount, 0));
   std::atomic<int> start_gate{0};
+  // Resize machinery. In-place resizes need none of this — C2Session::resize
+  // runs concurrently with data ops by design. The rebuild arm is the
+  // stop-the-world ablation baseline: every data op holds the reader side of
+  // this lock, the resizer takes the writer side (which drains in-flight ops
+  // and blocks new ones) and only then resizes. The lock is the whole point
+  // of the arm — its per-op tax and its stall are what the CI gate charges
+  // the rebuild strategy for.
+  const bool locked_ops = resizing && rebuild;
+  std::shared_mutex resize_mu;
+  int64_t resizes_done = 0;  // written by worker 0 only; read after join
   // Workers timestamp their own timed region (after the barrier, after setup
   // like session open and ref pre-binding): wall time is max(end)-min(start),
   // so neither setup cost nor main-thread scheduling skews throughput.
@@ -155,9 +178,12 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
       return;
     }
     // Resets of the per-shard multi-shot TAS have a finite generation budget;
-    // worker 0 is the sole resetter so the budget gate is race-free.
+    // worker 0 is the sole resetter so the budget gate is race-free. Under a
+    // resize schedule tas.shard() can report any slot up to the growth cap,
+    // so the bookkeeping is sized for the cap up front.
     std::vector<int64_t> resets_done(
-        static_cast<size_t>(store.shard_count()), 0);
+        static_cast<size_t>(resizing ? kResizeShardCap : store.shard_count()),
+        0);
 
     svc::C2Session session = store.open_session();
     // Cached bind mode: hash-route every key ONCE, before the timed loop; the
@@ -207,6 +233,11 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
       OpKind kind = cfg.mix.pick(rng);
       uint64_t key = dist->next(rng, i);
       auto t0 = std::chrono::steady_clock::now();
+      // Rebuild arm: the reader lock is INSIDE the timed region — its
+      // acquisition cost and any stall behind a stop-the-world resize are
+      // exactly the latency that strategy charges every operation.
+      std::shared_lock<std::shared_mutex> op_guard(resize_mu, std::defer_lock);
+      if (locked_ops) op_guard.lock();
       switch (kind) {
         case OpKind::kMaxWrite: {
           int64_t v = rng.next_in(0, result.cfg.store.max_value);
@@ -322,9 +353,34 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
         }
       }
       auto t1 = std::chrono::steady_clock::now();
+      if (locked_ops) op_guard.unlock();
       my_lat.push_back(
           std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
       ++my_counts[static_cast<size_t>(kind)];
+      // Control-plane: worker 0 doubles the shard count on its own op
+      // schedule. Deliberately OUTSIDE the latency record — a resize is not a
+      // data op; its cost shows up in the other workers' op latencies (stall
+      // under rebuild, near-nothing under the in-place epoch hand-off) and in
+      // wall-clock throughput, which is what the CI gate compares.
+      if (resizing && wid == 0 && (i + 1) % cfg.resize_every == 0) {
+        int cur = store.shard_count();
+        if (cur < kResizeShardCap) {
+          svc::ResizeStatus st;
+          if (rebuild) {
+            // Writer lock: drains every in-flight op and blocks new ones, so
+            // the store is quiescent for the duration — the stop-the-world
+            // semantics this arm models. (The resize itself still runs the
+            // epoch machinery; the BASELINE cost being measured is the
+            // exclusion, which any rebuild-into-a-bigger-store scheme pays
+            // at minimum.)
+            std::unique_lock<std::shared_mutex> g(resize_mu);
+            st = session.resize(cur * 2);
+          } else {
+            st = session.resize(cur * 2);
+          }
+          if (st == svc::ResizeStatus::kInstalled) ++resizes_done;
+        }
+      }
     }
     t_end[static_cast<size_t>(wid)] = Clock::now();
   };
@@ -377,12 +433,26 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
     for (int k = 0; k < kOpKindCount; ++k) result.per_kind[k] += per_thread[static_cast<size_t>(k)];
   }
   result.initialized_shards = store.initialized_shards();
+  result.resizes_done = resizes_done;
+  result.final_shards = store.shard_count();
   result.final_global_max = store.global_max();
   // Post-quiescence the scan stabilises on its first two collects and agrees
   // with the digest exactly; read through the configured impl anyway so the
   // ablation artifact reports the path it measured.
   result.final_counter_sum = sum_scan ? store.counter_sum_scan() : store.counter_sum();
   result.journal_tickets = store.journal_tickets();
+  if (resizing) {
+    // Conservation across every resize cut: each counter inc lands in the
+    // epoch-independent sum digest exactly once (the settle loop re-applies
+    // only to SHARD slots, never to the digest), and transfers net to zero,
+    // so the digest sum after quiescence must equal the inc count no matter
+    // how many migrations ran mid-stream. A lost or double-counted inc
+    // anywhere in the hand-off breaks this equality loudly.
+    C2SL_CHECK(result.final_counter_sum ==
+                   static_cast<int64_t>(
+                       result.per_kind[static_cast<size_t>(OpKind::kCounterInc)]),
+               "resize conservation: counter_sum != total incs across resizes");
+  }
   if (audit) {
     // Quiescent audit from a fresh replay cursor: a full journal replay must
     // conserve, independently of the incremental cursors the workers held.
@@ -402,7 +472,7 @@ void profile_primitives(tel::MetricsSnapshot& snap) {
   // lane — the profile is a COST MODEL (primitives per op), not a throughput
   // measurement, so contention is deliberately absent.
   svc::C2StoreConfig cfg;
-  cfg.shards = 4;
+  cfg.initial_shards = 4;
   cfg.max_threads = 1;
   cfg.max_value = 63;
   cfg.tas_max_resets = 0;
@@ -470,7 +540,7 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
   w.field("bench", bench);
   w.key("config").begin_object();
   w.field("threads", r.cfg.threads);
-  w.field("shards", r.cfg.store.shards);
+  w.field("initial_shards", r.cfg.store.initial_shards);
   w.field("ops_per_thread", r.cfg.ops_per_thread);
   w.field("key_space", r.cfg.key_space);
   w.field("dist", r.cfg.dist);
@@ -480,6 +550,8 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
   w.field("sum_impl", r.cfg.sum_impl);
   w.field("acquire", r.cfg.acquire);
   w.field("snap_impl", r.cfg.snap_impl);
+  w.field("resize_every", r.cfg.resize_every);
+  w.field("resize_impl", r.cfg.resize_impl);
   w.field("lanes", r.cfg.store.max_threads);
   w.field("seed", r.cfg.seed);
   w.end_object();
@@ -519,6 +591,8 @@ void append_result_entry(JsonWriter& w, const std::string& bench,
   }
   w.key("final_state").begin_object();
   w.field("initialized_shards", r.initialized_shards);
+  w.field("resizes_done", r.resizes_done);
+  w.field("final_shards", r.final_shards);
   w.field("global_max", r.final_global_max);
   w.field("counter_sum", r.final_counter_sum);
   w.field("journal_tickets", r.journal_tickets);

@@ -25,6 +25,11 @@
 
 namespace c2sl::wl {
 
+/// Hard ceiling on the shard count the resize_every schedule will grow a
+/// store to — keeps TAS reset bookkeeping and migration sweeps bounded no
+/// matter how many ops a long run pushes through worker 0.
+inline constexpr int kResizeShardCap = 256;
+
 struct WorkloadConfig {
   int threads = 4;
   uint64_t ops_per_thread = 5000;
@@ -65,6 +70,22 @@ struct WorkloadConfig {
   /// on the snapshot_heavy mix. The transfer_audit mix refuses "loop": its
   /// live conservation check is exactly what the loop cannot satisfy.
   std::string snap_impl = "digest";
+  /// Live-resize schedule: when > 0, worker 0 doubles the store's shard count
+  /// after every `resize_every` of ITS OWN ops (capped at kResizeShardCap),
+  /// while every worker keeps running keyed traffic — the resize_storm mix's
+  /// reason to exist. 0 disables resizing. Incompatible with session_churn
+  /// (no stable resizer session) and with sum_impl == "scan" (post-resize
+  /// slot scans over-approximate; only the digest stays exact — the engine
+  /// refuses the combination instead of reporting a wrong sum).
+  uint64_t resize_every = 0;
+  /// How resizes are served when resize_every > 0: "inplace" is the epoch
+  /// hand-off (C2Session::resize, fully concurrent with data ops); "rebuild"
+  /// is the stop-the-world ablation baseline — every data op holds a reader
+  /// lock and the resizer takes the writer lock, drains, and only then
+  /// resizes, so the whole store stalls for the duration. bench_c2store emits
+  /// both arms under --resize-impl; tools/bench_diff gates that inplace wins
+  /// the resize_storm mix in CI.
+  std::string resize_impl = "inplace";
   /// Shard layout etc. The engine clamps max_threads / max_value /
   /// tas_max_resets (the 63-bit lane-packing budgets) so any
   /// (threads, ops_per_thread) fits; nothing else needs sizing — the store's
@@ -97,6 +118,11 @@ struct WorkloadResult {
   /// Keyed writes journaled during the run (counter incs, max writes,
   /// transfers — snapshots and reads never journal).
   int64_t journal_tickets = 0;
+  /// Successful live resizes worker 0 completed (0 when resize_every == 0).
+  int64_t resizes_done = 0;
+  /// The store's routed shard count after quiescence (== the configured
+  /// initial_shards unless resizes ran).
+  int final_shards = 0;
   /// Populated only by the session_churn mix (waiters == 0 otherwise).
   WaitSpread wait_spread;
   /// The store's telemetry at workload end (enabled == false under

@@ -147,6 +147,24 @@ OpMix OpMix::transfer_audit() {
           {{OpKind::kTransfer, 0.70}, {OpKind::kSnapshot, 0.30}}};
 }
 
+OpMix OpMix::resize_storm() {
+  // Keyed traffic designed to run UNDER live shard resizing (the engine's
+  // resize_every knob doubles the shard count on a schedule; the mix itself
+  // has no resize op — resizes are control-plane events, not data ops).
+  // Write-leaning so migrations always race real updates, with enough reads
+  // and aggregate queries to exercise ref revalidation and the scan-vs-digest
+  // fallback mid-migration. No transfers: counter conservation across the
+  // resize cut then has the exact closed form sum == #incs, which the engine
+  // asserts after quiescence.
+  return {"resize_storm",
+          {{OpKind::kMaxWrite, 0.40},
+           {OpKind::kMaxRead, 0.25},
+           {OpKind::kCounterInc, 0.15},
+           {OpKind::kCounterRead, 0.10},
+           {OpKind::kGlobalMax, 0.05},
+           {OpKind::kCounterSum, 0.05}}};
+}
+
 OpMix OpMix::by_name(const std::string& name) {
   if (name == "read_heavy") return read_heavy();
   if (name == "write_heavy") return write_heavy();
@@ -156,6 +174,7 @@ OpMix OpMix::by_name(const std::string& name) {
   if (name == "session_churn") return session_churn();
   if (name == "snapshot_heavy") return snapshot_heavy();
   if (name == "transfer_audit") return transfer_audit();
+  if (name == "resize_storm") return resize_storm();
   C2SL_CHECK(false, "unknown op mix: " + name);
   return mixed();
 }

@@ -70,8 +70,9 @@ struct OpMix {
   static OpMix session_churn();
   static OpMix snapshot_heavy();
   static OpMix transfer_audit();
+  static OpMix resize_storm();
   /// "read_heavy" | "write_heavy" | "mixed" | "aggregate_scan" | "sum_heavy"
-  /// | "session_churn" | "snapshot_heavy" | "transfer_audit".
+  /// | "session_churn" | "snapshot_heavy" | "transfer_audit" | "resize_storm".
   static OpMix by_name(const std::string& name);
 
  private:

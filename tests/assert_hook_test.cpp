@@ -26,7 +26,7 @@ using ::testing::Not;
 
 svc::C2StoreConfig small_config() {
   svc::C2StoreConfig cfg;
-  cfg.shards = 4;
+  cfg.initial_shards = 4;
   cfg.max_threads = 4;
   cfg.max_value = 15;
   cfg.tas_max_resets = 14;

@@ -23,7 +23,7 @@ namespace {
 
 svc::C2StoreConfig stress_config(int threads) {
   svc::C2StoreConfig cfg;
-  cfg.shards = 8;
+  cfg.initial_shards = 8;
   cfg.max_threads = threads;
   cfg.max_value = 63 / threads;
   cfg.tas_max_resets = 63 / threads - 1;

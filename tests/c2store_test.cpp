@@ -67,7 +67,7 @@ TEST(ShardRouter, StringKeyDistributionIsUniform) {
 
 svc::C2StoreConfig small_config() {
   svc::C2StoreConfig cfg;
-  cfg.shards = 8;
+  cfg.initial_shards = 8;
   cfg.max_threads = 4;
   cfg.max_value = 10;  // 4 * 10 <= 63
   cfg.tas_max_resets = 6;
@@ -85,7 +85,7 @@ TEST(C2Store, InvalidConfigsRejectedUpFront) {
   bad([](svc::C2StoreConfig& c) { c.tas_max_resets = -1; });
   bad([](svc::C2StoreConfig& c) { c.max_value = 0; });
   bad([](svc::C2StoreConfig& c) { c.max_threads = 0; });
-  bad([](svc::C2StoreConfig& c) { c.shards = 12; });  // not a power of two
+  bad([](svc::C2StoreConfig& c) { c.initial_shards = 12; });  // not a power of two
   bad([](svc::C2StoreConfig& c) {
     c.max_threads = 8;
     c.max_value = 8;  // 64 bits > 63
@@ -246,7 +246,7 @@ TEST(C2Store, CounterSumOnZeroInitializedShards) {
 // 0; sums and the per-lane component must both hold up.
 TEST(C2Store, CounterSumOnSingleLaneStore) {
   svc::C2StoreConfig cfg;
-  cfg.shards = 4;
+  cfg.initial_shards = 4;
   cfg.max_threads = 1;
   cfg.max_value = 63;
   cfg.tas_max_resets = 62;

@@ -193,7 +193,7 @@ TEST(C2Session, StoreSurvivesUnboundedSessionChurn) {
   // supports arbitrarily many open/close cycles (each close is one recycle-set
   // put). 2x the retired default + change, through the full session surface.
   svc::C2StoreConfig cfg;
-  cfg.shards = 4;
+  cfg.initial_shards = 4;
   cfg.max_threads = 2;
   cfg.max_value = 10;
   cfg.tas_max_resets = 6;

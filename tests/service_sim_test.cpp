@@ -567,5 +567,98 @@ TEST(C2StoreSim, NaiveScanWitnessHistoryIsNotLinearizable) {
   EXPECT_TRUE(good.linearizable) << good.explanation;
 }
 
+// --- 5. the PR 9 routing-epoch hand-off -------------------------------------
+//
+// SimRoutingEpoch replays the online-resize protocol (runtime/routing_epoch.h
+// + the epoch-stamped refs in service/c2store.h) at base-object step
+// granularity: one stamp register, per-epoch one-shot claims, migration by
+// monotone write_max replay, and the writer-side Dekker settle loop. Key 1
+// under the identity mask MOVES on a 1 -> 2 resize (slot 0 -> slot 1), so
+// these schedules force the full hand-off: primary write to the old slot,
+// migration replay, dual-write window, fresh readers on the new slot.
+
+// The acceptance verdict: a key's max facet stays strongly linearizable
+// ACROSS the migration cut, with the writer, the resizer and a fresh reader
+// all overlapping.
+TEST(C2StoreSim, RoutingEpochHandoffStronglyLinearizable) {
+  std::shared_ptr<svc::SimRoutingEpoch> re;
+  auto scenario = [&re](sim::SimRun& run) {
+    re = std::make_shared<svc::SimRoutingEpoch>(run.world, "re", run.n(),
+                                                /*initial_shards=*/1,
+                                                /*max_shards=*/2);
+    run.sched.spawn(0, [re](sim::Ctx& ctx) { re->write_max(ctx, 1, 1); });
+    run.sched.spawn(1, [re](sim::Ctx& ctx) { re->resize(ctx, 2); });
+    run.sched.spawn(2, [re](sim::Ctx& ctx) { re->read_max(ctx, 1); });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(3, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::MaxRegisterSpec spec;
+  auto res = check_tree(tree, spec, re->key_object(1));
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+// Racing resizers: the one-shot claim admits exactly one installer; the loser
+// reports without touching the spine, and the key facet still verifies.
+TEST(C2StoreSim, RoutingEpochRacingResizersKeyFacetStronglyLinearizable) {
+  std::shared_ptr<svc::SimRoutingEpoch> re;
+  auto scenario = [&re](sim::SimRun& run) {
+    re = std::make_shared<svc::SimRoutingEpoch>(run.world, "re", run.n(),
+                                                /*initial_shards=*/1,
+                                                /*max_shards=*/2);
+    run.sched.spawn(0, [re](sim::Ctx& ctx) { re->resize(ctx, 2); });
+    run.sched.spawn(1, [re](sim::Ctx& ctx) { re->resize(ctx, 2); });
+    // A writer only (the read variant of this schedule blows the node budget;
+    // the hand-off WITH a racing reader is the previous test): what this tree
+    // pins is the claim race — exactly one resizer installs, the loser leaves
+    // the spine untouched, and the writer's settle loop stays correct when the
+    // install lands under it. The shards_of asserts inside the bridge double
+    // as the "loser never reads an uninstalled cell" check on every schedule.
+    run.sched.spawn(2, [re](sim::Ctx& ctx) { re->write_max(ctx, 1, 1); });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(3, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::MaxRegisterSpec spec;
+  auto res = check_tree(tree, spec, re->key_object(1));
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.strongly_linearizable) << res.report;
+}
+
+// PINNED refutation: publishing the new epoch BEFORE the migration replay
+// (serve-before-replay — the tempting "flip the table first, copy at leisure"
+// reorder) lets a fresh reader route to a new slot and read 0 after a
+// completed write. Not even linearizable; if this starts passing, the
+// publish-after-replay order in C2Store::resize_with_lane lost its mechanised
+// justification.
+TEST(C2StoreSim, RoutingEpochServeBeforeReplayRefuted) {
+  std::shared_ptr<svc::SimRoutingEpoch> re;
+  auto scenario = [&re](sim::SimRun& run) {
+    re = std::make_shared<svc::SimRoutingEpoch>(run.world, "re", run.n(),
+                                                /*initial_shards=*/1,
+                                                /*max_shards=*/2,
+                                                /*publish_before_replay=*/true);
+    run.sched.spawn(0, [re](sim::Ctx& ctx) { re->write_max(ctx, 1, 1); });
+    run.sched.spawn(1, [re](sim::Ctx& ctx) { re->resize(ctx, 2); });
+    run.sched.spawn(2, [re](sim::Ctx& ctx) { re->read_max(ctx, 1); });
+  };
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_nodes = 400000;
+  sim::ExecTree tree = sim::explore(3, scenario, opts);
+  ASSERT_FALSE(tree.budget_exhausted) << "tree budget too small: " << tree.size();
+  verify::MaxRegisterSpec spec;
+  auto res = check_tree(tree, spec, re->key_object(1));
+  ASSERT_TRUE(res.decided);
+  EXPECT_FALSE(res.strongly_linearizable)
+      << "serve-before-replay must NOT verify — this refutation is why "
+         "resize publishes the epoch only after the migration replay";
+}
+
 }  // namespace
 }  // namespace c2sl

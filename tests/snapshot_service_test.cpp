@@ -19,7 +19,7 @@ namespace {
 
 svc::C2StoreConfig small_config() {
   svc::C2StoreConfig cfg;
-  cfg.shards = 8;
+  cfg.initial_shards = 8;
   cfg.max_threads = 4;
   cfg.max_value = 10;  // 4 * 10 <= 63
   cfg.tas_max_resets = 6;

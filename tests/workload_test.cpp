@@ -289,7 +289,7 @@ TEST(Engine, SmokeRunAccountsForEveryOperation) {
   cfg.dist = "uniform";
   cfg.mix = wl::OpMix::mixed();
   cfg.seed = 9;
-  cfg.store.shards = 4;
+  cfg.store.initial_shards = 4;
   wl::WorkloadResult r = wl::run_workload(cfg);
   EXPECT_EQ(r.total_ops, 600u);
   EXPECT_EQ(r.latency.count, 600u);
@@ -310,7 +310,7 @@ TEST(Engine, AggregateScanMixExercisesGlobalPaths) {
   cfg.dist = "zipfian";
   cfg.mix = wl::OpMix::aggregate_scan();
   cfg.seed = 4;
-  cfg.store.shards = 8;
+  cfg.store.initial_shards = 8;
   wl::WorkloadResult r = wl::run_workload(cfg);
   EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kGlobalMax)], 0u);
   EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kCounterSum)], 0u);
@@ -329,7 +329,7 @@ TEST(Engine, TransferAuditMixConservesUnderConcurrency) {
   cfg.dist = "uniform";
   cfg.mix = wl::OpMix::transfer_audit();
   cfg.seed = 11;
-  cfg.store.shards = 8;
+  cfg.store.initial_shards = 8;
   wl::WorkloadResult r = wl::run_workload(cfg);
   EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kTransfer)], 0u);
   EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kSnapshot)], 0u);
@@ -350,7 +350,7 @@ TEST(Engine, SnapshotHeavyMixRunsBothImplementations) {
     cfg.mix = wl::OpMix::snapshot_heavy();
     cfg.snap_impl = impl;
     cfg.seed = 13;
-    cfg.store.shards = 8;
+    cfg.store.initial_shards = 8;
     wl::WorkloadResult r = wl::run_workload(cfg);
     EXPECT_GT(r.per_kind[static_cast<int>(wl::OpKind::kSnapshot)], 0u) << impl;
     // Incs journal; snapshots do not (in either implementation).
@@ -368,7 +368,7 @@ TEST(Engine, JsonEntryCarriesTheSchema) {
   cfg.threads = 1;
   cfg.ops_per_thread = 100;
   cfg.key_space = 16;
-  cfg.store.shards = 2;
+  cfg.store.initial_shards = 2;
   wl::WorkloadResult r = wl::run_workload(cfg);
   std::string doc = wl::result_to_json("test_suite", "unit/smoke", r);
   for (const char* needle :
@@ -387,7 +387,7 @@ TEST(Engine, DeterministicOpSequencesAcrossRuns) {
   cfg.dist = "zipfian";
   cfg.mix = wl::OpMix::write_heavy();
   cfg.seed = 77;
-  cfg.store.shards = 4;
+  cfg.store.initial_shards = 4;
   wl::WorkloadResult a = wl::run_workload(cfg);
   wl::WorkloadResult b = wl::run_workload(cfg);
   for (int k = 0; k < wl::kOpKindCount; ++k) {
@@ -406,7 +406,7 @@ TEST(Engine, BindModesAgreeOnSemantics) {
   cfg.dist = "zipfian";
   cfg.mix = wl::OpMix::mixed();
   cfg.seed = 21;
-  cfg.store.shards = 4;
+  cfg.store.initial_shards = 4;
   cfg.bind = "cached";
   wl::WorkloadResult cached = wl::run_workload(cfg);
   cfg.bind = "per_op";
@@ -443,7 +443,7 @@ TEST(Engine, SumImplModesAgreeOnSemantics) {
   cfg.dist = "zipfian";
   cfg.mix = wl::OpMix::sum_heavy();
   cfg.seed = 33;
-  cfg.store.shards = 4;
+  cfg.store.initial_shards = 4;
   cfg.sum_impl = "digest";
   wl::WorkloadResult digest = wl::run_workload(cfg);
   cfg.sum_impl = "scan";
@@ -481,7 +481,7 @@ TEST(Engine, SessionChurnModesAgreeOnSemantics) {
   cfg.dist = "uniform";
   cfg.mix = wl::OpMix::session_churn();
   cfg.seed = 7;
-  cfg.store.shards = 4;
+  cfg.store.initial_shards = 4;
   cfg.store.max_threads = 2;  // lanes < threads: every open contends
   for (const char* mode : {"block", "try"}) {
     cfg.acquire = mode;

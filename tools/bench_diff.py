@@ -3,7 +3,8 @@
 
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.15]
                         [--metrics throughput_ops_per_s,latency_ns.p50,...]
-                        [--bench-filter REGEX]
+                        [--bench-filter REGEX | --bench-include NAMES
+                         | --bench-exclude NAMES]
 
 Trajectory mode — persist an artifact's gated metrics as one JSONL row per
 bench entry, so the per-PR history spans more than one baseline snapshot
@@ -25,6 +26,16 @@ artifact pair can be gated at different thresholds per entry family (CI's
 counter_sum scan-vs-digest gate requires improvement on '^mix/sum_heavy$'
 and mere non-regression on '^mix/mixed$' from the same two runs). A filter
 that matches no common entry is an error (exit 2), not a silent pass.
+
+For exact-name selection prefer --bench-include / --bench-exclude: each takes
+a comma-separated list of exact bench names (no regex), includes keeping only
+the listed entries and excludes dropping them. They exist because "everything
+except mix/session_churn and mix/resize_storm" as a regex needs a negative
+lookahead — write `--bench-exclude mix/session_churn,mix/resize_storm`
+instead. The three selectors are mutually exclusive. An include list naming
+no common entry is an error (exit 2); an exclude list may legitimately drop
+nothing (the names need not be present), but dropping EVERY common entry is
+the same exit-2 error as a filter that matches nothing.
 
 For every matched entry the tool compares (by default):
   * metrics.throughput_ops_per_s  — regression if current < baseline*(1-t)
@@ -90,8 +101,49 @@ CHECKS = [
 ]
 
 
-def append_trajectory(args):
-    """Append one JSONL row per (filtered) bench entry of `args.baseline`."""
+def make_selector(args):
+    """Build a name -> bool predicate from the (exclusive) selection flags.
+
+    Returns (selector, error): exactly one is None. Exact names are
+    deliberately NOT regexes — they come from CI lines where an accidental
+    metacharacter ('.', '+') silently widens a regex match.
+    """
+    chosen = [name for name, value in
+              [("--bench-filter", args.bench_filter),
+               ("--bench-include", args.bench_include),
+               ("--bench-exclude", args.bench_exclude)] if value is not None]
+    if len(chosen) > 1:
+        return None, f"{' and '.join(chosen)} are mutually exclusive"
+    if args.bench_filter is not None:
+        try:
+            pattern = re.compile(args.bench_filter)
+        except re.error as e:
+            return None, f"bad --bench-filter: {e}"
+        return (lambda name: pattern.search(name) is not None), None
+    if args.bench_include is not None:
+        names = {n.strip() for n in args.bench_include.split(",") if n.strip()}
+        if not names:
+            return None, "--bench-include names no benches"
+        return (lambda name: name in names), None
+    if args.bench_exclude is not None:
+        names = {n.strip() for n in args.bench_exclude.split(",") if n.strip()}
+        if not names:
+            return None, "--bench-exclude names no benches"
+        return (lambda name: name not in names), None
+    return (lambda name: True), None
+
+
+def selection_note(args):
+    for flag, value in [("--bench-filter", args.bench_filter),
+                        ("--bench-include", args.bench_include),
+                        ("--bench-exclude", args.bench_exclude)]:
+        if value is not None:
+            return f" ({flag} {value!r})"
+    return ""
+
+
+def append_trajectory(args, selector):
+    """Append one JSONL row per (selected) bench entry of `args.baseline`."""
     try:
         with open(args.baseline) as f:
             doc = json.load(f)
@@ -104,10 +156,9 @@ def append_trajectory(args):
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
         print(f"bench_diff: {e}", file=sys.stderr)
         return 2
-    pattern = re.compile(args.bench_filter) if args.bench_filter else None
     rows = []
     for entry in entries:
-        if pattern and not pattern.search(entry["bench"]):
+        if not selector(entry["bench"]):
             continue
         metrics = entry.get("metrics", {})
         row = {"label": args.label, "suite": doc.get("suite", ""),
@@ -119,8 +170,7 @@ def append_trajectory(args):
         rows.append(row)
     if not rows:
         print("bench_diff: no entries matched for the trajectory"
-              + (f" (filter {args.bench_filter!r})" if args.bench_filter else ""),
-              file=sys.stderr)
+              + selection_note(args), file=sys.stderr)
         return 2
     with open(args.append_trajectory, "a") as out:
         for row in rows:
@@ -142,18 +192,28 @@ def main():
     ap.add_argument("--bench-filter", default=None, metavar="REGEX",
                     help="only compare entries whose bench name matches this "
                          "regex (re.search); no match is an error")
+    ap.add_argument("--bench-include", default=None, metavar="NAMES",
+                    help="comma-separated EXACT bench names to compare; "
+                         "mutually exclusive with the other selectors")
+    ap.add_argument("--bench-exclude", default=None, metavar="NAMES",
+                    help="comma-separated EXACT bench names to drop; "
+                         "mutually exclusive with the other selectors")
     ap.add_argument("--append-trajectory", default=None, metavar="JSONL",
                     help="append the (single) artifact's gated metrics to this "
                          "JSONL history instead of comparing two artifacts")
     ap.add_argument("--label", default="unlabelled",
                     help="row label for --append-trajectory (e.g. a PR or SHA)")
     args = ap.parse_args()
+    selector, err = make_selector(args)
+    if err is not None:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
     if args.append_trajectory is not None:
         if args.current is not None:
             print("bench_diff: --append-trajectory takes exactly one artifact",
                   file=sys.stderr)
             return 2
-        return append_trajectory(args)
+        return append_trajectory(args, selector)
     if args.current is None:
         print("bench_diff: comparison mode needs BASELINE and CURRENT",
               file=sys.stderr)
@@ -173,22 +233,15 @@ def main():
         print(f"bench_diff: {e}", file=sys.stderr)
         return 2
 
-    if args.bench_filter is not None:
-        try:
-            pattern = re.compile(args.bench_filter)
-        except re.error as e:
-            print(f"bench_diff: bad --bench-filter: {e}", file=sys.stderr)
-            return 2
-        base = {k: v for k, v in base.items() if pattern.search(k)}
-        curr = {k: v for k, v in curr.items() if pattern.search(k)}
+    base = {k: v for k, v in base.items() if selector(k)}
+    curr = {k: v for k, v in curr.items() if selector(k)}
 
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
     matched = sorted(set(base) & set(curr))
     if not matched:
         print("bench_diff: no common bench entries to compare"
-              + (f" (filter {args.bench_filter!r})" if args.bench_filter else ""),
-              file=sys.stderr)
+              + selection_note(args), file=sys.stderr)
         return 2
 
     regressions = []

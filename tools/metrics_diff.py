@@ -18,6 +18,11 @@ Validation checks the snapshot's structural invariants, not just its shape:
   * session counters are non-negative and obey the handoff-queue accounting
     the stress tests bound: deliveries <= enqueued, revocations <= enqueued.
   * prim_profile rows (if present) have non-negative averages and ops > 0.
+  * events obey the routing-epoch spine's accounting: epochs_published <=
+    resize_claims (every publish follows a successful one-shot claim;
+    poisoned or abandoned claims never publish). Under --gate-monotone the
+    diff additionally requires migrated_keys not to go backwards — migration
+    only ever copies state forward into child shards.
 
 A disabled-build snapshot (telemetry_enabled == false) is VALID — it just has
 nothing to diff; diffing one exits 0 with a note (so the CI smoke invocation
@@ -44,10 +49,21 @@ OP_KINDS = [
     "max_write", "max_read", "counter_inc", "counter_read",
     "tas_set", "tas_read", "tas_reset", "set_put", "set_take",
     "global_max", "global_max_scan", "counter_sum", "counter_sum_scan",
-    "session_open",
+    "snapshot", "transfer", "session_open",
 ]
 
-EVENT_KINDS = ["segment_claims", "segment_publishes", "shard_inits"]
+EVENT_KINDS = [
+    "segment_claims", "segment_publishes", "shard_inits",
+    "resize_claims", "epochs_published", "migrated_keys",
+]
+
+# Events that may only grow between two runs of one workload configuration
+# under --gate-monotone. Deliberately NOT every event: claim counters
+# (segment_claims, resize_claims) count racy ATTEMPTS, so two runs of the
+# same workload can legitimately land on either side of each other. A key,
+# once migrated into a child shard, is never un-migrated — that direction is
+# part of the epoch hand-off's monotonicity argument (docs/PROOFS.md).
+MONOTONE_EVENTS = {"migrated_keys"}
 
 SESSION_KEYS = [
     "lane_tickets", "handoff_enqueued", "handoff_deliveries",
@@ -166,6 +182,12 @@ def validate(doc, path, in_flight=False):
         _require(kind in events, f"{path}:events", f"missing event {kind!r}")
         _require(_is_count(events[kind]), f"{path}:events",
                  f"{kind} must be a non-negative int")
+    _require(events["epochs_published"] <= events["resize_claims"],
+             f"{path}:events",
+             f"more epoch publishes ({events['epochs_published']}) than "
+             f"resize claims ({events['resize_claims']}): every publish "
+             "follows a successful one-shot claim (poisoned or abandoned "
+             "claims never publish)")
 
     profile = doc.get("prim_profile")
     if profile is not None:
@@ -194,7 +216,12 @@ def load(path, in_flight=False):
     return doc
 
 
-def diff_counters(name, base, curr, gate_monotone, failures):
+def diff_counters(name, base, curr, gate_monotone, failures, gate_keys=None):
+    """Print deltas; with gate_monotone, flag negative ones as failures.
+
+    gate_keys, when given, restricts the monotone gate to that subset of
+    counters (the others are still printed ungated).
+    """
     keys = sorted(set(base) | set(curr))
     for key in keys:
         b = base.get(key, 0)
@@ -203,7 +230,8 @@ def diff_counters(name, base, curr, gate_monotone, failures):
             continue
         delta = c - b
         flag = ""
-        if gate_monotone and delta < 0:
+        if (gate_monotone and delta < 0
+                and (gate_keys is None or key in gate_keys)):
             flag = "  NEGATIVE-DELTA"
             failures.append((name, key, delta))
         print(f"{name:<16} {key:<22} {b:>14} {c:>14} {delta:>+10}{flag}")
@@ -264,7 +292,8 @@ def main():
     diff_counters("op_counts", base["op_counts"], curr["op_counts"],
                   args.gate_monotone, failures)
     diff_counters("session", base["session"], curr["session"], False, [])
-    diff_counters("events", base["events"], curr["events"], False, [])
+    diff_counters("events", base["events"], curr["events"],
+                  args.gate_monotone, failures, gate_keys=MONOTONE_EVENTS)
     diff_histograms("op_latency_ns", base["op_latency_ns"],
                     curr["op_latency_ns"])
     diff_histograms("open_wait_ns", {"open_wait": base["open_wait_ns"]},

@@ -126,6 +126,15 @@ class ValidateTest(unittest.TestCase):
         doc["session"]["handoff_enqueued"] = 2
         self.assert_invalid(doc, "deliveries")
 
+    def test_publish_without_claim_rejected(self):
+        doc = snapshot()
+        doc["events"]["resize_claims"] = 1
+        doc["events"]["epochs_published"] = 2
+        self.assert_invalid(doc, "one-shot claim")
+        # Claims without publishes are fine: poisoned/abandoned resizes.
+        doc["events"]["epochs_published"] = 0
+        metrics_diff.validate(doc, "t")
+
     def test_prim_profile_rows_checked(self):
         doc = snapshot(prim_profile={"counter_inc":
                                      {"faa": 2.0, "tas": 1.0, "swap": 0,
@@ -179,6 +188,25 @@ class CliTest(unittest.TestCase):
         # Without the gate the same diff is informational.
         proc = self.run_cli([snapshot(), curr])
         self.assertEqual(proc.returncode, 0)
+
+    def test_gate_monotone_fails_on_backwards_migrated_keys(self):
+        base = snapshot()
+        base["events"]["migrated_keys"] = 7
+        curr = copy.deepcopy(snapshot())
+        curr["events"]["migrated_keys"] = 3
+        proc = self.run_cli([base, curr], "--gate-monotone")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("backwards", proc.stderr)
+
+    def test_gate_monotone_tolerates_backwards_claim_attempts(self):
+        # Claim counters record racy ATTEMPTS — two runs of one workload can
+        # land on either side of each other without a telemetry bug.
+        base = snapshot()
+        base["events"]["resize_claims"] = 5
+        curr = copy.deepcopy(snapshot())
+        curr["events"]["resize_claims"] = 2
+        proc = self.run_cli([base, curr], "--gate-monotone")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
 
     def test_disabled_snapshot_diff_is_a_note_not_an_error(self):
         off = snapshot(telemetry_enabled=False, ops_total=0, ops_total_scan=0,
