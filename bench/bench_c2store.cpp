@@ -92,6 +92,7 @@
 #include <vector>
 
 #include "telemetry/export.h"
+#include "telemetry/trace_export.h"
 #include "workload/engine.h"
 
 using namespace c2sl;
@@ -121,6 +122,13 @@ struct Args {
   std::string metrics_out;
   /// Same snapshot as a Prometheus text exposition; empty = don't write.
   std::string prom_out;
+  /// c2sl-trace-v1 JSON of the mix/mixed run's witness trace; empty = don't
+  /// write. CI's trace job audits this with tools/trace_audit.py.
+  std::string trace_out;
+  /// Same for the mix/transfer_audit run (the conservation-cut audit).
+  std::string trace_audit_out;
+  /// Chrome trace-event JSON of the mix/mixed run (chrome://tracing).
+  std::string chrome_trace_out;
 };
 
 Args parse(int argc, char** argv) {
@@ -156,6 +164,12 @@ Args parse(int argc, char** argv) {
       a.metrics_out = argv[++i];
     } else if (arg == "--prom-out" && i + 1 < argc) {
       a.prom_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      a.trace_out = argv[++i];
+    } else if (arg == "--trace-audit-out" && i + 1 < argc) {
+      a.trace_audit_out = argv[++i];
+    } else if (arg == "--chrome-trace-out" && i + 1 < argc) {
+      a.chrome_trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out FILE] [--ops N] [--threads-max N]"
@@ -163,7 +177,9 @@ Args parse(int argc, char** argv) {
                    " [--sum-impl digest|scan] [--acquire block|try]"
                    " [--snap-impl digest|loop]"
                    " [--resize-impl inplace|rebuild] [--resize-every N]"
-                   " [--metrics-out FILE] [--prom-out FILE]\n",
+                   " [--metrics-out FILE] [--prom-out FILE]"
+                   " [--trace-out FILE] [--trace-audit-out FILE]"
+                   " [--chrome-trace-out FILE]\n",
                    argv[0]);
       std::exit(1);
     }
@@ -254,6 +270,10 @@ int main(int argc, char** argv) {
   // The mix/mixed entry's store telemetry feeds --metrics-out / --prom-out
   // (the same entry the CI overhead-ablation gate diffs ON-vs-OFF).
   tel::MetricsSnapshot metrics;
+  tel::TraceDump trace_mixed;
+  tel::TraceDump trace_audit;
+  const bool want_mixed_trace =
+      !args.trace_out.empty() || !args.chrome_trace_out.empty();
   for (const char* mix :
        {"read_heavy", "write_heavy", "mixed", "aggregate_scan", "sum_heavy",
         "snapshot_heavy", "transfer_audit"}) {
@@ -272,8 +292,15 @@ int main(int argc, char** argv) {
     cfg.snap_impl =
         std::strcmp(mix, "transfer_audit") == 0 ? "digest" : args.snap_impl;
     cfg.store.initial_shards = 16;
+    cfg.collect_trace =
+        (std::strcmp(mix, "mixed") == 0 && want_mixed_trace) ||
+        (std::strcmp(mix, "transfer_audit") == 0 && !args.trace_audit_out.empty());
     wl::WorkloadResult r = run_one(w, std::string("mix/") + mix, cfg);
-    if (std::strcmp(mix, "mixed") == 0) metrics = r.metrics;
+    if (std::strcmp(mix, "mixed") == 0) {
+      metrics = r.metrics;
+      trace_mixed = std::move(r.trace);
+    }
+    if (std::strcmp(mix, "transfer_audit") == 0) trace_audit = std::move(r.trace);
   }
   // --- session churn: more threads than lanes, blocking-vs-try acquisition ---
   // The store keeps HALF the worker count in lanes, so every open contends;
@@ -358,6 +385,22 @@ int main(int argc, char** argv) {
       pout << tel::to_prometheus(metrics);
       std::printf("wrote %s\n", args.prom_out.c_str());
     }
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream tout(args.trace_out);
+    tout << tel::trace_to_json(trace_mixed, "bench_c2store:mix/mixed") << "\n";
+    std::printf("wrote %s\n", args.trace_out.c_str());
+  }
+  if (!args.trace_audit_out.empty()) {
+    std::ofstream tout(args.trace_audit_out);
+    tout << tel::trace_to_json(trace_audit, "bench_c2store:mix/transfer_audit")
+         << "\n";
+    std::printf("wrote %s\n", args.trace_audit_out.c_str());
+  }
+  if (!args.chrome_trace_out.empty()) {
+    std::ofstream tout(args.chrome_trace_out);
+    tout << tel::trace_to_chrome(trace_mixed, "bench_c2store:mix/mixed") << "\n";
+    std::printf("wrote %s\n", args.chrome_trace_out.c_str());
   }
   return 0;
 }

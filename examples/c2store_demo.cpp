@@ -3,28 +3,37 @@
 // even in the service plumbing), serving a mixed workload from real threads.
 //
 //   $ ./example_c2store_demo [threads] [ops_per_thread] [--metrics]
+//                             [--trace-out FILE]
 //
 // --metrics additionally prints the workload store's c2sl-metrics-v1 JSON
 // snapshot and its Prometheus text exposition (the no-CAS telemetry layer;
 // a disabled C2SL_TELEMETRY=0 build prints telemetry_enabled=false).
+// --trace-out FILE writes the workload's linearization-witness trace as
+// c2sl-trace-v1 JSON (audit it offline with tools/trace_audit.py).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "service/c2store.h"
 #include "telemetry/export.h"
+#include "telemetry/trace_export.h"
 #include "workload/engine.h"
 
 using namespace c2sl;
 
 int main(int argc, char** argv) try {
   bool metrics = false;
+  std::string trace_out;
   int pos = 0;
   int positional[2] = {0, 0};
   bool have[2] = {false, false};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (pos < 2) {
       positional[pos] = std::atoi(argv[i]);
       have[pos] = true;
@@ -38,6 +47,7 @@ int main(int argc, char** argv) try {
   cfg.dist = "zipfian";
   cfg.mix = wl::OpMix::mixed();
   cfg.store.initial_shards = 16;
+  cfg.collect_trace = !trace_out.empty();
 
   // Direct API taste: open a session (RAII lane), bind typed key-bound refs
   // once, then operate through the cached handles. String keys route through
@@ -73,6 +83,11 @@ int main(int argc, char** argv) try {
   if (metrics) {
     std::printf("%s\n", tel::to_json(r.metrics, "c2store_demo").c_str());
     std::printf("%s", tel::to_prometheus(r.metrics).c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream tout(trace_out);
+    tout << tel::trace_to_json(r.trace, "c2store_demo") << "\n";
+    std::printf("wrote %s\n", trace_out.c_str());
   }
   return 0;
 } catch (const std::exception& e) {

@@ -16,19 +16,26 @@
 //
 // Exits non-zero on any inconsistency, so CI can run it as a smoke test.
 //
-//   $ ./example_c2store_sessions_demo [lanes] [workers] [ops] [--try] [--metrics]
+//   $ ./example_c2store_sessions_demo [lanes] [workers] [ops] [--try]
+//                                      [--metrics] [--trace-out FILE]
 //
 // --metrics additionally prints the store's c2sl-metrics-v1 JSON snapshot and
 // Prometheus text — under oversubscription the open_wait histogram and the
 // handoff park/delivery counters are the interesting part.
+// --trace-out FILE drains the store's linearization-witness trace after all
+// workers leave and writes it as c2sl-trace-v1 JSON — under handoff churn the
+// kSessionOpen/kSessionClose point events show each lane changing hands.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "service/c2store.h"
 #include "telemetry/export.h"
+#include "telemetry/trace_export.h"
 
 using namespace c2sl;
 
@@ -48,12 +55,15 @@ void expect(bool ok, const char* what) {
 int main(int argc, char** argv) try {
   bool use_try_poll = false;
   bool metrics = false;
+  std::string trace_out;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--try") == 0) {
       use_try_poll = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
@@ -136,6 +146,15 @@ int main(int argc, char** argv) try {
     tel::MetricsSnapshot snap = store.metrics_snapshot();
     std::printf("%s\n", tel::to_json(snap, "c2store_sessions_demo").c_str());
     std::printf("%s", tel::to_prometheus(snap).c_str());
+  }
+
+  if (!trace_out.empty()) {
+    // All workers joined; the audit session below is the only writer left, so
+    // the drain sees a quiescent trace (every lane's published count final).
+    std::ofstream tout(trace_out);
+    tout << tel::trace_to_json(store.trace_dump(), "c2store_sessions_demo")
+         << "\n";
+    std::printf("wrote %s\n", trace_out.c_str());
   }
 
   if (failures > 0) return 1;

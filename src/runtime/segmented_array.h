@@ -69,14 +69,14 @@ class SegmentedArray {
   }
 
   // --- index math (static: shared with the search loops in callers) ---------
-  static int segment_of(size_t i) {
+  static constexpr int segment_of(size_t i) {
     return std::bit_width(i / kBase + 1) - 1;
   }
-  static size_t segment_start(int s) {
+  static constexpr size_t segment_start(int s) {
     return kBase * ((size_t{1} << s) - 1);
   }
-  static size_t segment_size(int s) { return kBase << s; }
-  static size_t segment_last(int s) {
+  static constexpr size_t segment_size(int s) { return kBase << s; }
+  static constexpr size_t segment_last(int s) {
     return segment_start(s) + segment_size(s) - 1;
   }
 

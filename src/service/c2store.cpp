@@ -48,7 +48,7 @@ C2Store::C2Store(const C2StoreConfig& cfg)
       digest_(cfg_.max_threads, cfg_.max_value) {
   // Route assert failures through this store's flight recorder (last store
   // constructed wins the slot; a no-op under C2SL_TELEMETRY=0).
-  tel::install_flight_dump_on_assert(&tel_, cfg_.max_threads);
+  tel::install_flight_dump_on_assert(&tel_, &trace_, cfg_.max_threads);
 }
 
 C2Store::~C2Store() {
@@ -71,7 +71,11 @@ C2Session C2Store::open_session() {
   // on the per-lane open_wait histograms this feeds).
   tel::OpenTimer timer;
   int lane = lanes_.acquire_blocking();
-  tel_.record_open_wait(tel_.lane(lane), timer.elapsed_ns());
+  int64_t wait_ns = timer.elapsed_ns();
+  tel_.record_open_wait(tel_.lane(lane), wait_ns);
+  trace_.record_event(trace_.lane(lane), tel::TraceOp::kSessionOpen,
+                      /*key=*/-1, /*arg=*/wait_ns, /*result=*/lane,
+                      /*witness=*/-1, /*epoch=*/-1);
   return C2Session(this, lane);
 }
 
@@ -79,6 +83,9 @@ C2Session C2Store::try_open_session() {
   int lane = lanes_.try_acquire();
   if (lane == LaneRegistry::kNone) return C2Session();
   tel_.record_open_wait(tel_.lane(lane), 0);  // non-blocking: zero wait
+  trace_.record_event(trace_.lane(lane), tel::TraceOp::kSessionOpen,
+                      /*key=*/-1, /*arg=*/0, /*result=*/lane,
+                      /*witness=*/-1, /*epoch=*/-1);
   return C2Session(this, lane);
 }
 
@@ -86,7 +93,11 @@ C2Session C2Store::open_session_for(std::chrono::nanoseconds timeout) {
   tel::OpenTimer timer;
   int lane = lanes_.acquire_for(timeout);
   if (lane == LaneRegistry::kNone) return C2Session();
-  tel_.record_open_wait(tel_.lane(lane), timer.elapsed_ns());
+  int64_t wait_ns = timer.elapsed_ns();
+  tel_.record_open_wait(tel_.lane(lane), wait_ns);
+  trace_.record_event(trace_.lane(lane), tel::TraceOp::kSessionOpen,
+                      /*key=*/-1, /*arg=*/wait_ns, /*result=*/lane,
+                      /*witness=*/-1, /*epoch=*/-1);
   return C2Session(this, lane);
 }
 
@@ -154,9 +165,17 @@ ResizeStatus C2Store::resize_with_lane(int lane, int new_shards) {
   // Journal the resize (after the replay, before the publish). The marker is
   // INFORMATIONAL: snapshot replay buckets under the initial mask forever and
   // skips it — it exists for audit tools and tests (keyed_version_digest.h).
-  journal_.append(rt::KeyedVersionDigest::Kind::kResize, 0, 0,
-                  static_cast<int64_t>(claim.shards));
+  int64_t ticket =
+      journal_.append(rt::KeyedVersionDigest::Kind::kResize, 0, 0,
+                      static_cast<int64_t>(claim.shards));
   epochs_.publish(claim);
+  // Trace the resize on the migrating lane: the kResize marker's ticket is
+  // its journal-facet witness, and the claimed epoch rides in the epoch
+  // field (the epoch stamp is the resize's own publication step).
+  trace_.record_event(trace_.lane(lane), tel::TraceOp::kResize,
+                      /*key=*/-1, /*arg=*/claim.shards,
+                      /*result=*/static_cast<int64_t>(ResizeStatus::kInstalled),
+                      /*witness=*/ticket, /*epoch=*/claim.epoch);
   return ResizeStatus::kInstalled;
 }
 
@@ -271,6 +290,7 @@ void C2Store::replay_journal(detail::SnapReplay& r, int64_t tail) {
     switch (e.kind) {
       case rt::KeyedVersionDigest::Kind::kCounterInc:
         r.ctr_net[static_cast<size_t>(e.shard_a)] += e.v;
+        r.total_incs += e.v;
         break;
       case rt::KeyedVersionDigest::Kind::kMaxWrite:
         r.max_seen[static_cast<size_t>(e.shard_a)] =
@@ -301,7 +321,7 @@ tel::MetricsSnapshot C2Store::metrics_snapshot() const {
   // Telemetry core first (the strongly linearizable ops-total digest read
   // plus the racy lane scans), then the session-layer counters the registry
   // and handoff queue already expose.
-  tel::MetricsSnapshot s = tel_.snapshot(cfg_.max_threads);
+  tel::MetricsSnapshot s = tel_.snapshot(cfg_.max_threads, shard_count());
   s.lane_tickets = lane_tickets_issued();
   s.handoff_enqueued = lane_handoff_enqueued();
   s.handoff_deliveries = lane_handoff_deliveries();

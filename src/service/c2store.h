@@ -157,6 +157,7 @@
 #include "service/lane_registry.h"
 #include "service/shard_router.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace c2sl::svc {
 
@@ -241,13 +242,14 @@ class ShardRef {
 
  protected:
   inline ShardRef(C2Store* store, int lane, uint64_t hash,
-                  tel::LaneTelemetry* tel);
+                  tel::LaneTelemetry* tel, tel::LaneTrace* trc);
   /// Tag ctor for refs whose routing NEVER follows epochs (SetRef: take() is
   /// not monotone, so set state cannot be migrated — pinned to the initial
   /// mask, documented in the header).
   struct PinInitialRouting {};
   inline ShardRef(C2Store* store, int lane, uint64_t hash,
-                  tel::LaneTelemetry* tel, PinInitialRouting);
+                  tel::LaneTelemetry* tel, tel::LaneTrace* trc,
+                  PinInitialRouting);
 
   /// Cached objects, or nullptr while the shard is unmaterialised.
   inline ShardObjects* resolved();
@@ -277,6 +279,10 @@ class ShardRef {
   /// session's thread), cached at bind time like the shard slot. Null only in
   /// the C2SL_TELEMETRY=0 flavour, where tel::OpScope ignores it.
   tel::LaneTelemetry* tel_;
+  /// The owning session's lane-local trace log (single-writer, same
+  /// discipline). Null only in the C2SL_TRACE=0 flavour, where
+  /// tel::TraceScope ignores it.
+  tel::LaneTrace* trc_;
   ShardObjects* objs_ = nullptr;
   uint64_t hash_;   ///< hashed once at bind; rebinds re-mask, never re-hash
   int64_t epoch_;   ///< routing epoch shard_ was computed under
@@ -364,6 +370,9 @@ struct SnapReplay {
   int64_t cursor = 0;
   std::vector<int64_t> ctr_net;   ///< per-bucket ledger balance
   std::vector<int64_t> max_seen;  ///< per-bucket max of journaled writes
+  /// Total journaled increments below cursor (transfers net zero, so this is
+  /// also the sum of all ledger balances) — the snapshot's traced result.
+  int64_t total_incs = 0;
 };
 }  // namespace detail
 
@@ -386,13 +395,18 @@ class SnapshotRef {
  private:
   friend class C2Session;
   SnapshotRef(C2Store* store, detail::SnapReplay* replay,
-              tel::LaneTelemetry* tel,
+              tel::LaneTelemetry* tel, tel::LaneTrace* trc,
               std::vector<std::pair<SnapKind, int>> slots)
-      : store_(store), replay_(replay), tel_(tel), slots_(std::move(slots)) {}
+      : store_(store),
+        replay_(replay),
+        tel_(tel),
+        trc_(trc),
+        slots_(std::move(slots)) {}
 
   C2Store* store_;
   detail::SnapReplay* replay_;  ///< the owning session's replay state
   tel::LaneTelemetry* tel_;
+  tel::LaneTrace* trc_;
   std::vector<std::pair<SnapKind, int>> slots_;  ///< bound (kind, bucket)
 };
 
@@ -407,10 +421,12 @@ class C2Session {
   C2Session(C2Session&& o) noexcept
       : store_(o.store_),
         tel_lane_(o.tel_lane_),
+        trc_lane_(o.trc_lane_),
         snap_(std::move(o.snap_)),
         lane_(o.lane_) {
     o.store_ = nullptr;
     o.tel_lane_ = nullptr;
+    o.trc_lane_ = nullptr;
     o.lane_ = -1;
   }
   C2Session& operator=(C2Session&& o) noexcept {
@@ -424,10 +440,12 @@ class C2Session {
       }
       store_ = o.store_;
       tel_lane_ = o.tel_lane_;
+      trc_lane_ = o.trc_lane_;
       snap_ = std::move(o.snap_);
       lane_ = o.lane_;
       o.store_ = nullptr;
       o.tel_lane_ = nullptr;
+      o.trc_lane_ = nullptr;
       o.lane_ = -1;
     }
     return *this;
@@ -527,6 +545,7 @@ class C2Session {
 
   C2Store* store_ = nullptr;
   tel::LaneTelemetry* tel_lane_ = nullptr;  ///< cached lane telemetry block
+  tel::LaneTrace* trc_lane_ = nullptr;      ///< cached lane trace log
   std::unique_ptr<detail::SnapReplay> snap_;
   int lane_ = -1;
 };
@@ -651,6 +670,18 @@ class C2Store {
   /// writes belong to lane owners.
   const tel::StoreTelemetry& telemetry() const { return tel_; }
 
+  // --- linearization-witness tracing (src/telemetry/trace.h; compiles out
+  // --- under C2SL_TRACE=0) ---
+  /// Drains every lane's trace log into a plain-data dump for
+  /// tel::trace_to_json / tel::trace_to_chrome and tools/trace_audit.py.
+  /// Safe against live writers (release/acquire publication per record);
+  /// for a complete history, drain after sessions quiesce.
+  tel::TraceDump trace_dump() const {
+    return trace_.dump(cfg_.max_threads, cfg_.initial_shards);
+  }
+  /// The live trace root, for tel::dump_trace_tail and tests.
+  const tel::StoreTrace& trace() const { return trace_; }
+
  private:
   friend class C2Session;
   friend class detail::ShardRef;
@@ -737,23 +768,27 @@ class C2Store {
   /// through const-agnostic session state, and its lane blocks are
   /// single-writer by the session discipline.
   mutable tel::StoreTelemetry tel_;
+  /// Lane-local linearization-witness trace logs (telemetry/trace.h). An
+  /// empty shell under C2SL_TRACE=0. Mutable for the same reason as tel_.
+  mutable tel::StoreTrace trace_;
 };
 
 // --- inline hot paths -------------------------------------------------------
 
 namespace detail {
 inline ShardRef::ShardRef(C2Store* store, int lane, uint64_t hash,
-                          tel::LaneTelemetry* tel)
-    : store_(store), tel_(tel), hash_(hash), lane_(lane) {
+                          tel::LaneTelemetry* tel, tel::LaneTrace* trc)
+    : store_(store), tel_(tel), trc_(trc), hash_(hash), lane_(lane) {
   // Bind under the published epoch of a seq_cst stamp read (the read also
   // carries visibility of that epoch's table entry).
   epoch_ = rt::RoutingEpoch::published_epoch(store_->epochs_.stamp());
   shard_ = store_->slot_under(hash_, epoch_);
 }
 inline ShardRef::ShardRef(C2Store* store, int lane, uint64_t hash,
-                          tel::LaneTelemetry* tel, PinInitialRouting)
-    : store_(store), tel_(tel), hash_(hash), epoch_(-1), lane_(lane),
-      shard_(store->journal_slot(hash)) {}
+                          tel::LaneTelemetry* tel, tel::LaneTrace* trc,
+                          PinInitialRouting)
+    : store_(store), tel_(tel), trc_(trc), hash_(hash), epoch_(-1),
+      lane_(lane), shard_(store->journal_slot(hash)) {}
 
 inline ShardObjects* ShardRef::resolved() {
   if (!objs_) objs_ = store_->peek(shard_);
@@ -802,6 +837,8 @@ inline void ShardRef::settle(const Apply& apply) {
 
 inline void MaxRef::write(int64_t v) {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxWrite, shard_, v);
+  tel::TraceScope tr(trc_, tel::TraceOp::kMaxWrite,
+                     store_->journal_slot(hash_), v);
   revalidate();
   // Shard register FIRST, digest second, journal LAST: neither derived facet
   // ever runs ahead of the shard registers (pinned cross-facet invariants;
@@ -809,19 +846,27 @@ inline void MaxRef::write(int64_t v) {
   // runs after all three — its re-applications are idempotent merges.
   ensure().max.write_max(lane_, v);
   store_->digest_.write_max(lane_, v);
-  store_->journal_.append(rt::KeyedVersionDigest::Kind::kMaxWrite,
-                          store_->journal_slot(hash_), 0, v);
+  // The journal ticket IS this write's linearization witness on the
+  // snapshot facet (its own FAA step) — captured, not discarded.
+  tr.set_witness(store_->journal_.append(rt::KeyedVersionDigest::Kind::kMaxWrite,
+                                         store_->journal_slot(hash_), 0, v));
+  tr.set_epoch(epoch_);
   settle([&](ShardObjects& o) { o.max.write_max(lane_, v); });
 }
 inline int64_t MaxRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kMaxRead, shard_, 0);
+  tel::TraceScope tr(trc_, tel::TraceOp::kMaxRead, shard_, 0);
   revalidate();
   ShardObjects* p = resolved();
-  return p ? p->max.read_max() : 0;
+  int64_t v = p ? p->max.read_max() : 0;
+  tr.set_result(v);
+  return v;
 }
 
 inline int64_t CounterRef::inc() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kCounterInc, shard_, 0);
+  tel::TraceScope tr(trc_, tel::TraceOp::kCounterInc,
+                     store_->journal_slot(hash_), 1);
   revalidate();
   // Shard counter FIRST, sum digest second, journal LAST: neither derived
   // facet ever runs ahead of any keyed counter read (pinned cross-facet
@@ -831,35 +876,50 @@ inline int64_t CounterRef::inc() {
   // is why they stay exact across resizes while slot scans over-approximate.
   int64_t prev = ensure().counter.fetch_and_increment();
   store_->sum_digest_.add(lane_);
-  store_->journal_.append(rt::KeyedVersionDigest::Kind::kCounterInc,
-                          store_->journal_slot(hash_), 0, 1);
+  // Witness: the journal ticket (the inc's own FAA step on the snapshot
+  // facet). With the trace, prev lets the auditor replay each bucket's
+  // pre-increment sequence exactly (absent resizes).
+  tr.set_witness(
+      store_->journal_.append(rt::KeyedVersionDigest::Kind::kCounterInc,
+                              store_->journal_slot(hash_), 0, 1));
+  tr.set_result(prev);
+  tr.set_epoch(epoch_);
   settle([&](ShardObjects& o) { o.counter.fetch_and_increment(); });
   return prev;
 }
 inline int64_t CounterRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kCounterRead, shard_, 0);
+  tel::TraceScope tr(trc_, tel::TraceOp::kCounterRead, shard_, 0);
   revalidate();
   ShardObjects* p = resolved();
-  return p ? p->counter.read() : 0;
+  int64_t v = p ? p->counter.read() : 0;
+  tr.set_result(v);
+  return v;
 }
 
 inline int64_t TasRef::test_and_set() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasSet, shard_, 0);
+  tel::TraceScope tr(trc_, tel::TraceOp::kTasSet, shard_, 0);
   revalidate();
   int64_t won = ensure().tas.test_and_set(lane_);
   // Set-ness (monotone) migrates; the WINNER decision is per-epoch, like the
   // key-collision semantics (see header: "what survives a resize").
   settle([&](ShardObjects& o) { o.tas.test_and_set(lane_); });
+  tr.set_result(won);
   return won;
 }
 inline int64_t TasRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasRead, shard_, 0);
+  tel::TraceScope tr(trc_, tel::TraceOp::kTasRead, shard_, 0);
   revalidate();
   ShardObjects* p = resolved();
-  return p ? p->tas.read() : 0;
+  int64_t v = p ? p->tas.read() : 0;
+  tr.set_result(v);
+  return v;
 }
 inline ResetResult TasRef::reset() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kTasReset, shard_, 0);
+  tel::TraceScope tr(trc_, tel::TraceOp::kTasReset, shard_, 0);
   revalidate();
   ShardObjects& o = ensure();
   if (o.tas.generation() >= o.tas.max_resets()) return ResetResult::kBudgetSpent;
@@ -873,22 +933,33 @@ inline ResetResult TasRef::reset() {
 
 inline void SetRef::put(int64_t item) {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kSetPut, shard_, item);
+  tel::TraceScope tr(trc_, tel::TraceOp::kSetPut, shard_, item);
   ensure().set.put(item);
 }
 inline int64_t SetRef::take() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kSetTake, shard_, 0);
+  tel::TraceScope tr(trc_, tel::TraceOp::kSetTake, shard_, 0);
   ShardObjects* p = resolved();
-  return p ? p->set.take() : C2Store::kEmpty;
+  int64_t v = p ? p->set.take() : C2Store::kEmpty;
+  tr.set_result(v);
+  return v;
 }
 
 inline C2Session::C2Session(C2Store* store, int lane)
-    : store_(store), tel_lane_(store->tel_.lane(lane)), lane_(lane) {}
+    : store_(store),
+      tel_lane_(store->tel_.lane(lane)),
+      trc_lane_(store->trace_.lane(lane)),
+      lane_(lane) {}
 
 inline void C2Session::close() {
   if (store_) {
+    store_->trace_.record_event(trc_lane_, tel::TraceOp::kSessionClose,
+                                /*key=*/-1, /*arg=*/0, /*result=*/lane_,
+                                /*witness=*/-1, /*epoch=*/-1);
     store_->lanes_.release(lane_);
     store_ = nullptr;
     tel_lane_ = nullptr;
+    trc_lane_ = nullptr;
     snap_.reset();  // replay state dies with the session (refs are invalid now)
     lane_ = -1;
   }
@@ -896,36 +967,36 @@ inline void C2Session::close() {
 
 inline MaxRef C2Session::max(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return MaxRef(store_, lane_, hash_key(key), tel_lane_);
+  return MaxRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_);
 }
 inline MaxRef C2Session::max(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return MaxRef(store_, lane_, hash_key(key), tel_lane_);
+  return MaxRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_);
 }
 inline CounterRef C2Session::counter(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return CounterRef(store_, lane_, hash_key(key), tel_lane_);
+  return CounterRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_);
 }
 inline CounterRef C2Session::counter(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return CounterRef(store_, lane_, hash_key(key), tel_lane_);
+  return CounterRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_);
 }
 inline TasRef C2Session::tas(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return TasRef(store_, lane_, hash_key(key), tel_lane_);
+  return TasRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_);
 }
 inline TasRef C2Session::tas(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return TasRef(store_, lane_, hash_key(key), tel_lane_);
+  return TasRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_);
 }
 inline SetRef C2Session::set(uint64_t key) {
   C2SL_CHECK(valid(), "session is closed");
-  return SetRef(store_, lane_, hash_key(key), tel_lane_,
+  return SetRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_,
                 detail::ShardRef::PinInitialRouting{});
 }
 inline SetRef C2Session::set(std::string_view key) {
   C2SL_CHECK(valid(), "session is closed");
-  return SetRef(store_, lane_, hash_key(key), tel_lane_,
+  return SetRef(store_, lane_, hash_key(key), tel_lane_, trc_lane_,
                 detail::ShardRef::PinInitialRouting{});
 }
 
@@ -952,7 +1023,8 @@ inline SnapshotRef C2Session::snapshot_ref(const std::vector<SnapKey>& keys) {
                "unknown snapshot key kind");
     slots.emplace_back(k.kind, store_->journal_slot(hash_key(k.key)));
   }
-  return SnapshotRef(store_, &snap_state(), tel_lane_, std::move(slots));
+  return SnapshotRef(store_, &snap_state(), tel_lane_, trc_lane_,
+                     std::move(slots));
 }
 
 inline std::vector<int64_t> C2Session::snapshot(const std::vector<SnapKey>& keys) {
@@ -971,28 +1043,44 @@ inline int64_t C2Session::transfer(uint64_t from_key, uint64_t to_key,
                                    int64_t amount) {
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kTransfer, -1, amount);
-  return store_->journal_.append(rt::KeyedVersionDigest::Kind::kTransfer,
-                                 store_->journal_slot(hash_key(from_key)),
-                                 store_->journal_slot(hash_key(to_key)),
-                                 amount);
+  int from = store_->journal_slot(hash_key(from_key));
+  int to = store_->journal_slot(hash_key(to_key));
+  tel::TraceScope tr(trc_lane_, tel::TraceOp::kTransfer, from, amount);
+  tr.set_key_b(static_cast<int32_t>(to));
+  int64_t ticket = store_->journal_.append(
+      rt::KeyedVersionDigest::Kind::kTransfer, from, to, amount);
+  tr.set_witness(ticket);
+  tr.set_result(ticket);
+  return ticket;
 }
 inline int64_t C2Session::transfer(std::string_view from_key,
                                    std::string_view to_key, int64_t amount) {
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kTransfer, -1, amount);
-  return store_->journal_.append(rt::KeyedVersionDigest::Kind::kTransfer,
-                                 store_->journal_slot(hash_key(from_key)),
-                                 store_->journal_slot(hash_key(to_key)),
-                                 amount);
+  int from = store_->journal_slot(hash_key(from_key));
+  int to = store_->journal_slot(hash_key(to_key));
+  tel::TraceScope tr(trc_lane_, tel::TraceOp::kTransfer, from, amount);
+  tr.set_key_b(static_cast<int32_t>(to));
+  int64_t ticket = store_->journal_.append(
+      rt::KeyedVersionDigest::Kind::kTransfer, from, to, amount);
+  tr.set_witness(ticket);
+  tr.set_result(ticket);
+  return ticket;
 }
 
 inline std::vector<int64_t> SnapshotRef::read() {
   tel::OpScope t(store_->tel_, tel_, tel::TelOp::kSnapshot, -1,
                  static_cast<int64_t>(slots_.size()));
+  tel::TraceScope tr(trc_, tel::TraceOp::kSnapshot, -1,
+                     static_cast<int64_t>(slots_.size()));
   // The single tail FAA(0) IS the snapshot's linearization point; everything
   // after is a deterministic function of its result.
   int64_t tail = store_->journal_.version();
   store_->replay_journal(*replay_, tail);
+  // Witness = the tail; result = total journaled incs below it. The auditor
+  // replays the witnessed prefix and must reproduce this count exactly.
+  tr.set_witness(tail);
+  tr.set_result(replay_->total_incs);
   std::vector<int64_t> out;
   out.reserve(slots_.size());
   for (const auto& [kind, shard] : slots_) {
@@ -1008,22 +1096,42 @@ inline std::vector<int64_t> SnapshotRef::read() {
 inline int64_t C2Session::global_max() {
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kGlobalMax, -1, 0);
-  return store_->global_max();
+  tel::TraceScope tr(trc_lane_, tel::TraceOp::kGlobalMax, -1, 0);
+  int64_t v = store_->global_max();
+  // The digest FAA(0) value is its own witness: the max facet is monotone,
+  // so the auditor checks these never regress under real-time order.
+  tr.set_result(v);
+  tr.set_witness(v);
+  return v;
 }
 inline int64_t C2Session::global_max_scan() {
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kGlobalMaxScan, -1, 0);
-  return store_->global_max_scan();
+  // Deliberately unwitnessed (witness = -1): the double-collect scan is NOT
+  // strongly linearizable, so it has no own-step evidence to record — the
+  // trace schema carries the refutation story.
+  tel::TraceScope tr(trc_lane_, tel::TraceOp::kGlobalMaxScan, -1, 0);
+  int64_t v = store_->global_max_scan();
+  tr.set_result(v);
+  return v;
 }
 inline int64_t C2Session::counter_sum() {
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kCounterSum, -1, 0);
-  return store_->counter_sum();
+  tel::TraceScope tr(trc_lane_, tel::TraceOp::kCounterSum, -1, 0);
+  int64_t v = store_->counter_sum();
+  // The sum digest FAA(0) value is its own witness (monotone: incs only).
+  tr.set_result(v);
+  tr.set_witness(v);
+  return v;
 }
 inline int64_t C2Session::counter_sum_scan() {
   C2SL_CHECK(valid(), "session is closed");
   tel::OpScope t(store_->tel_, tel_lane_, tel::TelOp::kCounterSumScan, -1, 0);
-  return store_->counter_sum_scan();
+  tel::TraceScope tr(trc_lane_, tel::TraceOp::kCounterSumScan, -1, 0);
+  int64_t v = store_->counter_sum_scan();
+  tr.set_result(v);
+  return v;
 }
 
 }  // namespace c2sl::svc

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "telemetry/trace_export.h"
 #include "util/assert.h"
 #include "workload/json_writer.h"
 
@@ -80,6 +81,15 @@ std::string to_json(const MetricsSnapshot& snap, std::string_view source) {
     w.field(to_string(static_cast<TelEvent>(e)), snap.events[e]);
   }
   w.end_object();
+
+  // Per-shard heat: keyed ops per routing bucket (lane-scan, racy like
+  // op_counts) plus the max-over-mean skew ratio. Aggregate ops carry no
+  // shard, so the bucket sum is <= ops_total (metrics_diff checks this).
+  w.key("shard_ops");
+  w.begin_array();
+  for (uint64_t c : snap.shard_ops) w.value(c);
+  w.end_array();
+  w.field("shard_imbalance", shard_imbalance(snap));
 
   if (snap.has_prim_profile) {
     w.key("prim_profile");
@@ -166,6 +176,17 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
   line("# TYPE c2sl_lane_counter_adds_total counter");
   line("c2sl_lane_counter_adds_total %" PRId64, snap.lane_counter_adds);
 
+  line("# HELP c2sl_shard_ops Keyed ops routed to each shard bucket "
+       "(racy lane-scan heat diagnostic).");
+  line("# TYPE c2sl_shard_ops counter");
+  for (size_t b = 0; b < snap.shard_ops.size(); ++b) {
+    line("c2sl_shard_ops{shard=\"%zu\"} %" PRIu64, b, snap.shard_ops[b]);
+  }
+  line("# HELP c2sl_shard_imbalance Max-over-mean ratio of per-shard op "
+       "counts (1.0 = balanced).");
+  line("# TYPE c2sl_shard_imbalance gauge");
+  line("c2sl_shard_imbalance %g", shard_imbalance(snap));
+
   for (int e = 0; e < kTelEventCount; ++e) {
     line("# TYPE c2sl_%s_total counter", to_string(static_cast<TelEvent>(e)));
     line("c2sl_%s_total %" PRIu64, to_string(static_cast<TelEvent>(e)),
@@ -204,19 +225,30 @@ namespace {
 // are benign — this is a diagnostics channel, last installer wins.
 struct DumpCtx {
   const StoreTelemetry* tel = nullptr;
+  const StoreTrace* trace = nullptr;
   int max_lanes = 0;
 };
 DumpCtx g_dump_ctx;
 
+/// Last-N trace records interleaved after the flight rings, so a post-mortem
+/// names the witnesses around the failure, not just the op kinds.
+constexpr int kAssertTraceTail = 8;
+
 }  // namespace
 
-void install_flight_dump_on_assert(const StoreTelemetry* tel, int max_lanes) {
+void install_flight_dump_on_assert(const StoreTelemetry* tel,
+                                   const StoreTrace* trace, int max_lanes) {
   g_dump_ctx.tel = tel;
+  g_dump_ctx.trace = trace;
   g_dump_ctx.max_lanes = max_lanes;
   set_failure_hook(
       [](void* p) {
         auto* ctx = static_cast<DumpCtx*>(p);
         if (ctx->tel != nullptr) dump_flight(stderr, *ctx->tel, ctx->max_lanes);
+        if (ctx->trace != nullptr) {
+          dump_trace_tail(stderr, *ctx->trace, ctx->max_lanes,
+                          kAssertTraceTail);
+        }
       },
       &g_dump_ctx);
 }
@@ -224,6 +256,7 @@ void install_flight_dump_on_assert(const StoreTelemetry* tel, int max_lanes) {
 void uninstall_flight_dump_on_assert(const StoreTelemetry* tel) {
   if (g_dump_ctx.tel == tel) {
     g_dump_ctx.tel = nullptr;
+    g_dump_ctx.trace = nullptr;
     clear_failure_hook(&g_dump_ctx);
   }
 }

@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace c2sl::tel {
 
@@ -35,13 +36,23 @@ std::string to_prometheus(const MetricsSnapshot& snap);
 void dump_flight(std::FILE* out, const StoreTelemetry& tel, int max_lanes);
 
 /// Routes assert_fail through dump_flight (last installer wins; the service
-/// layer installs per store and uninstalls on destruction).
-void install_flight_dump_on_assert(const StoreTelemetry* tel, int max_lanes);
+/// layer installs per store and uninstalls on destruction). When `trace` is
+/// non-null and tracing is compiled in, the dump interleaves each lane's last
+/// trace records — so a post-mortem carries linearization witnesses, not just
+/// op kinds (tel::dump_trace_tail, telemetry/trace_export.h).
+void install_flight_dump_on_assert(const StoreTelemetry* tel,
+                                   const StoreTrace* trace, int max_lanes);
+inline void install_flight_dump_on_assert(const StoreTelemetry* tel,
+                                          int max_lanes) {
+  install_flight_dump_on_assert(tel, nullptr, max_lanes);
+}
 void uninstall_flight_dump_on_assert(const StoreTelemetry* tel);
 
 #else
 
 inline void dump_flight(std::FILE*, const StoreTelemetry&, int) {}
+inline void install_flight_dump_on_assert(const StoreTelemetry*,
+                                          const StoreTrace*, int) {}
 inline void install_flight_dump_on_assert(const StoreTelemetry*, int) {}
 inline void uninstall_flight_dump_on_assert(const StoreTelemetry*) {}
 

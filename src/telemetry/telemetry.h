@@ -31,14 +31,20 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "telemetry/histogram.h"
 #include "telemetry/prim_profile.h"
 
+/// Flight-recorder depth (records per lane). Compile-time knob so post-mortem
+/// capture can be widened without touching code; must be a power of two.
+#ifndef C2SL_FLIGHT_RING
+#define C2SL_FLIGHT_RING 64
+#endif
+
 #if C2SL_TELEMETRY
 #include <atomic>
 #include <chrono>
-#include <vector>
 
 #include "runtime/segmented_array.h"
 #endif
@@ -133,9 +139,30 @@ struct MetricsSnapshot {
 
   uint64_t events[kTelEventCount] = {};
 
+  // Per-shard heat: ops observed against each routing bucket, summed over
+  // lanes (racy lane-scan like op_counts — heat is a diagnostic, not a
+  // decision input). Aggregate ops carry no shard, so sum <= ops_total.
+  std::vector<uint64_t> shard_ops;
+
   bool has_prim_profile = false;
   PrimProfile prim_profile[kTelOpCount];
 };
+
+/// Max-over-mean ratio of shard_ops — 1.0 is perfectly balanced, higher means
+/// skew (zipfian/hotburst heat). 1.0 when nothing keyed was counted.
+inline double shard_imbalance(const MetricsSnapshot& snap) {
+  if (snap.shard_ops.empty()) return 1.0;
+  uint64_t max = 0;
+  uint64_t sum = 0;
+  for (uint64_t c : snap.shard_ops) {
+    if (c > max) max = c;
+    sum += c;
+  }
+  if (sum == 0) return 1.0;
+  double mean =
+      static_cast<double>(sum) / static_cast<double>(snap.shard_ops.size());
+  return static_cast<double>(max) / mean;
+}
 
 /// 1 of every 32 ops pays the two steady_clock reads for its latency sample;
 /// the rest skip the clock entirely. Counters and the digest see every op.
@@ -151,7 +178,9 @@ inline namespace tel_on {
 /// diagnostic. Dumped by telemetry/export.cpp on assert failure.
 class FlightRecorder {
  public:
-  static constexpr uint64_t kEntries = 64;  // power of two
+  static constexpr uint64_t kEntries = C2SL_FLIGHT_RING;
+  static_assert(kEntries >= 2 && (kEntries & (kEntries - 1)) == 0,
+                "C2SL_FLIGHT_RING must be a power of two >= 2");
 
   void record(TelOp op, int shard, int64_t arg) {
     // c2sl-atomic: load relaxed — single-writer ring cursor read
@@ -229,6 +258,25 @@ struct alignas(128) LaneTelemetry {
     }
     return sum;
   }
+
+  // Per-shard heat cells, lane-local single-writer like op_counts, segmented
+  // because resize can grow the bucket count without bound (no capacity knob).
+  rt::SegmentedArray<std::atomic<uint64_t>> shard_ops;
+
+  void bump_shard(int shard) {
+    if (shard < 0) return;
+    std::atomic<uint64_t>& c = shard_ops.cell(static_cast<size_t>(shard));
+    // c2sl-atomic: store relaxed, load relaxed — single-writer heat cell;
+    // atomic only so the racy aggregating reader is defined
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  uint64_t peek_shard(int shard) const {
+    const std::atomic<uint64_t>* c =
+        shard_ops.peek(static_cast<size_t>(shard));
+    // c2sl-atomic: load relaxed — documented-racy scan-side read
+    return c == nullptr ? 0 : c->load(std::memory_order_relaxed);
+  }
 };
 
 /// Store-wide telemetry root: the lane-block spine plus the one shared FAA
@@ -282,11 +330,13 @@ class StoreTelemetry {
 
   /// Telemetry-core snapshot (lane scan + digest read). The service layer
   /// adds its registry/handoff counters on top (C2Store::metrics_snapshot).
-  MetricsSnapshot snapshot(int max_lanes) const {
+  /// `shards` sizes the per-shard heat vector (0 = skip the heat scan).
+  MetricsSnapshot snapshot(int max_lanes, int shards = 0) const {
     MetricsSnapshot s;
     s.enabled = true;
     s.ops_total = const_cast<StoreTelemetry*>(this)->ops_total();
     s.ops_total_scan = ops_total_scan(max_lanes);
+    s.shard_ops.assign(static_cast<size_t>(shards > 0 ? shards : 0), 0);
     for (int i = 0; i < max_lanes; ++i) {
       const LaneTelemetry* lt = peek_lane(i);
       if (lt == nullptr) continue;
@@ -295,6 +345,9 @@ class StoreTelemetry {
         // c2sl-atomic: load relaxed — documented-racy scan-side read
         s.op_counts[k] += lt->op_counts[k].load(std::memory_order_relaxed);
         s.op_latency[k].merge(lt->op_hist[k].snapshot());
+      }
+      for (size_t b = 0; b < s.shard_ops.size(); ++b) {
+        s.shard_ops[b] += lt->peek_shard(static_cast<int>(b));
       }
       s.open_wait.merge(lt->open_wait.snapshot());
     }
@@ -322,6 +375,7 @@ class OpScope {
     uint64_t prev = c.load(std::memory_order_relaxed);
     // c2sl-atomic: store relaxed — single-writer cell bump
     c.store(prev + 1, std::memory_order_relaxed);
+    lane->bump_shard(shard);
     lane->flight.record(op, shard, arg);
     store.bump_ops_total();
     sampled_ = (prev & (kLatencySamplePeriod - 1)) == 0;
@@ -373,6 +427,8 @@ struct FlightRecorder {
 
 struct LaneTelemetry {
   constexpr void bump(TelOp) const {}
+  constexpr void bump_shard(int) const {}
+  constexpr uint64_t peek_shard(int) const { return 0; }
 };
 
 class StoreTelemetry {
@@ -383,7 +439,7 @@ class StoreTelemetry {
   constexpr int64_t ops_total() const { return 0; }
   constexpr uint64_t ops_total_scan(int) const { return 0; }
   constexpr void record_open_wait(LaneTelemetry*, int64_t) const {}
-  MetricsSnapshot snapshot(int) const { return MetricsSnapshot{}; }
+  MetricsSnapshot snapshot(int, int = 0) const { return MetricsSnapshot{}; }
 };
 
 class OpScope {

@@ -1,0 +1,153 @@
+#include "telemetry/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "telemetry/telemetry.h"
+#include "workload/json_writer.h"
+
+namespace c2sl::tel {
+
+// TraceOp extends TelOp with the same codes on the shared prefix, so tools
+// reading both documents use one op table. Pin the correspondence.
+static_assert(static_cast<int>(TraceOp::kMaxWrite) ==
+              static_cast<int>(TelOp::kMaxWrite));
+static_assert(static_cast<int>(TraceOp::kCounterInc) ==
+              static_cast<int>(TelOp::kCounterInc));
+static_assert(static_cast<int>(TraceOp::kSnapshot) ==
+              static_cast<int>(TelOp::kSnapshot));
+static_assert(static_cast<int>(TraceOp::kTransfer) ==
+              static_cast<int>(TelOp::kTransfer));
+static_assert(kTraceOpCount == kTelOpCount + 2,
+              "TraceOp adds exactly session_close and resize");
+
+namespace {
+
+/// Tick -> nanoseconds since the store's trace epoch.
+int64_t to_ns(const TraceDump& d, int64_t ticks) {
+  return static_cast<int64_t>(static_cast<double>(ticks - d.tick_base) *
+                              d.ns_per_tick);
+}
+
+const char* op_name(int32_t code) {
+  if (code < 0 || code >= kTraceOpCount) return "unknown_op";
+  return to_string(static_cast<TraceOp>(code));
+}
+
+}  // namespace
+
+std::string trace_to_json(const TraceDump& dump, std::string_view source) {
+  wl::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "c2sl-trace-v1");
+  w.field("source", source);
+  w.field("trace_enabled", dump.enabled);
+  w.field("initial_shards", dump.initial_shards);
+  w.field("ns_per_tick", dump.ns_per_tick);
+  uint64_t records_total = 0;
+  uint64_t dropped_total = 0;
+  for (const LaneTraceDump& l : dump.lanes) {
+    records_total += l.records.size();
+    dropped_total += l.dropped;
+  }
+  w.field("records_total", records_total);
+  w.field("dropped_total", dropped_total);
+  w.key("lanes");
+  w.begin_array();
+  for (const LaneTraceDump& l : dump.lanes) {
+    w.begin_object();
+    w.field("lane", l.lane);
+    w.field("dropped", l.dropped);
+    w.key("records");
+    w.begin_array();
+    for (const TraceRecord& r : l.records) {
+      w.begin_object();
+      w.field("op", op_name(r.op));
+      if (r.key >= 0) w.field("key", r.key);
+      if (r.key_b >= 0) w.field("key_b", static_cast<int64_t>(r.key_b));
+      w.field("arg", r.arg);
+      w.field("result", r.result);
+      if (r.witness >= 0) w.field("witness", r.witness);
+      w.field("t0_ns", to_ns(dump, r.t0));
+      w.field("t1_ns", to_ns(dump, r.t1));
+      if (r.epoch >= 0) w.field("epoch", r.epoch);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string trace_to_chrome(const TraceDump& dump, std::string_view source) {
+  wl::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const LaneTraceDump& l : dump.lanes) {
+    for (const TraceRecord& r : l.records) {
+      w.begin_object();
+      w.field("name", op_name(r.op));
+      w.field("cat", "c2store");
+      w.field("ph", "X");
+      w.field("ts", static_cast<double>(to_ns(dump, r.t0)) / 1000.0);
+      w.field("dur", static_cast<double>(to_ns(dump, r.t1) - to_ns(dump, r.t0)) /
+                         1000.0);
+      w.field("pid", 1);
+      w.field("tid", l.lane);
+      w.key("args");
+      w.begin_object();
+      if (r.key >= 0) w.field("key", r.key);
+      if (r.key_b >= 0) w.field("key_b", static_cast<int64_t>(r.key_b));
+      w.field("arg", r.arg);
+      w.field("result", r.result);
+      if (r.witness >= 0) w.field("witness", r.witness);
+      if (r.epoch >= 0) w.field("epoch", r.epoch);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ns");
+  w.key("otherData");
+  w.begin_object();
+  w.field("source", source);
+  w.field("schema", "c2sl-trace-v1-chrome");
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+#if C2SL_TRACE
+
+void dump_trace_tail(std::FILE* out, const StoreTrace& trace, int max_lanes,
+                     int tail) {
+  std::fprintf(out, "c2sl trace tail (last %d records per lane):\n", tail);
+  for (int lane = 0; lane < max_lanes; ++lane) {
+    const LaneTrace* lt = trace.peek_lane(lane);
+    if (lt == nullptr) continue;
+    uint64_t n = lt->published();
+    if (n == 0) continue;
+    LaneTraceDump ld;
+    lt->drain_into(ld);
+    uint64_t from = n > static_cast<uint64_t>(tail)
+                        ? n - static_cast<uint64_t>(tail)
+                        : 0;
+    std::fprintf(out, "  lane %d (%" PRIu64 " records, %" PRIu64
+                      " dropped):\n",
+                 lane, n, ld.dropped);
+    for (uint64_t i = from; i < ld.records.size(); ++i) {
+      const TraceRecord& r = ld.records[i];
+      std::fprintf(out,
+                   "    #%" PRIu64 " %s key=%" PRId64 " arg=%" PRId64
+                   " result=%" PRId64 " witness=%" PRId64 "\n",
+                   i, op_name(r.op), r.key, r.arg, r.result, r.witness);
+    }
+  }
+}
+
+#endif  // C2SL_TRACE
+
+}  // namespace c2sl::tel

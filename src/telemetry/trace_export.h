@@ -1,0 +1,42 @@
+// Trace exporters: the c2sl-trace-v1 JSON document (what tools/trace_audit.py
+// consumes) and the Chrome trace-event format (chrome://tracing / Perfetto).
+//
+// Both serialisers take the plain-data TraceDump, so they have ONE definition
+// regardless of the C2SL_TRACE flavour — a disabled build still exports a
+// well-formed document that says trace_enabled=false (the auditor treats that
+// as "nothing to audit", not an error). The post-mortem tail dump touches the
+// live StoreTrace and is flavour-versioned like dump_flight.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "telemetry/trace.h"
+
+namespace c2sl::tel {
+
+/// JSON trace, schema "c2sl-trace-v1" (documented in README.md; audited by
+/// tools/trace_audit.py). Timestamps are exported as nanoseconds relative to
+/// the store's trace epoch (ticks * ns_per_tick), records in lane order.
+std::string trace_to_json(const TraceDump& dump, std::string_view source);
+
+/// Chrome trace-event JSON: one "X" (complete) event per record, tid = lane,
+/// witness/key/result in args. Load in chrome://tracing or ui.perfetto.dev.
+std::string trace_to_chrome(const TraceDump& dump, std::string_view source);
+
+#if C2SL_TRACE
+
+/// Prints each lane's last `tail` records (with witnesses) to `out` — the
+/// post-mortem twin of dump_flight, wired into the same assert-failure hook
+/// so crash dumps carry linearization evidence.
+void dump_trace_tail(std::FILE* out, const StoreTrace& trace, int max_lanes,
+                     int tail);
+
+#else
+
+inline void dump_trace_tail(std::FILE*, const StoreTrace&, int, int) {}
+
+#endif  // C2SL_TRACE
+
+}  // namespace c2sl::tel

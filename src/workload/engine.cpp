@@ -462,6 +462,9 @@ WorkloadResult run_workload(const WorkloadConfig& cfg) {
     C2SL_CHECK(sum == 0, "transfer_audit: quiescent full replay did not conserve");
   }
   result.metrics = store.metrics_snapshot();
+  // Quiescent drain: every session has closed, so the dump is the complete
+  // witnessed history of the run (what tools/trace_audit.py replays).
+  if (cfg.collect_trace) result.trace = store.trace_dump();
   return result;
 }
 

@@ -86,6 +86,12 @@ struct WorkloadConfig {
   /// both arms under --resize-impl; tools/bench_diff gates that inplace wins
   /// the resize_storm mix in CI.
   std::string resize_impl = "inplace";
+  /// When true, the workload drains the store's linearization-witness trace
+  /// after quiescence into WorkloadResult::trace (tel::trace_to_json /
+  /// tel::trace_to_chrome ready; audited offline by tools/trace_audit.py).
+  /// Capture itself is always on (C2SL_TRACE=1 builds) — this only controls
+  /// the drain, which copies every record.
+  bool collect_trace = false;
   /// Shard layout etc. The engine clamps max_threads / max_value /
   /// tas_max_resets (the 63-bit lane-packing budgets) so any
   /// (threads, ops_per_thread) fits; nothing else needs sizing — the store's
@@ -128,6 +134,10 @@ struct WorkloadResult {
   /// The store's telemetry at workload end (enabled == false under
   /// C2SL_TELEMETRY=0); exported via tel::to_json / tel::to_prometheus.
   tel::MetricsSnapshot metrics;
+  /// The store's witness trace at workload end — drained only when
+  /// cfg.collect_trace is set (enabled == false otherwise or under
+  /// C2SL_TRACE=0); exported via tel::trace_to_json / tel::trace_to_chrome.
+  tel::TraceDump trace;
 };
 
 /// Runs one workload to completion. Builds its own C2Store from cfg.store.

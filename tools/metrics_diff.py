@@ -189,6 +189,33 @@ def validate(doc, path, in_flight=False):
              "follows a successful one-shot claim (poisoned or abandoned "
              "claims never publish)")
 
+    # Per-shard heat gauges: keyed ops per routing bucket plus the
+    # max-over-mean skew. Aggregate ops carry no shard, so the bucket sum can
+    # only undershoot ops_total; the reported imbalance must match the array
+    # it summarises and is >= 1.0 by construction (max >= mean).
+    shard_ops = doc.get("shard_ops")
+    _require(isinstance(shard_ops, list), path, "shard_ops must be an array")
+    for i, v in enumerate(shard_ops):
+        _require(_is_count(v), f"{path}:shard_ops",
+                 f"bucket {i} must be a non-negative int")
+    imbalance = doc.get("shard_imbalance")
+    _require(isinstance(imbalance, (int, float))
+             and not isinstance(imbalance, bool), path,
+             "shard_imbalance must be a number")
+    if enabled:
+        _require(sum(shard_ops) <= doc["ops_total"], path,
+                 f"shard_ops sum {sum(shard_ops)} exceeds ops_total "
+                 f"{doc['ops_total']} (aggregate ops carry no shard; the "
+                 "bucket sum can only undershoot)")
+        _require(imbalance >= 1.0 - 1e-9, path,
+                 f"shard_imbalance {imbalance} < 1.0 (max-over-mean cannot "
+                 "dip below balanced)")
+        if shard_ops and sum(shard_ops) > 0:
+            mean = sum(shard_ops) / len(shard_ops)
+            _require(abs(imbalance - max(shard_ops) / mean) < 1e-6, path,
+                     f"shard_imbalance {imbalance} does not match its own "
+                     f"shard_ops array (max {max(shard_ops)} / mean {mean})")
+
     profile = doc.get("prim_profile")
     if profile is not None:
         _require(isinstance(profile, dict), path,

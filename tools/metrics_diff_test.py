@@ -34,6 +34,8 @@ def snapshot(**overrides):
                          "p99_upper_ns": 0, "max_upper_ns": 0, "buckets": []},
         "session": {k: 0 for k in metrics_diff.SESSION_KEYS},
         "events": {k: 0 for k in metrics_diff.EVENT_KINDS},
+        "shard_ops": [4, 2, 4],
+        "shard_imbalance": 1.2,
     }
     doc["op_counts"]["counter_inc"] = 10
     doc["op_counts"]["session_open"] = 2
@@ -135,6 +137,25 @@ class ValidateTest(unittest.TestCase):
         doc["events"]["epochs_published"] = 0
         metrics_diff.validate(doc, "t")
 
+    def test_shard_ops_sum_must_not_exceed_ops_total(self):
+        doc = snapshot(shard_ops=[10, 10, 10], shard_imbalance=1.0)
+        self.assert_invalid(doc, "exceeds ops_total")
+
+    def test_shard_imbalance_below_one_rejected(self):
+        doc = snapshot(shard_ops=[0, 0, 0], shard_imbalance=0.5)
+        self.assert_invalid(doc, "< 1.0")
+
+    def test_shard_imbalance_must_match_its_array(self):
+        doc = snapshot(shard_imbalance=3.0)  # shard_ops [4,2,4] -> 1.2
+        self.assert_invalid(doc, "does not match its own shard_ops")
+
+    def test_empty_shard_ops_with_unit_imbalance_passes(self):
+        metrics_diff.validate(snapshot(shard_ops=[], shard_imbalance=1.0), "t")
+
+    def test_negative_shard_bucket_rejected(self):
+        doc = snapshot(shard_ops=[4, -2, 4])
+        self.assert_invalid(doc, "bucket 1")
+
     def test_prim_profile_rows_checked(self):
         doc = snapshot(prim_profile={"counter_inc":
                                      {"faa": 2.0, "tas": 1.0, "swap": 0,
@@ -182,6 +203,8 @@ class CliTest(unittest.TestCase):
         curr["op_counts"]["counter_inc"] = 4
         curr["ops_total"] = 6
         curr["ops_total_scan"] = 6
+        curr["shard_ops"] = [2, 1, 2]  # keep the heat sum within ops_total
+        curr["shard_imbalance"] = 1.2
         proc = self.run_cli([snapshot(), curr], "--gate-monotone")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("backwards", proc.stderr)
